@@ -1,0 +1,75 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-quick] [fig9|fig10|fig11|fig12|fig13|table1|table3|table4|table5|headline|all]
+//
+// Each experiment prints the rows/series the corresponding paper table or
+// figure reports; EXPERIMENTS.md records paper-vs-measured values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "trimmed workloads for fast runs")
+	csvDir := flag.String("csvdir", "", "also dump the Figure 13 design spaces as CSVs into this directory")
+	flag.Parse()
+	opt := experiments.Options{Quick: *quick}
+
+	kind := "all"
+	if flag.NArg() > 0 {
+		kind = flag.Arg(0)
+	}
+	runs := map[string]func(io.Writer, experiments.Options) error{
+		"fig9":     experiments.Fig9,
+		"fig10":    experiments.Fig10,
+		"fig11":    experiments.Fig11,
+		"fig12":    experiments.Fig12,
+		"fig13":    experiments.Fig13,
+		"table1":   experiments.Table1,
+		"table3":   experiments.Table3,
+		"table4":   experiments.Table4,
+		"table5":   experiments.Table5,
+		"headline": experiments.Headline,
+		"ablation": experiments.Ablations,
+	}
+	order := []string{"table1", "table3", "table4", "fig9", "fig10", "fig11", "fig12", "table5", "fig13", "headline", "ablation"}
+
+	var names []string
+	if kind == "all" {
+		names = order
+	} else if _, ok := runs[kind]; ok {
+		names = []string{kind}
+	} else {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; choose one of %v or all\n", kind, order)
+		os.Exit(2)
+	}
+	if *csvDir != "" {
+		runs, err := experiments.RunFig13(opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fig13:", err)
+			os.Exit(1)
+		}
+		if err := experiments.WriteFig13CSVs(*csvDir, runs); err != nil {
+			fmt.Fprintln(os.Stderr, "csvdir:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d design-space CSVs to %s\n", len(runs), *csvDir)
+	}
+	for i, n := range names {
+		if i > 0 {
+			fmt.Println("\n================================================================")
+		}
+		if err := runs[n](os.Stdout, opt); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", n, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+// Command maestro-dse runs the hardware design-space exploration of the
+// paper's Section 5.2 for one layer of a built-in model.
+//
+// Usage:
+//
+//	maestro-dse [-model VGG16] [-layer CONV2] [-dataflow KC-P|YR-P|YX-P]
+//	            [-area 16] [-power 450] [-quick] [-csv out.csv]
+//
+// It sweeps PEs, NoC bandwidth, tile sizes and L2 capacity under the
+// area/power budget, then prints the throughput-, energy- and
+// EDP-optimized design points, the Pareto frontier, and the exploration
+// statistics (Figure 13). With -csv the full design space is dumped for
+// plotting.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/dataflow"
+	"repro/internal/dataflows"
+	"repro/internal/dse"
+	"repro/internal/hw"
+	"repro/internal/models"
+)
+
+func main() {
+	modelName := flag.String("model", "VGG16", "model: VGG16, AlexNet, ResNet50, ResNeXt50, MobileNetV2, UNet, DCGAN")
+	layerName := flag.String("layer", "CONV2", "layer name within the model")
+	dfName := flag.String("dataflow", "KC-P", "dataflow style: KC-P, YR-P, or YX-P")
+	area := flag.Float64("area", 16, "area budget in mm²")
+	power := flag.Float64("power", 450, "power budget in mW")
+	quick := flag.Bool("quick", false, "coarse grids for a fast run")
+	csvPath := flag.String("csv", "", "dump all valid designs to a CSV file")
+	flag.Parse()
+
+	m, ok := modelByName(*modelName)
+	if !ok {
+		fatal(fmt.Errorf("unknown model %q", *modelName))
+	}
+	li, ok := m.Find(*layerName)
+	if !ok {
+		fatal(fmt.Errorf("layer %q not found in %s", *layerName, m.Name))
+	}
+	tmpl, ok := templateByName(*dfName, *quick)
+	if !ok {
+		fatal(fmt.Errorf("unknown dataflow template %q", *dfName))
+	}
+
+	pes := []int{}
+	step := 16
+	if *quick {
+		step = 64
+	}
+	for p := step; p <= 1024; p += step {
+		pes = append(pes, p)
+	}
+	bws := []float64{}
+	for b := 1.0; b <= 128; b *= 2 {
+		bws = append(bws, b, b*1.5)
+	}
+	space := dse.Space{
+		Layer:         li.Layer,
+		Template:      tmpl,
+		PEs:           pes,
+		BWs:           bws,
+		L1Grid:        dse.DefaultGrid(64, 1<<20, 1.45),
+		L2Grid:        dse.DefaultGrid(1<<12, 1<<24, 1.4),
+		AreaBudgetMM2: *area,
+		PowerBudgetMW: *power,
+		Cost:          hw.Default28nm(),
+	}
+	pts, stats := dse.Explore(space)
+	fmt.Printf("%s on %s/%s: %d designs evaluated, %d valid (raw space %d)\n",
+		tmpl.Name, m.Name, li.Layer.Name, stats.Invoked, stats.Valid, stats.Raw)
+	fmt.Printf("explored %d points in %.2fs: %.3g designs/s\n\n",
+		stats.Explored, stats.Elapsed.Seconds(), stats.Rate())
+
+	if len(pts) == 0 {
+		fmt.Println("no valid designs within budget")
+		return
+	}
+	show := func(tag string, p dse.Point, ok bool) {
+		if !ok {
+			return
+		}
+		fmt.Printf("%-16s PEs=%-5d BW=%-5.0f L1=%-6dB L2=%-8dB area=%.2fmm² power=%.1fmW  %.1f MAC/cyc  %.3g pJ  EDP %.3g\n",
+			tag, p.NumPEs, p.BW, p.L1Bytes, p.L2Bytes, p.AreaMM2, p.PowerMW, p.Throughput, p.EnergyPJ, p.EDP)
+	}
+	t, ok1 := dse.ThroughputOpt(pts)
+	show("throughput-opt", t, ok1)
+	e, ok2 := dse.EnergyOpt(pts)
+	show("energy-opt", e, ok2)
+	d, ok3 := dse.EDPOpt(pts)
+	show("edp-opt", d, ok3)
+	fmt.Printf("Pareto frontier: %d of %d evaluated points\n", len(dse.Pareto(pts)), len(pts))
+
+	if *csvPath != "" {
+		if err := dumpCSV(*csvPath, pts); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d designs to %s\n", len(pts), *csvPath)
+	}
+}
+
+func modelByName(name string) (models.Model, bool) {
+	for _, m := range append(models.EvaluationModels(), models.AlexNet(), models.DCGAN()) {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return models.Model{}, false
+}
+
+func templateByName(name string, quick bool) (dse.Template, bool) {
+	switch name {
+	case "KC-P":
+		t := dse.Template{Name: "KC-P", Build: dataflows.KCPSized,
+			P1: []int{8, 16, 32, 64, 128, 256, 512}, P2: []int{4, 8, 16, 32, 64}}
+		if quick {
+			t.P1, t.P2 = []int{16, 64}, []int{8, 32}
+		}
+		return t, true
+	case "YR-P":
+		t := dse.Template{Name: "YR-P", Build: dataflows.YRPSized,
+			P1: []int{1, 2, 4, 8, 16, 32, 64}, P2: []int{1, 2, 4, 8, 16, 32}}
+		if quick {
+			t.P1, t.P2 = []int{2, 8}, []int{2, 8}
+		}
+		return t, true
+	case "YX-P":
+		return dse.Template{Name: "YX-P",
+			Build: func(p1, _ int) dataflow.Dataflow { return dataflows.YXPSized(p1) },
+			P1:    []int{2, 4, 8, 16}, P2: []int{1}}, true
+	}
+	return dse.Template{}, false
+}
+
+func dumpCSV(path string, pts []dse.Point) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	defer w.Flush()
+	if err := w.Write([]string{"pes", "bw", "p1", "p2", "l1_bytes", "l2_bytes",
+		"area_mm2", "power_mw", "runtime_cycles", "throughput_mac_per_cyc", "energy_pj", "edp"}); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		rec := []string{
+			strconv.Itoa(p.NumPEs),
+			strconv.FormatFloat(p.BW, 'f', -1, 64),
+			strconv.Itoa(p.P1), strconv.Itoa(p.P2),
+			strconv.FormatInt(p.L1Bytes, 10), strconv.FormatInt(p.L2Bytes, 10),
+			strconv.FormatFloat(p.AreaMM2, 'f', 4, 64),
+			strconv.FormatFloat(p.PowerMW, 'f', 2, 64),
+			strconv.FormatInt(p.Runtime, 10),
+			strconv.FormatFloat(p.Throughput, 'f', 2, 64),
+			strconv.FormatFloat(p.EnergyPJ, 'e', 4, 64),
+			strconv.FormatFloat(p.EDP, 'e', 4, 64),
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "maestro-dse:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,143 @@
+// Command maestro-map searches the mapping space of one layer on a
+// hardware configuration and emits the winning mapping as data-centric
+// directives (ready to paste into a network file's Dataflow block).
+//
+// Usage:
+//
+//	maestro-map [-model VGG16 -layer CONV5 | -dims "K:64,C:64,Y:58,X:58,R:3,S:3"]
+//	            [-hw accel.hw] [-pes 256] [-strategy hillclimb] [-budget 2000]
+//	            [-objective runtime|energy|edp] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/mapper"
+	"repro/internal/models"
+	"repro/internal/noc"
+	"repro/internal/tensor"
+)
+
+func main() {
+	modelName := flag.String("model", "", "model to pick the layer from")
+	layerName := flag.String("layer", "", "layer name within -model")
+	dims := flag.String("dims", "", "explicit dims, e.g. K:64,C:64,Y:58,X:58,R:3,S:3")
+	stride := flag.Int("stride", 1, "stride for -dims layers")
+	hwFile := flag.String("hw", "", "accelerator description file")
+	pes := flag.Int("pes", 256, "PEs when no -hw file is given")
+	bw := flag.Float64("bw", 32, "NoC GB/s when no -hw file is given")
+	strategy := flag.String("strategy", "hillclimb", "exhaustive, random, or hillclimb")
+	budget := flag.Int("budget", 2000, "cost-model evaluation budget")
+	objective := flag.String("objective", "runtime", "runtime, energy, or edp")
+	seed := flag.Int64("seed", 1, "seed for stochastic strategies")
+	flag.Parse()
+
+	layer, err := pickLayer(*modelName, *layerName, *dims, *stride)
+	if err != nil {
+		fatal(err)
+	}
+	cfg, err := pickHW(*hwFile, *pes, *bw)
+	if err != nil {
+		fatal(err)
+	}
+
+	opt := mapper.Options{Budget: *budget, Seed: *seed}
+	switch *strategy {
+	case "exhaustive":
+		opt.Strategy = mapper.Exhaustive
+	case "random":
+		opt.Strategy = mapper.RandomSample
+	case "hillclimb":
+		opt.Strategy = mapper.HillClimb
+	default:
+		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+	switch *objective {
+	case "runtime":
+	case "energy":
+		opt.Score = func(r *core.Result) float64 { return r.EnergyDefault().OnChip() }
+	case "edp":
+		opt.Score = func(r *core.Result) float64 {
+			return r.EnergyDefault().OnChip() * float64(r.Runtime)
+		}
+	default:
+		fatal(fmt.Errorf("unknown objective %q", *objective))
+	}
+
+	best, stats, err := mapper.Search(layer, cfg, opt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("// layer %s %v on %s (%d PEs)\n", layer.Name, layer.Sizes, cfg.Name, cfg.NumPEs)
+	fmt.Printf("// %s search: %d evaluated, %d invalid; objective %s\n",
+		*strategy, stats.Evaluated, stats.Invalid, *objective)
+	fmt.Printf("// candidate: %s\n", best.Candidate)
+	fmt.Println("Dataflow {")
+	for _, line := range strings.Split(strings.TrimSpace(best.Dataflow.String()), "\n") {
+		fmt.Println("  " + line)
+	}
+	fmt.Println("}")
+	fmt.Println()
+	fmt.Print(best.Result)
+}
+
+func pickLayer(modelName, layerName, dims string, stride int) (tensor.Layer, error) {
+	if dims != "" {
+		l := tensor.Layer{Name: "custom", Op: tensor.Conv2D, StrideY: stride, StrideX: stride}
+		for _, part := range strings.Split(dims, ",") {
+			kv := strings.SplitN(strings.TrimSpace(part), ":", 2)
+			if len(kv) != 2 {
+				return l, fmt.Errorf("bad dim %q", part)
+			}
+			d, err := tensor.ParseDim(kv[0])
+			if err != nil {
+				return l, err
+			}
+			v, err := strconv.Atoi(kv[1])
+			if err != nil {
+				return l, err
+			}
+			l.Sizes = l.Sizes.Set(d, v)
+		}
+		l = l.Normalize()
+		return l, l.Validate()
+	}
+	if modelName == "" || layerName == "" {
+		return tensor.Layer{}, fmt.Errorf("need -model and -layer, or -dims")
+	}
+	zoo := append(models.EvaluationModels(), models.AlexNet(), models.DCGAN())
+	for _, m := range zoo {
+		if m.Name != modelName {
+			continue
+		}
+		if li, ok := m.Find(layerName); ok {
+			return li.Layer, nil
+		}
+		return tensor.Layer{}, fmt.Errorf("layer %q not in %s", layerName, modelName)
+	}
+	return tensor.Layer{}, fmt.Errorf("unknown model %q", modelName)
+}
+
+func pickHW(hwFile string, pes int, gbps float64) (hw.Config, error) {
+	if hwFile != "" {
+		src, err := os.ReadFile(hwFile)
+		if err != nil {
+			return hw.Config{}, err
+		}
+		return hw.ParseConfig(string(src))
+	}
+	m := noc.Bus(noc.GBpsToElems(gbps, 1, 1))
+	m.Reduction = true
+	return hw.Config{Name: "cli", NumPEs: pes, NoCs: []noc.Model{m}}.Normalize(), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "maestro-map:", err)
+	os.Exit(1)
+}

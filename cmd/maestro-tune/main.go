@@ -1,0 +1,141 @@
+// Command maestro-tune auto-tunes a mapping for every layer of a
+// built-in model and writes a complete network file in the DSL, ready
+// for cmd/maestro to consume:
+//
+//	maestro-tune -model MobileNetV2 -pes 256 -o mobilenet_tuned.m
+//	maestro -pes 256 mobilenet_tuned.m
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/hw"
+	"repro/internal/models"
+	"repro/internal/noc"
+	"repro/internal/tensor"
+	"repro/internal/tuner"
+)
+
+func main() {
+	modelName := flag.String("model", "MobileNetV2", "built-in model to tune")
+	pes := flag.Int("pes", 256, "number of PEs")
+	bw := flag.Float64("bw", 32, "NoC GB/s")
+	objective := flag.String("objective", "runtime", "runtime, energy, or edp")
+	out := flag.String("o", "", "output network file (default stdout)")
+	hwFile := flag.String("hw", "", "accelerator description file")
+	flag.Parse()
+
+	var m models.Model
+	found := false
+	zoo := append(models.EvaluationModels(), models.AlexNet(), models.GoogLeNet(), models.DCGAN())
+	for _, cand := range zoo {
+		if cand.Name == *modelName {
+			m, found = cand, true
+			break
+		}
+	}
+	if !found {
+		fatal(fmt.Errorf("unknown model %q", *modelName))
+	}
+
+	cfg, err := pickHW(*hwFile, *pes, *bw)
+	if err != nil {
+		fatal(err)
+	}
+	opt := tuner.Options{}
+	switch *objective {
+	case "runtime":
+		opt.Objective = tuner.MinRuntime
+	case "energy":
+		opt.Objective = tuner.MinEnergy
+	case "edp":
+		opt.Objective = tuner.MinEDP
+	default:
+		fatal(fmt.Errorf("unknown objective %q", *objective))
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	defer w.Flush()
+
+	fmt.Fprintf(w, "// %s tuned for %s on %d PEs (objective: %s)\n",
+		m.Name, cfg.Name, cfg.NumPEs, *objective)
+	fmt.Fprintf(w, "Network %s {\n", sanitize(m.Name))
+	var total int64
+	for _, li := range m.Layers {
+		ch, err := tuner.TuneLayer(li.Layer, cfg, opt)
+		if err != nil {
+			fatal(fmt.Errorf("layer %s: %w", li.Layer.Name, err))
+		}
+		total += ch.Result.Runtime * int64(li.Count)
+		writeLayer(w, li.Layer, ch)
+	}
+	fmt.Fprintln(w, "}")
+	fmt.Fprintf(os.Stderr, "tuned %d layer shapes; total runtime %d cycles\n", len(m.Layers), total)
+}
+
+func writeLayer(w *bufio.Writer, l tensor.Layer, ch tuner.Choice) {
+	fmt.Fprintf(w, "  // %s: %d cycles (%.1f%% utilization)\n",
+		ch.Dataflow.Name, ch.Result.Runtime, 100*ch.Result.Utilization())
+	fmt.Fprintf(w, "  Layer %s {\n", sanitize(l.Name))
+	fmt.Fprintf(w, "    Type: %s\n", l.Op)
+	if l.StrideY != 1 || l.StrideX != 1 {
+		fmt.Fprintf(w, "    Stride { Y: %d, X: %d }\n", l.StrideY, l.StrideX)
+	}
+	fmt.Fprintf(w, "    Dimensions { N: %d, K: %d, C: %d, Y: %d, X: %d, R: %d, S: %d }\n",
+		l.Sizes.Get(tensor.N), l.Sizes.Get(tensor.K), l.Sizes.Get(tensor.C),
+		l.Sizes.Get(tensor.Y), l.Sizes.Get(tensor.X), l.Sizes.Get(tensor.R), l.Sizes.Get(tensor.S))
+	if l.Density[tensor.Input] != 1 || l.Density[tensor.Weight] != 1 || l.Density[tensor.Output] != 1 {
+		fmt.Fprintf(w, "    Density { I: %g, W: %g, O: %g }\n",
+			l.Density[tensor.Input], l.Density[tensor.Weight], l.Density[tensor.Output])
+	}
+	fmt.Fprintln(w, "    Dataflow {")
+	for _, line := range strings.Split(strings.TrimSpace(ch.Dataflow.String()), "\n") {
+		fmt.Fprintf(w, "      %s\n", line)
+	}
+	fmt.Fprintln(w, "    }")
+	fmt.Fprintln(w, "  }")
+}
+
+// sanitize maps layer names to DSL identifiers.
+func sanitize(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func pickHW(hwFile string, pes int, gbps float64) (hw.Config, error) {
+	if hwFile != "" {
+		src, err := os.ReadFile(hwFile)
+		if err != nil {
+			return hw.Config{}, err
+		}
+		return hw.ParseConfig(string(src))
+	}
+	m := noc.Bus(noc.GBpsToElems(gbps, 1, 1))
+	m.Reduction = true
+	return hw.Config{Name: "cli", NumPEs: pes, NoCs: []noc.Model{m}}.Normalize(), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "maestro-tune:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,176 @@
+// Command maestro runs the analytical cost model on a network described
+// in the MAESTRO-style DSL.
+//
+// Usage:
+//
+//	maestro [-pes N] [-bw GBps] [-l1 bytes] [-l2 bytes] [-noc bus|mesh|tree|systolic|crossbar] network.m
+//
+// Each Layer block must carry a Dataflow block (or use -dataflow to apply
+// one of the built-in Table 3 dataflows to every layer). The tool prints
+// the per-layer performance/cost report and a network summary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/dataflows"
+	"repro/internal/energy"
+	"repro/internal/hw"
+	"repro/internal/noc"
+	"repro/internal/report"
+	"repro/internal/tuner"
+)
+
+func main() {
+	pes := flag.Int("pes", 256, "number of processing elements")
+	bw := flag.Float64("bw", 32, "NoC bandwidth in GB/s at 1 GHz, 1-byte elements")
+	l1 := flag.Int64("l1", 0, "per-PE L1 bytes (0 = size to requirement)")
+	l2 := flag.Int64("l2", 0, "shared L2 bytes (0 = size to requirement)")
+	nocKind := flag.String("noc", "bus", "NoC topology: bus, mesh, tree, systolic, crossbar")
+	hwFile := flag.String("hw", "", "accelerator description file (overrides -pes/-bw/-l1/-l2/-noc)")
+	lint := flag.Bool("lint", false, "report mapping inefficiencies per layer")
+	csvPath := flag.String("csv", "", "export per-layer results as CSV")
+	energyFile := flag.String("energy", "", "per-event energy table file (pJ)")
+	dfName := flag.String("dataflow", "", "apply a built-in dataflow (C-P, X-P, YX-P, YR-P, KC-P) to all layers, or 'auto' to tune per layer")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: maestro [flags] network.m")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	net, err := dataflow.ParseNetwork(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	var cfg hw.Config
+	if *hwFile != "" {
+		hsrc, err := os.ReadFile(*hwFile)
+		if err != nil {
+			fatal(err)
+		}
+		cfg, err = hw.ParseConfig(string(hsrc))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("network %s on accelerator %s (%d PEs)\n\n", net.Name, cfg.Name, cfg.NumPEs)
+	} else {
+		cfg = hw.Config{
+			Name: "cli", NumPEs: *pes, L1Size: *l1, L2Size: *l2,
+			NoCs: []noc.Model{nocModel(*nocKind, *pes, *bw)},
+		}.Normalize()
+		fmt.Printf("network %s on %d PEs, %s NoC at %.0f GB/s\n\n", net.Name, *pes, *nocKind, *bw)
+	}
+	var etbl *energy.Table
+	if *energyFile != "" {
+		esrc, err := os.ReadFile(*energyFile)
+		if err != nil {
+			fatal(err)
+		}
+		tb, err := energy.ParseTable(string(esrc))
+		if err != nil {
+			fatal(err)
+		}
+		etbl = &tb
+	}
+	var rows []report.Row
+	var totalCycles, totalMACs int64
+	var totalEnergy float64
+	for _, ls := range net.Layers {
+		var r *core.Result
+		switch {
+		case *dfName == "auto":
+			ch, err := tuner.TuneLayer(ls.Layer, cfg, tuner.Options{})
+			if err != nil {
+				fatal(fmt.Errorf("layer %s: %w", ls.Layer.Name, err))
+			}
+			fmt.Printf("auto-tuned mapping: %s\n", ch.Dataflow.Name)
+			r = ch.Result
+		default:
+			df := ls.Dataflow
+			if *dfName != "" {
+				df = dataflows.Get(*dfName)
+			}
+			if len(df.Directives) == 0 {
+				fatal(fmt.Errorf("layer %s has no dataflow; use -dataflow or add a Dataflow block", ls.Layer.Name))
+			}
+			var err error
+			r, err = core.AnalyzeDataflow(df, ls.Layer, cfg)
+			if err != nil {
+				fatal(fmt.Errorf("layer %s: %w", ls.Layer.Name, err))
+			}
+		}
+		fmt.Print(r)
+		if *lint {
+			df := ls.Dataflow
+			if *dfName != "" && *dfName != "auto" {
+				df = dataflows.Get(*dfName)
+			}
+			if warns, err := dataflow.Lint(df, ls.Layer, cfg.NumPEs); err == nil {
+				for _, w := range warns {
+					fmt.Println("  lint:", w)
+				}
+			}
+		}
+		fmt.Println()
+		rows = append(rows, report.RowOf(r))
+		totalCycles += r.Runtime
+		totalMACs += r.MACs
+		if etbl != nil {
+			totalEnergy += r.Energy(*etbl).OnChip()
+		} else {
+			totalEnergy += r.EnergyDefault().OnChip()
+		}
+	}
+	fmt.Printf("network total: %d cycles, %d MACs, %.3e pJ on-chip (%.2f MACs/cycle)\n",
+		totalCycles, totalMACs, totalEnergy, float64(totalMACs)/float64(totalCycles))
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := report.WriteCSV(f, rows); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d rows to %s\n", len(rows), *csvPath)
+	}
+}
+
+func nocModel(kind string, pes int, gbps float64) noc.Model {
+	bwElems := noc.GBpsToElems(gbps, 1, 1)
+	var m noc.Model
+	switch kind {
+	case "bus":
+		m = noc.Bus(bwElems)
+		m.Reduction = true
+	case "mesh":
+		n := 1
+		for n*n < pes {
+			n++
+		}
+		m = noc.Mesh(n)
+	case "tree":
+		m = noc.Tree(pes)
+	case "systolic":
+		m = noc.SystolicRow(pes)
+	case "crossbar":
+		m = noc.Crossbar(int(bwElems))
+	default:
+		fatal(fmt.Errorf("unknown NoC kind %q", kind))
+	}
+	return m
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "maestro:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,94 @@
+// Command mapviz renders how a dataflow maps tensor data onto PEs over
+// time, in the style of the paper's Figures 5 and 6: for each time step
+// of a cluster level, the index ranges of each dimension held by each
+// sub-cluster.
+//
+// Usage:
+//
+//	mapviz [-dataflow YR-P] [-pes 6] [-steps 4] [-level 0]
+//	       [-dims "N:1,K:4,C:6,Y:8,X:8,R:3,S:3"]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/dataflow"
+	"repro/internal/dataflows"
+	"repro/internal/tensor"
+	"repro/internal/viz"
+)
+
+func main() {
+	dfName := flag.String("dataflow", "YR-P", "built-in dataflow name (C-P, X-P, YX-P, YR-P, KC-P)")
+	pes := flag.Int("pes", 6, "number of PEs")
+	steps := flag.Int("steps", 4, "time steps to display")
+	level := flag.Int("level", 0, "cluster level to display")
+	dims := flag.String("dims", "N:1,K:4,C:6,Y:8,X:8,R:3,S:3", "layer dimensions")
+	stride := flag.Int("stride", 1, "convolution stride")
+	flag.Parse()
+
+	layer, err := parseLayer(*dims, *stride)
+	if err != nil {
+		fatal(err)
+	}
+	df := dataflows.Get(*dfName)
+	spec, err := dataflow.Resolve(df, layer, *pes)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("dataflow %s on %v, %d PEs (%d used)\n", *dfName, layer.Sizes, *pes, spec.UsedPEs())
+	fmt.Println(df.String())
+
+	w, err := viz.NewWalker(spec, *level)
+	if err != nil {
+		fatal(err)
+	}
+	lv := w.Level()
+	fmt.Printf("level %d: %d sub-clusters, %d spatial chunks, %d folds\n\n",
+		*level, lv.SubClusters, lv.SpatialChunks, lv.Folds)
+
+	for t := 0; t < *steps; t++ {
+		step, ok := w.Next()
+		if !ok {
+			fmt.Println("(mapping complete)")
+			break
+		}
+		fmt.Printf("time step %d\n", step.Index)
+		for _, pe := range step.PEs {
+			fmt.Printf("  PE%-3d %s | %s | %s\n", pe.PE,
+				viz.TensorRange(layer, tensor.Weight, pe),
+				viz.TensorRange(layer, tensor.Input, pe),
+				viz.TensorRange(layer, tensor.Output, pe))
+		}
+	}
+}
+
+func parseLayer(spec string, stride int) (tensor.Layer, error) {
+	l := tensor.Layer{Name: "viz", Op: tensor.Conv2D, StrideY: stride, StrideX: stride}
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), ":", 2)
+		if len(kv) != 2 {
+			return l, fmt.Errorf("bad dim spec %q", part)
+		}
+		d, err := tensor.ParseDim(kv[0])
+		if err != nil {
+			return l, err
+		}
+		v, err := strconv.Atoi(kv[1])
+		if err != nil {
+			return l, err
+		}
+		l.Sizes = l.Sizes.Set(d, v)
+	}
+	l = l.Normalize()
+	return l, l.Validate()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mapviz:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+package maestro_test
+
+import (
+	"fmt"
+
+	maestro "repro"
+)
+
+// ExampleAnalyze prices one layer under a Table 3 dataflow and checks
+// the mapping's exactness invariants.
+func ExampleAnalyze() {
+	layer := maestro.Conv2D("conv", 16, 8, 14, 3, 1)
+	df := maestro.DataflowByName("KC-P")
+	r, err := maestro.Analyze(df, layer, maestro.MAERI64())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("MACs:", r.MACs)
+	fmt.Println("exact:", r.CheckConservation() == nil)
+	// Output:
+	// MACs: 225792
+	// exact: true
+}
+
+// ExampleParseDataflow builds a mapping from DSL text; symbolic Sz(...)
+// sizes bind at resolution time.
+func ExampleParseDataflow() {
+	df, err := maestro.ParseDataflow("ws", `
+		TemporalMap(1,1) K;
+		SpatialMap(Sz(R),1) Y;
+		TemporalMap(Sz(S),1) X;
+	`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(df)
+	// Output:
+	// TemporalMap(1,1) K;
+	// SpatialMap(Sz(R),1) Y;
+	// TemporalMap(Sz(S),1) X;
+}
+
+// ExampleLint diagnoses mapping inefficiencies before paying for them.
+func ExampleLint() {
+	layer := maestro.Conv2D("conv", 16, 3, 14, 3, 1)
+	df, _ := maestro.ParseDataflow("cp", `
+		SpatialMap(1,1) C;
+		TemporalMap(Sz(R),1) Y;
+		TemporalMap(Sz(S),1) X;
+	`)
+	warns, err := maestro.Lint(df, layer, 64)
+	if err != nil {
+		panic(err)
+	}
+	for _, w := range warns {
+		fmt.Println(w.Code)
+	}
+	// Output:
+	// under-filled
+}
+
+// ExampleResult_ReuseFactor shows the Figure 11 reuse metric: local
+// accesses per shared-scratchpad fetch.
+func ExampleResult_ReuseFactor() {
+	layer := maestro.Conv2D("conv", 16, 8, 14, 3, 1)
+	r, _ := maestro.Analyze(maestro.DataflowByName("X-P"), layer, maestro.MAERI64())
+	fmt.Printf("weight reuse ≥ 1: %v\n", r.ReuseFactor(maestro.Weight) >= 1)
+	// Output:
+	// weight reuse ≥ 1: true
+}
+
+// ExampleParseHWConfig reads an accelerator description.
+func ExampleParseHWConfig() {
+	cfg, err := maestro.ParseHWConfig(`
+		name: demo
+		pes: 32
+		noc: bus bandwidth=8 reduction=true
+	`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(cfg.Name, cfg.NumPEs, cfg.NoCAt(0).Bandwidth)
+	// Output:
+	// demo 32 8
+}

@@ -1,0 +1,50 @@
+// Auto-tuner: the paper's Section 7 future work, built on the cost
+// model. For each layer of a small CNN the tuner searches across the
+// five Table 3 dataflow styles and their tile-size knobs, returning the
+// best mapping for the chosen objective. Run once for latency and once
+// for energy to see the objectives disagree.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	maestro "repro"
+)
+
+func main() {
+	cfg := maestro.Accel256()
+	layers := []maestro.Layer{
+		maestro.Conv2D("stem", 32, 3, 112, 3, 2),
+		maestro.Conv2D("mid", 128, 128, 28, 3, 1),
+		maestro.Conv2D("head", 512, 256, 7, 3, 1),
+	}
+
+	for _, objective := range []maestro.TunerOptions{
+		{Objective: maestro.MinRuntime},
+		{Objective: maestro.MinEnergy},
+		{Objective: maestro.MinEDP},
+	} {
+		fmt.Printf("objective: %s\n", objective.Objective)
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "layer\tbest mapping\truntime (cyc)\tenergy (uJ)\tutilization")
+		for _, l := range layers {
+			choice, err := maestro.TuneLayer(l, cfg, objective)
+			if err != nil {
+				log.Fatalf("%s: %v", l.Name, err)
+			}
+			r := choice.Result
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%.1f\t%.1f%%\n",
+				l.Name, choice.Dataflow.Name, r.Runtime,
+				r.EnergyDefault().OnChip()/1e6, 100*r.Utilization())
+		}
+		tw.Flush()
+		fmt.Println()
+	}
+
+	fmt.Println("The tuned tile sizes matter as much as the style: the same KC-P")
+	fmt.Println("skeleton with a different cluster size or channel tile can move a")
+	fmt.Println("layer from NoC-bound to compute-bound.")
+}

@@ -1,0 +1,55 @@
+// Dataflow comparison: the paper's Section 5.1 case study in miniature.
+// Early layers (wide activations, shallow channels) and late layers
+// (narrow activations, deep channels) prefer different dataflows; this
+// example quantifies runtime, energy, and NoC bandwidth for all five
+// Table 3 dataflows on both extremes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	maestro "repro"
+)
+
+func main() {
+	vgg := maestro.VGG16()
+	early, _ := vgg.Find("CONV1") // 224x224, 3 input channels
+	late, _ := vgg.Find("CONV13") // 14x14, 512 channels
+	cfg := maestro.Accel256()
+
+	for _, sel := range []struct {
+		title string
+		layer maestro.Layer
+	}{
+		{"Early layer: VGG16 CONV1", early.Layer},
+		{"Late layer: VGG16 CONV13", late.Layer},
+	} {
+		fmt.Printf("%s  %v\n", sel.title, sel.layer.Sizes)
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "dataflow\truntime (cyc)\tutilization\tenergy (uJ)\tNoC BW req (GB/s)")
+		var best string
+		var bestRT int64
+		for _, name := range maestro.DataflowNames {
+			r, err := maestro.Analyze(maestro.DataflowByName(name), sel.layer, cfg)
+			if err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+			if best == "" || r.Runtime < bestRT {
+				best, bestRT = name, r.Runtime
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%.1f%%\t%.1f\t%.1f\n",
+				name, r.Runtime, 100*r.Utilization(),
+				r.EnergyDefault().OnChip()/1e6, r.PeakBWGBps())
+		}
+		tw.Flush()
+		fmt.Printf("fastest on this layer: %s\n\n", best)
+	}
+
+	fmt.Println("The early layer starves channel-parallel dataflows (C-P has 3 of 256")
+	fmt.Println("PEs busy) while activation-parallel dataflows (YX-P) shine; the late")
+	fmt.Println("layer reverses the preference — the motivation for adaptive and")
+	fmt.Println("heterogeneous accelerators in the paper's Section 5.1.")
+}

@@ -1,0 +1,60 @@
+// Design-space exploration: size an accelerator for one layer under an
+// area/power budget (the paper's Section 5.2 workflow). The example
+// sweeps PEs, NoC bandwidth, KC-P tile sizes, and L2 capacity for a late
+// VGG16 layer, then prints the throughput-, energy- and EDP-optimal
+// designs and the Pareto frontier.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	maestro "repro"
+)
+
+func main() {
+	vgg := maestro.VGG16()
+	layer, _ := vgg.Find("CONV11")
+
+	space := maestro.DSESpace{
+		Layer: layer.Layer,
+		Template: maestro.DSETemplate{
+			Name:  "KC-P",
+			Build: maestro.KCPSized,
+			P1:    []int{16, 32, 64, 128, 256, 512}, // channels staged per pass
+			P2:    []int{8, 16, 32, 64},             // PEs per reduction cluster
+		},
+		PEs:           []int{32, 64, 128, 192, 256, 384, 512, 768, 1024},
+		BWs:           []float64{4, 8, 16, 32, 64, 128},
+		L1Grid:        maestro.DefaultGrid(64, 1<<16, 2),
+		L2Grid:        maestro.DefaultGrid(1<<12, 1<<23, 1.5),
+		AreaBudgetMM2: 16, // the Eyeriss-class budget of Figure 13
+		PowerBudgetMW: 450,
+		Cost:          maestro.Default28nm(),
+	}
+	points, stats := maestro.Explore(space)
+	fmt.Printf("explored %d designs (%d valid, %d model invocations) in %.2fs — %.3g designs/s\n\n",
+		stats.Explored, stats.Valid, stats.Invoked, stats.Elapsed.Seconds(), stats.Rate())
+
+	show := func(tag string, p maestro.DSEPoint) {
+		fmt.Printf("%-15s %4d PEs, %3.0f elem/cyc NoC, %6.1f KB L2  ->  %6.1f MAC/cyc, %6.1f mW, %.3g pJ\n",
+			tag, p.NumPEs, p.BW, float64(p.L2Bytes)/1024, p.Throughput, p.PowerMW, p.EnergyPJ)
+	}
+	if p, ok := maestro.ThroughputOpt(points); ok {
+		show("throughput-opt", p)
+	}
+	if p, ok := maestro.EnergyOpt(points); ok {
+		show("energy-opt", p)
+	}
+	if p, ok := maestro.EDPOpt(points); ok {
+		show("edp-opt", p)
+	}
+
+	front := maestro.Pareto(points)
+	sort.Slice(front, func(i, j int) bool { return front[i].Throughput < front[j].Throughput })
+	fmt.Printf("\nthroughput/energy Pareto frontier (%d points):\n", len(front))
+	for _, p := range front {
+		fmt.Printf("  %6.1f MAC/cyc  %.3g pJ  (%d PEs, %.0f elem/cyc, %.1f KB L2, %.2f mm²)\n",
+			p.Throughput, p.EnergyPJ, p.NumPEs, p.BW, float64(p.L2Bytes)/1024, p.AreaMM2)
+	}
+}

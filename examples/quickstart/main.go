@@ -1,0 +1,41 @@
+// Quickstart: analyze one convolution layer under an NVDLA-style
+// dataflow on the paper's 256-PE reference accelerator, and print the
+// performance/cost report.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	maestro "repro"
+)
+
+func main() {
+	// A ResNet-style convolution: 64 output channels, 64 input channels,
+	// 56x56 outputs, 3x3 filter, stride 1.
+	layer := maestro.Conv2D("conv3x3", 64, 64, 56, 3, 1)
+
+	// The KC-P dataflow of the paper's Table 3 (NVDLA-like): output
+	// channels parallel across clusters, input channels parallel within.
+	df := maestro.DataflowByName("KC-P")
+
+	// The case-study hardware: 256 PEs, 32 GB/s bus, 2 KB L1, 1 MB L2.
+	cfg := maestro.Accel256()
+
+	result, err := maestro.Analyze(df, layer, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(result)
+
+	fmt.Printf("\nreuse factors: input %.1fx, weight %.1fx (algorithmic max %.1fx / %.1fx)\n",
+		result.ReuseFactor(maestro.Input), result.ReuseFactor(maestro.Weight),
+		layer.AlgorithmicReuse(maestro.Input), layer.AlgorithmicReuse(maestro.Weight))
+
+	// Every mapping must compute exactly the algorithmic MACs and commit
+	// the output tensor exactly once; CheckConservation verifies that.
+	if err := result.CheckConservation(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("conservation check passed: the mapping is exact")
+}

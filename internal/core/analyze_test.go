@@ -1,0 +1,278 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataflow"
+	"repro/internal/hw"
+	"repro/internal/noc"
+	"repro/internal/tensor"
+)
+
+func smallConv() tensor.Layer {
+	return tensor.Layer{
+		Name: "small", Op: tensor.Conv2D,
+		Sizes: tensor.Sizes{tensor.N: 1, tensor.K: 4, tensor.C: 3, tensor.Y: 10, tensor.X: 10, tensor.R: 3, tensor.S: 3},
+	}.Normalize()
+}
+
+func testHW(pes int) hw.Config {
+	m := noc.Bus(16)
+	m.Reduction = true
+	return hw.Config{Name: "test", NumPEs: pes, NoCs: []noc.Model{m}}.Normalize()
+}
+
+// outputStationary: SpatialMap over K, sweep C,Y,X,R,S temporally.
+func outputStationary() dataflow.Dataflow {
+	return dataflow.Dataflow{Name: "os", Directives: []dataflow.Directive{
+		dataflow.SMap(dataflow.Lit(1), dataflow.Lit(1), tensor.K),
+		dataflow.TMap(dataflow.Sz(tensor.R), dataflow.Lit(1), tensor.Y),
+		dataflow.TMap(dataflow.Sz(tensor.S), dataflow.Lit(1), tensor.X),
+		dataflow.TMap(dataflow.Lit(1), dataflow.Lit(1), tensor.C),
+		dataflow.TMap(dataflow.Sz(tensor.R), dataflow.Sz(tensor.R), tensor.R),
+		dataflow.TMap(dataflow.Sz(tensor.S), dataflow.Sz(tensor.S), tensor.S),
+	}}
+}
+
+func mustAnalyze(t *testing.T, df dataflow.Dataflow, layer tensor.Layer, cfg hw.Config) *Result {
+	t.Helper()
+	r, err := AnalyzeDataflow(df, layer, cfg)
+	if err != nil {
+		t.Fatalf("analyze %s on %s: %v", df.Name, layer.Name, err)
+	}
+	return r
+}
+
+func TestConservationOutputStationary(t *testing.T) {
+	r := mustAnalyze(t, outputStationary(), smallConv(), testHW(4))
+	if err := r.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Runtime <= 0 {
+		t.Fatal("non-positive runtime")
+	}
+	if u := r.Utilization(); u <= 0 || u > 1.0001 {
+		t.Fatalf("utilization %v out of range", u)
+	}
+}
+
+// A weight-stationary flow: weights pinned, X' swept innermost.
+func TestConservationWeightStationary(t *testing.T) {
+	df := dataflow.Dataflow{Name: "ws", Directives: []dataflow.Directive{
+		dataflow.SMap(dataflow.Lit(1), dataflow.Lit(1), tensor.K),
+		dataflow.TMap(dataflow.Lit(1), dataflow.Lit(1), tensor.C),
+		dataflow.TMap(dataflow.Sz(tensor.R), dataflow.Sz(tensor.R), tensor.R),
+		dataflow.TMap(dataflow.Sz(tensor.S), dataflow.Sz(tensor.S), tensor.S),
+		dataflow.TMap(dataflow.Sz(tensor.R), dataflow.Lit(1), tensor.Y),
+		dataflow.TMap(dataflow.Sz(tensor.S), dataflow.Lit(1), tensor.X),
+	}}
+	r := mustAnalyze(t, df, smallConv(), testHW(4))
+	if err := r.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	// Weights are stationary across the inner Y/X sweep: each weight
+	// element should be fetched from L2 once per (K,C,R,S) tile visit,
+	// far fewer times than it is used.
+	if rf := r.ReuseFactor(tensor.Weight); rf < 10 {
+		t.Errorf("weight reuse factor %v; want substantial temporal reuse", rf)
+	}
+}
+
+// Multi-level: the row-stationary style mapping of the paper's Figure 6.
+func TestConservationRowStationary(t *testing.T) {
+	layer := tensor.Layer{
+		Name: "fig6", Op: tensor.Conv2D,
+		Sizes: tensor.Sizes{tensor.N: 2, tensor.K: 4, tensor.C: 6, tensor.Y: 8, tensor.X: 8, tensor.R: 3, tensor.S: 3},
+	}.Normalize()
+	df := dataflow.Dataflow{Name: "rs", Directives: []dataflow.Directive{
+		dataflow.TMap(dataflow.Lit(1), dataflow.Lit(1), tensor.N),
+		dataflow.TMap(dataflow.Lit(3), dataflow.Lit(3), tensor.C),
+		dataflow.TMap(dataflow.Lit(2), dataflow.Lit(2), tensor.K),
+		dataflow.SMap(dataflow.Sz(tensor.R), dataflow.Lit(1), tensor.Y),
+		dataflow.TMap(dataflow.Sz(tensor.S), dataflow.Lit(1), tensor.X),
+		dataflow.TMap(dataflow.Sz(tensor.R), dataflow.Sz(tensor.R), tensor.R),
+		dataflow.TMap(dataflow.Sz(tensor.S), dataflow.Sz(tensor.S), tensor.S),
+		dataflow.ClusterOf(dataflow.Sz(tensor.R)),
+		dataflow.SMap(dataflow.Lit(1), dataflow.Lit(1), tensor.Y),
+		dataflow.SMap(dataflow.Lit(1), dataflow.Lit(1), tensor.R),
+	}}
+	r := mustAnalyze(t, df, layer, testHW(6))
+	if err := r.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Edge chunks: dimensions that don't divide the tile sizes.
+func TestConservationEdges(t *testing.T) {
+	layer := tensor.Layer{
+		Name: "edgy", Op: tensor.Conv2D,
+		Sizes: tensor.Sizes{tensor.N: 1, tensor.K: 5, tensor.C: 7, tensor.Y: 11, tensor.X: 9, tensor.R: 3, tensor.S: 3},
+	}.Normalize()
+	df := dataflow.Dataflow{Name: "edge", Directives: []dataflow.Directive{
+		dataflow.SMap(dataflow.Lit(2), dataflow.Lit(2), tensor.K),
+		dataflow.TMap(dataflow.Lit(3), dataflow.Lit(3), tensor.C),
+		dataflow.TMap(dataflow.Sz(tensor.R), dataflow.Lit(1), tensor.Y),
+		dataflow.TMap(dataflow.Sz(tensor.S), dataflow.Lit(1), tensor.X),
+	}}
+	r := mustAnalyze(t, df, layer, testHW(4))
+	if err := r.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Strided convolution conservation.
+func TestConservationStride(t *testing.T) {
+	layer := tensor.Layer{
+		Name: "strided", Op: tensor.Conv2D,
+		Sizes:   tensor.Sizes{tensor.N: 1, tensor.K: 8, tensor.C: 3, tensor.Y: 19, tensor.X: 19, tensor.R: 3, tensor.S: 3},
+		StrideY: 2, StrideX: 2,
+	}.Normalize()
+	r := mustAnalyze(t, outputStationary(), layer, testHW(8))
+	if err := r.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Depthwise convolution: output coupled to C, no K.
+func TestConservationDepthwise(t *testing.T) {
+	layer := tensor.Layer{
+		Name: "dw", Op: tensor.DepthwiseConv,
+		Sizes: tensor.Sizes{tensor.N: 1, tensor.C: 8, tensor.Y: 12, tensor.X: 12, tensor.R: 3, tensor.S: 3},
+	}.Normalize()
+	df := dataflow.Dataflow{Name: "dwflow", Directives: []dataflow.Directive{
+		dataflow.SMap(dataflow.Lit(1), dataflow.Lit(1), tensor.C),
+		dataflow.TMap(dataflow.Sz(tensor.R), dataflow.Lit(1), tensor.Y),
+		dataflow.TMap(dataflow.Sz(tensor.S), dataflow.Lit(1), tensor.X),
+	}}
+	r := mustAnalyze(t, df, layer, testHW(8))
+	if err := r.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Folded spatial map: more chunks than PEs.
+func TestConservationFolding(t *testing.T) {
+	r := mustAnalyze(t, outputStationary(), smallConv(), testHW(2))
+	if err := r.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	r8 := mustAnalyze(t, outputStationary(), smallConv(), testHW(8))
+	// 4 K-chunks on 8 PEs: half the array idles, so utilization on 8 PEs
+	// must be at most ~half of the 4-PE utilization.
+	if r8.Utilization() > 0.75*mustAnalyze(t, outputStationary(), smallConv(), testHW(4)).Utilization() {
+		t.Errorf("idle PEs not reflected in utilization: %v vs %v",
+			r8.Utilization(), mustAnalyze(t, outputStationary(), smallConv(), testHW(4)).Utilization())
+	}
+}
+
+// Stationarity: in the output-stationary flow the output never spills
+// partial sums; L2 output writes equal the output size exactly.
+func TestOutputStationaryNoPsumSpill(t *testing.T) {
+	r := mustAnalyze(t, outputStationary(), smallConv(), testHW(4))
+	if got, want := r.L2Write(tensor.Output), r.Layer.TensorSize(tensor.Output); got != want {
+		t.Errorf("L2 output writes = %d; want exactly %d (no partial-sum spill)", got, want)
+	}
+	if rd := r.L2Read(tensor.Output); rd != 0 {
+		t.Errorf("L2 output reads = %d; want 0", rd)
+	}
+}
+
+// Partial-sum staging: with the reduction loop outer to the output sweep,
+// partial sums must spill and re-read.
+func TestPsumSpillWhenReductionOuter(t *testing.T) {
+	df := dataflow.Dataflow{Name: "spill", Directives: []dataflow.Directive{
+		dataflow.SMap(dataflow.Lit(1), dataflow.Lit(1), tensor.K),
+		dataflow.TMap(dataflow.Lit(1), dataflow.Lit(1), tensor.C), // reduction outer
+		dataflow.TMap(dataflow.Sz(tensor.R), dataflow.Lit(1), tensor.Y),
+		dataflow.TMap(dataflow.Sz(tensor.S), dataflow.Lit(1), tensor.X),
+	}}
+	layer := smallConv()
+	r := mustAnalyze(t, df, layer, testHW(4))
+	if err := r.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	outSz := layer.TensorSize(tensor.Output)
+	c := int64(layer.Sizes.Get(tensor.C))
+	if got, want := r.L2Write(tensor.Output), outSz*c; got != want {
+		t.Errorf("L2 output writes = %d; want %d (one pass per input channel)", got, want)
+	}
+	if got, want := r.L2Read(tensor.Output), outSz*(c-1); got != want {
+		t.Errorf("L2 output reads = %d; want %d (re-read on all but first pass)", got, want)
+	}
+}
+
+// Input compulsory traffic: L2 reads of each tensor are at least its size
+// and the weight-stationary flow reads weights exactly once.
+func TestCompulsoryTraffic(t *testing.T) {
+	layer := smallConv()
+	r := mustAnalyze(t, outputStationary(), layer, testHW(4))
+	for _, k := range []tensor.Kind{tensor.Input, tensor.Weight} {
+		if got := r.L2Read(k); got < layer.TensorSize(k) {
+			t.Errorf("L2 reads of %v = %d < tensor size %d", k, got, layer.TensorSize(k))
+		}
+	}
+}
+
+func TestMulticastAblation(t *testing.T) {
+	layer := smallConv()
+	cfg := testHW(4)
+	base := mustAnalyze(t, outputStationary(), layer, cfg)
+
+	noMC := cfg
+	noMC.NoCs = []noc.Model{{Name: "nomc", Bandwidth: 16, AvgLatency: 2, Multicast: false, Reduction: true}}
+	r := mustAnalyze(t, outputStationary(), layer, noMC)
+	// Inputs/weights are multicast in this flow (K spatial): without
+	// multicast support, L2 reads must grow.
+	if r.L2Read(tensor.Input) <= base.L2Read(tensor.Input) {
+		t.Errorf("no-multicast L2 input reads %d <= multicast %d",
+			r.L2Read(tensor.Input), base.L2Read(tensor.Input))
+	}
+	if err := r.CheckConservation(); err != nil {
+		t.Fatal(err) // conservation is about compute, not traffic
+	}
+}
+
+func TestReductionAblation(t *testing.T) {
+	// C spatially mapped: output reduced across PEs.
+	df := dataflow.Dataflow{Name: "cp", Directives: []dataflow.Directive{
+		dataflow.TMap(dataflow.Lit(1), dataflow.Lit(1), tensor.K),
+		dataflow.TMap(dataflow.Sz(tensor.R), dataflow.Lit(1), tensor.Y),
+		dataflow.TMap(dataflow.Sz(tensor.S), dataflow.Lit(1), tensor.X),
+		dataflow.SMap(dataflow.Lit(1), dataflow.Lit(1), tensor.C),
+	}}
+	layer := smallConv()
+	withRed := testHW(3)
+	a := mustAnalyze(t, df, layer, withRed)
+
+	noRed := testHW(3)
+	noRed.NoCs = []noc.Model{{Name: "nored", Bandwidth: 16, AvgLatency: 2, Multicast: true, Reduction: false}}
+	b := mustAnalyze(t, df, layer, noRed)
+	if b.L2Write(tensor.Output) <= a.L2Write(tensor.Output) {
+		t.Errorf("no-reduction L2 output writes %d <= reduction %d",
+			b.L2Write(tensor.Output), a.L2Write(tensor.Output))
+	}
+}
+
+func TestLeafBufferRequirement(t *testing.T) {
+	r := mustAnalyze(t, outputStationary(), smallConv(), testHW(4))
+	if r.L1ReqBytes() <= 0 || r.L2ReqBytes() <= 0 {
+		t.Fatalf("buffer requirements: L1=%d L2=%d", r.L1ReqBytes(), r.L2ReqBytes())
+	}
+	if r.L2ReqBytes() < r.L1ReqBytes() {
+		t.Errorf("L2 requirement %d smaller than a single PE's L1 %d", r.L2ReqBytes(), r.L1ReqBytes())
+	}
+}
+
+func TestSparsityScalesActivity(t *testing.T) {
+	dense := smallConv()
+	sparse := dense
+	sparse.Density[tensor.Weight] = 0.5
+	rd := mustAnalyze(t, outputStationary(), dense, testHW(4))
+	rs := mustAnalyze(t, outputStationary(), sparse, testHW(4))
+	if rs.Activity().MACs >= rd.Activity().MACs {
+		t.Errorf("sparse MACs %d >= dense %d", rs.Activity().MACs, rd.Activity().MACs)
+	}
+	if rs.Runtime >= rd.Runtime {
+		t.Errorf("sparse runtime %d >= dense %d", rs.Runtime, rd.Runtime)
+	}
+}

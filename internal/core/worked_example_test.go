@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataflow"
+	"repro/internal/hw"
+	"repro/internal/tensor"
+)
+
+// TestWorkedExample pins docs/MODEL.md §5: KC-P on a K=C=64, 56x56, 3x3
+// layer at 256 PEs. The documented claims are golden-tested here so the
+// walkthrough cannot drift from the implementation.
+func TestWorkedExample(t *testing.T) {
+	layer := tensor.Layer{
+		Name: "worked", Op: tensor.Conv2D,
+		Sizes: tensor.Sizes{tensor.N: 1, tensor.K: 64, tensor.C: 64, tensor.Y: 58, tensor.X: 58, tensor.R: 3, tensor.S: 3},
+	}.Normalize()
+	df, err := dataflow.ParseDataflow("KC-P", `
+		SpatialMap(1,1) K;
+		TemporalMap(64,64) C;
+		TemporalMap(Sz(R),Sz(R)) R;
+		TemporalMap(Sz(S),Sz(S)) S;
+		TemporalMap(Sz(R),1) Y;
+		TemporalMap(Sz(S),1) X;
+		Cluster(64);
+		SpatialMap(1,1) C;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := hw.Accel256()
+	spec, err := dataflow.Resolve(df, layer, cfg.NumPEs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Level 0: 4 clusters; K has 64 spatial chunks -> 16 folds."
+	if spec.SubClusters(0) != 4 || spec.SubClusters(1) != 64 {
+		t.Fatalf("clusters: %d x %d; want 4 x 64", spec.SubClusters(0), spec.SubClusters(1))
+	}
+	lv0, err := spec.Level(0, layer.Sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lv0.SpatialChunks != 64 || lv0.Folds != 16 {
+		t.Fatalf("K chunks=%d folds=%d; want 64, 16", lv0.SpatialChunks, lv0.Folds)
+	}
+	// "one cluster's tile is K=1, C=64, R=S=3, Y=X=3."
+	sub := lv0.SubTile()
+	want := tensor.Sizes{tensor.N: 1, tensor.K: 1, tensor.C: 64, tensor.Y: 3, tensor.X: 3, tensor.R: 3, tensor.S: 3}
+	if sub != want {
+		t.Fatalf("cluster tile %v; want %v", sub, want)
+	}
+
+	r, err := Analyze(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	// "L2 weight reads = |W| exactly."
+	if got, wsize := r.L2Read(tensor.Weight), layer.TensorSize(tensor.Weight); got != wsize {
+		t.Errorf("L2 weight reads = %d; want |W| = %d", got, wsize)
+	}
+	// "L2 input reads ≈ 48 x |I|": one pass per K fold (16) times the
+	// ~3x row halo of the 3-row sliding window (each input row serves
+	// three overlapping Y chunks and is re-fetched for each).
+	isize := layer.TensorSize(tensor.Input)
+	ratio := float64(r.L2Read(tensor.Input)) / float64(isize)
+	if ratio < 42 || ratio > 50 {
+		t.Errorf("L2 input reads = %.1fx |I|; want ~46x (16 folds x ~3x halo)", ratio)
+	}
+	// "every write is final: L2 output writes = |O| exactly."
+	if got, osize := r.L2Write(tensor.Output), layer.TensorSize(tensor.Output); got != osize {
+		t.Errorf("L2 output writes = %d; want |O| = %d", got, osize)
+	}
+	if rd := r.L2Read(tensor.Output); rd != 0 {
+		t.Errorf("L2 output reads = %d; want 0 (no partial-sum spill)", rd)
+	}
+}

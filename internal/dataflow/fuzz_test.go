@@ -1,0 +1,57 @@
+package dataflow
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseDataflow drives the lexer/parser with arbitrary input; it
+// must never panic, and anything it accepts must round-trip through the
+// printer.
+func FuzzParseDataflow(f *testing.F) {
+	seeds := []string{
+		"SpatialMap(1,1) K;",
+		"TemporalMap(Sz(R),1) Y; SpatialMap(Sz(S),1) X;",
+		"Cluster(8, P); SpatialMap(1,1) C;",
+		"TemporalMap(8+Sz(S)-1, 8) X;",
+		"TemporalMap(2*Sz(R)+1, Sz(R)-1) Y;",
+		"// comment\nSpatialMap(1,1) K",
+		"/* block */ TemporalMap(1,1) N;",
+		"SpatialMap(,1) K;",
+		"Cluster(Sz(R));",
+		"TemporalMap(1,1) Y'",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		df, err := ParseDataflow("fuzz", src)
+		if err != nil {
+			return
+		}
+		printed := df.String()
+		again, err := ParseDataflow("fuzz2", printed)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected own print %q: %v", src, printed, err)
+		}
+		if again.String() != printed {
+			t.Fatalf("print not a fixed point:\n%q\nvs\n%q", printed, again.String())
+		}
+	})
+}
+
+// FuzzParseNetwork drives the full network parser.
+func FuzzParseNetwork(f *testing.F) {
+	f.Add(`Network n { Layer L { Type: CONV2D Dimensions { K: 4, C: 3, Y: 8, X: 8, R: 3, S: 3 } } }`)
+	f.Add(`Network n { }`)
+	f.Add(`Network n { Layer L { Stride { Y: 2 } } }`)
+	f.Fuzz(func(t *testing.T, src string) {
+		net, err := ParseNetwork(src)
+		if err != nil {
+			return
+		}
+		if net.Name == "" && !strings.Contains(src, "Network") {
+			t.Fatalf("parsed a network from %q", src)
+		}
+	})
+}

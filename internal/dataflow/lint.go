@@ -1,0 +1,128 @@
+package dataflow
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Warning is one lint finding about a resolved mapping. Code is a stable
+// identifier; Message explains the consequence in cost-model terms.
+type Warning struct {
+	Code    string
+	Level   int
+	Message string
+}
+
+func (w Warning) String() string {
+	return fmt.Sprintf("[%s] level %d: %s", w.Code, w.Level, w.Message)
+}
+
+// Lint inspects a dataflow resolved against a layer and PE count and
+// reports mapping inefficiencies the cost model will charge for: idle
+// PEs, folded or under-filled spatial maps, redundant computation from
+// overlapping output responsibility, partial-sum spills from reduction
+// loops nested outside output loops, and degenerate cluster levels.
+// It returns resolution errors as errors and inefficiencies as warnings.
+func Lint(df Dataflow, layer tensor.Layer, numPEs int) ([]Warning, error) {
+	spec, err := Resolve(df, layer, numPEs)
+	if err != nil {
+		return nil, err
+	}
+	var warns []Warning
+	if used := spec.UsedPEs(); used < numPEs {
+		warns = append(warns, Warning{
+			Code: "idle-pes", Level: 0,
+			Message: fmt.Sprintf("cluster sizes occupy %d of %d PEs; the rest idle", used, numPEs),
+		})
+	}
+
+	dims := spec.Layer.Sizes
+	for i := 0; i < spec.NumLevels(); i++ {
+		lv, err := spec.Level(i, dims)
+		if err != nil {
+			return warns, err
+		}
+		warns = append(warns, lintLevel(spec.Layer, lv)...)
+		dims = lv.SubTile()
+	}
+	return warns, nil
+}
+
+func lintLevel(layer tensor.Layer, lv *Level) []Warning {
+	var warns []Warning
+	if lv.SubClusters > 1 && len(lv.Spatial) == 0 {
+		warns = append(warns, Warning{
+			Code: "no-spatial-map", Level: lv.Index,
+			Message: fmt.Sprintf("%d sub-clusters but no SpatialMap; all but one idle", lv.SubClusters),
+		})
+	}
+	if len(lv.Spatial) > 0 {
+		if lv.SpatialChunks < lv.SubClusters {
+			warns = append(warns, Warning{
+				Code: "under-filled", Level: lv.Index,
+				Message: fmt.Sprintf("spatial map yields %d chunks for %d sub-clusters (%.0f%% occupancy)",
+					lv.SpatialChunks, lv.SubClusters, 100*float64(lv.SpatialChunks)/float64(lv.SubClusters)),
+			})
+		}
+		if lv.Folds > 1 && lv.LastFoldActive < lv.SubClusters {
+			warns = append(warns, Warning{
+				Code: "ragged-fold", Level: lv.Index,
+				Message: fmt.Sprintf("%d folds with only %d of %d sub-clusters active on the last",
+					lv.Folds, lv.LastFoldActive, lv.SubClusters),
+			})
+		}
+	}
+	if lv.Index > 0 && lv.SubClusters == 1 {
+		warns = append(warns, Warning{
+			Code: "degenerate-cluster", Level: lv.Index,
+			Message: "Cluster(1) adds a level without parallelism",
+		})
+	}
+	// Redundant compute: a sliding map whose steps overlap in output
+	// space makes neighbouring steps recompute shared outputs.
+	for _, m := range lv.Maps {
+		wd, ok := m.Dim.Window()
+		if !ok || m.Steps <= 1 {
+			continue
+		}
+		if m.Kind == Spatial && lv.IsSpatial(wd) {
+			continue // co-mapped diagonal: shifts cancel
+		}
+		stride := layer.StrideY
+		if m.Dim == tensor.X {
+			stride = layer.StrideX
+		}
+		span := tensor.OutSpan(m.Size, lv.Map(wd).Size, stride)
+		if m.Offset < span*stride {
+			warns = append(warns, Warning{
+				Code: "redundant-compute", Level: lv.Index,
+				Message: fmt.Sprintf("map on %s covers %d outputs per chunk but advances by %d inputs; overlapping outputs are recomputed",
+					m.Dim, span, m.Offset),
+			})
+		}
+	}
+	// Partial-sum spill: a multi-step reduction dim nested outside a
+	// multi-step output-coupled dim forces psums up and back per pass.
+	outDims := layer.TensorDims(tensor.Output)
+	reduction := layer.ReductionDims()
+	seenRed := false
+	for _, m := range lv.Maps {
+		if m.Kind != Temporal || m.Steps <= 1 {
+			continue
+		}
+		if reduction.Has(m.Dim) {
+			seenRed = true
+			continue
+		}
+		if outDims.Has(m.Dim) && seenRed {
+			warns = append(warns, Warning{
+				Code: "psum-spill", Level: lv.Index,
+				Message: fmt.Sprintf("reduction loop outer to multi-step %s: partial sums spill to the parent buffer each pass",
+					m.Dim),
+			})
+			break
+		}
+	}
+	return warns
+}

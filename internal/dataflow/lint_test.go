@@ -1,0 +1,140 @@
+package dataflow
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func lintLayer() tensor.Layer {
+	return tensor.Layer{
+		Name: "lint", Op: tensor.Conv2D,
+		Sizes: tensor.Sizes{tensor.N: 1, tensor.K: 4, tensor.C: 3, tensor.Y: 12, tensor.X: 12, tensor.R: 3, tensor.S: 3},
+	}.Normalize()
+}
+
+func hasCode(warns []Warning, code string) bool {
+	for _, w := range warns {
+		if w.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLintCleanMapping(t *testing.T) {
+	df := Dataflow{Directives: []Directive{
+		SMap(Lit(1), Lit(1), tensor.K),
+		TMap(Sz(tensor.R), Lit(1), tensor.Y),
+		TMap(Sz(tensor.S), Lit(1), tensor.X),
+	}}
+	warns, err := Lint(df, lintLayer(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warns) != 0 {
+		t.Errorf("clean mapping warned: %v", warns)
+	}
+}
+
+func TestLintUnderFilled(t *testing.T) {
+	// C=3 chunks on 8 PEs.
+	df := Dataflow{Directives: []Directive{
+		SMap(Lit(1), Lit(1), tensor.C),
+		TMap(Sz(tensor.R), Lit(1), tensor.Y),
+		TMap(Sz(tensor.S), Lit(1), tensor.X),
+	}}
+	warns, err := Lint(df, lintLayer(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasCode(warns, "under-filled") {
+		t.Errorf("missing under-filled warning: %v", warns)
+	}
+}
+
+func TestLintIdlePEsAndDegenerateCluster(t *testing.T) {
+	df := Dataflow{Directives: []Directive{
+		SMap(Lit(1), Lit(1), tensor.K),
+		TMap(Sz(tensor.R), Lit(1), tensor.Y),
+		TMap(Sz(tensor.S), Lit(1), tensor.X),
+		ClusterOf(Lit(1)),
+		SMap(Lit(1), Lit(1), tensor.C),
+	}}
+	// Cluster product 1 divides 5 PEs into 5 clusters: no idle PEs, but a
+	// degenerate inner level.
+	warns, err := Lint(df, lintLayer(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasCode(warns, "degenerate-cluster") {
+		t.Errorf("missing degenerate-cluster: %v", warns)
+	}
+	// Cluster(3) on 5 PEs leaves 2 idle.
+	df2 := Dataflow{Directives: []Directive{
+		SMap(Lit(1), Lit(1), tensor.K),
+		TMap(Sz(tensor.R), Lit(1), tensor.Y),
+		TMap(Sz(tensor.S), Lit(1), tensor.X),
+		ClusterOf(Lit(3)),
+		SMap(Lit(1), Lit(1), tensor.C),
+	}}
+	warns, err = Lint(df2, lintLayer(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasCode(warns, "idle-pes") {
+		t.Errorf("missing idle-pes: %v", warns)
+	}
+}
+
+func TestLintRedundantCompute(t *testing.T) {
+	// Y chunks of 2 output rows advancing by 1 row: each row recomputed.
+	df := Dataflow{Directives: []Directive{
+		SMap(Lit(1), Lit(1), tensor.K),
+		TMap(Sz(tensor.R).PlusConst(1), Lit(1), tensor.Y),
+		TMap(Sz(tensor.S), Lit(1), tensor.X),
+	}}
+	warns, err := Lint(df, lintLayer(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasCode(warns, "redundant-compute") {
+		t.Errorf("missing redundant-compute: %v", warns)
+	}
+}
+
+func TestLintPsumSpill(t *testing.T) {
+	// C (reduction) outer to the X sweep.
+	df := Dataflow{Directives: []Directive{
+		SMap(Lit(1), Lit(1), tensor.K),
+		TMap(Lit(1), Lit(1), tensor.C),
+		TMap(Sz(tensor.R), Lit(1), tensor.Y),
+		TMap(Sz(tensor.S), Lit(1), tensor.X),
+	}}
+	warns, err := Lint(df, lintLayer(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasCode(warns, "psum-spill") {
+		t.Errorf("missing psum-spill: %v", warns)
+	}
+}
+
+func TestLintNoSpatial(t *testing.T) {
+	df := Dataflow{Directives: []Directive{
+		TMap(Lit(1), Lit(1), tensor.K),
+		TMap(Sz(tensor.R), Lit(1), tensor.Y),
+		TMap(Sz(tensor.S), Lit(1), tensor.X),
+	}}
+	warns, err := Lint(df, lintLayer(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasCode(warns, "no-spatial-map") {
+		t.Errorf("missing no-spatial-map: %v", warns)
+	}
+	if !strings.Contains(warns[0].String(), "level") {
+		t.Errorf("warning formatting: %q", warns[0].String())
+	}
+}

@@ -1,0 +1,454 @@
+package dataflow
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/tensor"
+)
+
+// LayerSpec pairs a layer with the dataflow chosen for it, as parsed from
+// a DSL Layer block.
+type LayerSpec struct {
+	Layer    tensor.Layer
+	Dataflow Dataflow
+}
+
+// Network is a parsed DSL file: a named list of layers, each optionally
+// carrying its own dataflow.
+type Network struct {
+	Name   string
+	Layers []LayerSpec
+}
+
+// parser is a recursive-descent parser over the DSL token stream.
+type parser struct {
+	lx  *lexer
+	tok token
+}
+
+func newParser(src string) (*parser, error) {
+	p := &parser{lx: newLexer(src)}
+	return p, p.advance()
+}
+
+func (p *parser) advance() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", p.tok.line, fmt.Sprintf(format, args...))
+}
+
+// expect consumes a token of kind k or fails.
+func (p *parser) expect(k tokKind) (token, error) {
+	if p.tok.kind != k {
+		return token{}, p.errorf("expected %v, found %q", k, p.tok.text)
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+// accept consumes the current token when it matches kind k.
+func (p *parser) accept(k tokKind) (bool, error) {
+	if p.tok.kind != k {
+		return false, nil
+	}
+	return true, p.advance()
+}
+
+// keyword consumes an identifier with the given text or fails.
+func (p *parser) keyword(word string) error {
+	if p.tok.kind != tokIdent || p.tok.text != word {
+		return p.errorf("expected %q, found %q", word, p.tok.text)
+	}
+	return p.advance()
+}
+
+// ParseNetwork parses a full DSL file:
+//
+//	Network vgg16 {
+//	  Layer CONV1 {
+//	    Type: CONV2D
+//	    Stride { Y: 1, X: 1 }
+//	    Dimensions { N: 1, K: 64, C: 3, Y: 224, X: 224, R: 3, S: 3 }
+//	    Dataflow {
+//	      SpatialMap(1,1) K;
+//	      TemporalMap(64,64) C;
+//	      Cluster(64);
+//	      SpatialMap(1,1) C;
+//	    }
+//	  }
+//	}
+func ParseNetwork(src string) (*Network, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.keyword("Network"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	net := &Network{Name: name.text}
+	for p.tok.kind != tokRBrace {
+		ls, err := p.parseLayer()
+		if err != nil {
+			return nil, err
+		}
+		net.Layers = append(net.Layers, ls)
+	}
+	if _, err := p.expect(tokRBrace); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errorf("trailing input after network block: %q", p.tok.text)
+	}
+	return net, nil
+}
+
+// ParseDataflow parses a bare directive list (the body of a Dataflow
+// block), e.g. the five dataflow definitions of Table 3.
+func ParseDataflow(name, src string) (Dataflow, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return Dataflow{}, err
+	}
+	dirs, err := p.parseDirectives(tokEOF)
+	if err != nil {
+		return Dataflow{}, err
+	}
+	return Dataflow{Name: name, Directives: dirs}, nil
+}
+
+func (p *parser) parseLayer() (LayerSpec, error) {
+	var ls LayerSpec
+	if err := p.keyword("Layer"); err != nil {
+		return ls, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return ls, err
+	}
+	ls.Layer.Name = name.text
+	if _, err := p.expect(tokLBrace); err != nil {
+		return ls, err
+	}
+	for p.tok.kind != tokRBrace {
+		key, err := p.expect(tokIdent)
+		if err != nil {
+			return ls, err
+		}
+		switch key.text {
+		case "Type":
+			if _, err := p.expect(tokColon); err != nil {
+				return ls, err
+			}
+			tname, err := p.expect(tokIdent)
+			if err != nil {
+				return ls, err
+			}
+			op, err := tensor.ParseOpType(tname.text)
+			if err != nil {
+				return ls, p.errorf("%v", err)
+			}
+			ls.Layer.Op = op
+		case "Stride":
+			vals, err := p.parseDimBlock()
+			if err != nil {
+				return ls, err
+			}
+			if v, ok := vals[tensor.Y]; ok {
+				ls.Layer.StrideY = v
+			}
+			if v, ok := vals[tensor.X]; ok {
+				ls.Layer.StrideX = v
+			}
+		case "Density":
+			if _, err := p.expect(tokLBrace); err != nil {
+				return ls, err
+			}
+			for p.tok.kind != tokRBrace {
+				kt, err := p.expect(tokIdent)
+				if err != nil {
+					return ls, err
+				}
+				var kind tensor.Kind
+				switch kt.text {
+				case "I", "Input":
+					kind = tensor.Input
+				case "W", "Weight":
+					kind = tensor.Weight
+				case "O", "Output":
+					kind = tensor.Output
+				default:
+					return ls, p.errorf("unknown tensor %q in Density block", kt.text)
+				}
+				if _, err := p.expect(tokColon); err != nil {
+					return ls, err
+				}
+				d, err := p.parseFloat()
+				if err != nil {
+					return ls, err
+				}
+				ls.Layer.Density[kind] = d
+				if _, err := p.accept(tokComma); err != nil {
+					return ls, err
+				}
+			}
+			if _, err := p.expect(tokRBrace); err != nil {
+				return ls, err
+			}
+		case "Dimensions":
+			vals, err := p.parseDimBlock()
+			if err != nil {
+				return ls, err
+			}
+			for d, v := range vals {
+				ls.Layer.Sizes = ls.Layer.Sizes.Set(d, v)
+			}
+		case "Dataflow":
+			if _, err := p.expect(tokLBrace); err != nil {
+				return ls, err
+			}
+			dirs, err := p.parseDirectives(tokRBrace)
+			if err != nil {
+				return ls, err
+			}
+			if _, err := p.expect(tokRBrace); err != nil {
+				return ls, err
+			}
+			ls.Dataflow = Dataflow{Name: ls.Layer.Name, Directives: dirs}
+		default:
+			return ls, p.errorf("unknown layer field %q", key.text)
+		}
+	}
+	if _, err := p.expect(tokRBrace); err != nil {
+		return ls, err
+	}
+	ls.Layer = ls.Layer.Normalize()
+	return ls, nil
+}
+
+// parseFloat parses a numeric token as a float (densities).
+func (p *parser) parseFloat() (float64, error) {
+	vt, err := p.expect(tokInt)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseFloat(vt.text, 64)
+	if err != nil {
+		return 0, p.errorf("bad number %q", vt.text)
+	}
+	if v < 0 || v > 1 {
+		return 0, p.errorf("density %v outside [0,1]", v)
+	}
+	return v, nil
+}
+
+// parseDimBlock parses "{ DIM: INT, DIM: INT ... }" (commas optional).
+func (p *parser) parseDimBlock() (map[tensor.Dim]int, error) {
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	vals := map[tensor.Dim]int{}
+	for p.tok.kind != tokRBrace {
+		dt, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		d, err := tensor.ParseDim(dt.text)
+		if err != nil {
+			return nil, p.errorf("%v", err)
+		}
+		if _, err := p.expect(tokColon); err != nil {
+			return nil, err
+		}
+		vt, err := p.expect(tokInt)
+		if err != nil {
+			return nil, err
+		}
+		v, err := strconv.Atoi(vt.text)
+		if err != nil {
+			return nil, p.errorf("bad integer %q", vt.text)
+		}
+		vals[d] = v
+		if _, err := p.accept(tokComma); err != nil {
+			return nil, err
+		}
+	}
+	_, err := p.expect(tokRBrace)
+	return vals, err
+}
+
+// parseDirectives parses directives until the given terminator token.
+func (p *parser) parseDirectives(end tokKind) ([]Directive, error) {
+	var dirs []Directive
+	for p.tok.kind != end {
+		kw, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		switch kw.text {
+		case "SpatialMap", "TemporalMap":
+			kind := Temporal
+			if kw.text == "SpatialMap" {
+				kind = Spatial
+			}
+			if _, err := p.expect(tokLParen); err != nil {
+				return nil, err
+			}
+			size, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokComma); err != nil {
+				return nil, err
+			}
+			offset, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			dt, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			d, err := tensor.ParseDim(dt.text)
+			if err != nil {
+				return nil, p.errorf("%v", err)
+			}
+			dirs = append(dirs, Directive{Kind: kind, Dim: d, Size: size, Offset: offset})
+		case "Cluster":
+			if _, err := p.expect(tokLParen); err != nil {
+				return nil, err
+			}
+			size, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			// MAESTRO writes Cluster(64, P); the trailing level tag is
+			// accepted and ignored.
+			if ok, err := p.accept(tokComma); err != nil {
+				return nil, err
+			} else if ok {
+				if _, err := p.expect(tokIdent); err != nil {
+					return nil, err
+				}
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			dirs = append(dirs, ClusterOf(size))
+		default:
+			return nil, p.errorf("unknown directive %q", kw.text)
+		}
+		if _, err := p.accept(tokSemi); err != nil {
+			return nil, err
+		}
+	}
+	return dirs, nil
+}
+
+// parseExpr parses a size expression: ['-'] Term (('+'|'-') Term)* where
+// Term is INT, Sz(DIM), or INT '*' Sz(DIM). A leading minus keeps
+// negative constants (e.g. the printed form of "0-1") re-parseable;
+// resolution still rejects non-positive sizes.
+func (p *parser) parseExpr() (SizeExpr, error) {
+	lead := 1
+	if p.tok.kind == tokMinus {
+		if err := p.advance(); err != nil {
+			return SizeExpr{}, err
+		}
+		lead = -1
+	}
+	e, err := p.parseTerm(lead)
+	if err != nil {
+		return e, err
+	}
+	for {
+		sign := 0
+		switch p.tok.kind {
+		case tokPlus:
+			sign = 1
+		case tokMinus:
+			sign = -1
+		default:
+			return e, nil
+		}
+		if err := p.advance(); err != nil {
+			return e, err
+		}
+		t, err := p.parseTerm(sign)
+		if err != nil {
+			return e, err
+		}
+		e = e.Plus(t)
+	}
+}
+
+func (p *parser) parseTerm(sign int) (SizeExpr, error) {
+	switch p.tok.kind {
+	case tokInt:
+		v, err := strconv.Atoi(p.tok.text)
+		if err != nil {
+			return SizeExpr{}, p.errorf("bad integer %q", p.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return SizeExpr{}, err
+		}
+		// Optional "* Sz(DIM)" coefficient form.
+		if ok, err := p.accept(tokStar); err != nil {
+			return SizeExpr{}, err
+		} else if ok {
+			d, err := p.parseSz()
+			if err != nil {
+				return SizeExpr{}, err
+			}
+			return SizeExpr{Terms: []SizeTerm{{Dim: d, Coef: sign * v}}}, nil
+		}
+		return Lit(sign * v), nil
+	case tokIdent:
+		if p.tok.text != "Sz" {
+			return SizeExpr{}, p.errorf("expected size term, found %q", p.tok.text)
+		}
+		d, err := p.parseSz()
+		if err != nil {
+			return SizeExpr{}, err
+		}
+		return SizeExpr{Terms: []SizeTerm{{Dim: d, Coef: sign}}}, nil
+	}
+	return SizeExpr{}, p.errorf("expected size term, found %q", p.tok.text)
+}
+
+// parseSz parses "Sz(DIM)" with the leading Sz identifier current.
+func (p *parser) parseSz() (tensor.Dim, error) {
+	if err := p.keyword("Sz"); err != nil {
+		return 0, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return 0, err
+	}
+	dt, err := p.expect(tokIdent)
+	if err != nil {
+		return 0, err
+	}
+	d, err := tensor.ParseDim(dt.text)
+	if err != nil {
+		return 0, p.errorf("%v", err)
+	}
+	_, err = p.expect(tokRParen)
+	return d, err
+}

@@ -1,0 +1,121 @@
+package dataflow
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestParseSampleNetwork parses the repository's sample DSL file.
+func TestParseSampleNetwork(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("..", "..", "testdata", "tinynet.m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := ParseNetwork(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Name != "tinynet" || len(net.Layers) != 3 {
+		t.Fatalf("parsed %s with %d layers", net.Name, len(net.Layers))
+	}
+	conv2 := net.Layers[1]
+	if conv2.Layer.StrideY != 2 || conv2.Layer.Op != tensor.Conv2D {
+		t.Errorf("CONV2 = %+v", conv2.Layer)
+	}
+	fc := net.Layers[2]
+	if fc.Layer.Op != tensor.FullyConnected || fc.Layer.Sizes.Get(tensor.R) != 1 {
+		t.Errorf("FC = %+v", fc.Layer)
+	}
+	// Every layer's dataflow must resolve on a plausible accelerator.
+	for _, ls := range net.Layers {
+		if _, err := Resolve(ls.Dataflow, ls.Layer, 64); err != nil {
+			t.Errorf("%s: %v", ls.Layer.Name, err)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	df, err := ParseDataflow("c", `
+		// line comment
+		SpatialMap(1,1) K; /* block
+		comment spanning lines */ TemporalMap(2,2) C;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(df.Directives) != 2 {
+		t.Fatalf("directives = %d", len(df.Directives))
+	}
+}
+
+func TestParseExprForms(t *testing.T) {
+	df, err := ParseDataflow("e", `
+		TemporalMap(2*Sz(R)+1, Sz(R)-1) Y;
+		TemporalMap(8+Sz(S)-1, 8) X;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sz := tensor.Sizes{tensor.R: 3, tensor.S: 5}
+	if got := df.Directives[0].Size.Eval(sz); got != 7 {
+		t.Errorf("2*Sz(R)+1 = %d; want 7", got)
+	}
+	if got := df.Directives[0].Offset.Eval(sz); got != 2 {
+		t.Errorf("Sz(R)-1 = %d; want 2", got)
+	}
+	if got := df.Directives[1].Size.Eval(sz); got != 12 {
+		t.Errorf("8+Sz(S)-1 = %d; want 12", got)
+	}
+}
+
+func TestParseErrorsCarryLineNumbers(t *testing.T) {
+	_, err := ParseNetwork("Network x {\nLayer l {\nBogus: 3\n} }")
+	if err == nil {
+		t.Fatal("accepted bogus field")
+	}
+	if want := "line 3"; !contains(err.Error(), want) {
+		t.Errorf("error %q lacks %q", err.Error(), want)
+	}
+	_, err = ParseDataflow("d", "SpatialMap(1,1) Q;")
+	if err == nil || !contains(err.Error(), "unknown dimension") {
+		t.Errorf("bad dimension error: %v", err)
+	}
+	_, err = ParseDataflow("d", "/* unterminated")
+	if err == nil {
+		t.Error("unterminated comment accepted")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestParseDensityBlock(t *testing.T) {
+	net, err := ParseNetwork(`Network n { Layer L {
+		Type: TRCONV
+		Dimensions { K: 8, C: 8, Y: 10, X: 10, R: 3, S: 3 }
+		Density { I: 0.25, W: 1, O: 0.5 }
+	} }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := net.Layers[0].Layer
+	if l.Density[tensor.Input] != 0.25 || l.Density[tensor.Output] != 0.5 || l.Density[tensor.Weight] != 1 {
+		t.Errorf("densities = %v", l.Density)
+	}
+	// Out-of-range and unknown-tensor densities are rejected.
+	if _, err := ParseNetwork(`Network n { Layer L { Density { I: 1.5 } } }`); err == nil {
+		t.Error("density > 1 accepted")
+	}
+	if _, err := ParseNetwork(`Network n { Layer L { Density { Q: 0.5 } } }`); err == nil {
+		t.Error("unknown tensor accepted")
+	}
+}

@@ -1,0 +1,311 @@
+package dataflow
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// conv1D builds the 1D convolution of the paper's Figure 4:
+// X=12 inputs (X'=12 treated as output positions via S window), S=6.
+// In our input-coordinate convention that is X=17 inputs, S=6, X'=12.
+func conv1D() tensor.Layer {
+	return tensor.Layer{
+		Name: "conv1d", Op: tensor.Conv2D,
+		Sizes: tensor.Sizes{tensor.N: 1, tensor.K: 1, tensor.C: 1, tensor.Y: 1, tensor.X: 17, tensor.R: 1, tensor.S: 6},
+	}.Normalize()
+}
+
+func TestSizeExprString(t *testing.T) {
+	cases := []struct {
+		e    SizeExpr
+		want string
+	}{
+		{Lit(3), "3"},
+		{Sz(tensor.R), "Sz(R)"},
+		{Sz(tensor.S).PlusConst(7), "Sz(S)+7"},
+		{Lit(0), "0"},
+		{Sz(tensor.R).Plus(Sz(tensor.S)), "Sz(R)+Sz(S)"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("String() = %q; want %q", got, c.want)
+		}
+	}
+}
+
+func TestSizeExprEval(t *testing.T) {
+	sz := tensor.Sizes{tensor.R: 3, tensor.S: 5}
+	if got := Sz(tensor.S).PlusConst(7).Eval(sz); got != 12 {
+		t.Errorf("8+Sz(S)-1 eval = %d; want 12", got)
+	}
+	if !Sz(tensor.R).SymbolicOf(tensor.R) || Sz(tensor.R).SymbolicOf(tensor.S) {
+		t.Error("SymbolicOf wrong")
+	}
+}
+
+func TestStepsFor(t *testing.T) {
+	cases := []struct {
+		dim, size, offset, win int
+		wantSteps, wantEdge    int
+	}{
+		{12, 2, 2, 0, 6, 2}, // Figure 4: X'=12 in chunks of 2
+		{6, 3, 3, 0, 2, 3},  // S=6 in chunks of 3
+		{10, 4, 4, 0, 3, 2}, // edge chunk of 2
+		{8, 3, 1, 3, 6, 3},  // sliding window 3 over 8 => 6 placements
+		{8, 3, 2, 3, 3, 3},  // drop useless trailing chunk [6,8)
+		{5, 9, 9, 0, 1, 5},  // chunk covers everything
+		{224, 3, 1, 3, 222, 3},
+	}
+	for _, c := range cases {
+		steps, edge := stepsFor(c.dim, c.size, c.offset, c.win)
+		if steps != c.wantSteps || edge != c.wantEdge {
+			t.Errorf("stepsFor(%d,%d,%d,win=%d) = %d,%d; want %d,%d",
+				c.dim, c.size, c.offset, c.win, steps, edge, c.wantSteps, c.wantEdge)
+		}
+	}
+}
+
+// TestFigure4 checks the paper's pedagogical output-stationary dataflow:
+// SpatialMap(2,2) X'; TemporalMap(3,3) S over 3 PEs.
+func TestFigure4(t *testing.T) {
+	df := Dataflow{Name: "fig4", Directives: []Directive{
+		SMap(Lit(7), Lit(2), tensor.X), // 2 outputs per PE: 2+Sz(S)-1 = 7 input cols
+		TMap(Lit(3), Lit(3), tensor.S),
+	}}
+	sp, err := Resolve(df, conv1D(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.NumLevels() != 1 || sp.SubClusters(0) != 3 {
+		t.Fatalf("levels=%d sub=%d", sp.NumLevels(), sp.SubClusters(0))
+	}
+	lv, err := sp.Level(0, sp.Layer.Sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xm := lv.Map(tensor.X)
+	if xm.Kind != Spatial || xm.Steps != 6 {
+		t.Errorf("X map: %+v; want 6 spatial chunks", xm)
+	}
+	if lv.Folds != 2 || lv.LastFoldActive != 3 {
+		t.Errorf("folds=%d lastActive=%d; want 2,3", lv.Folds, lv.LastFoldActive)
+	}
+	sm := lv.Map(tensor.S)
+	if sm.Kind != Temporal || sm.Steps != 2 || sm.EdgeSize != 3 {
+		t.Errorf("S map: %+v; want 2 steps", sm)
+	}
+	// Implicit maps cover the remaining dims with a single chunk.
+	for _, d := range []tensor.Dim{tensor.N, tensor.K, tensor.C, tensor.Y, tensor.R} {
+		m := lv.Map(d)
+		if m == nil || !m.Implicit || m.Steps != 1 {
+			t.Errorf("dim %v: %+v; want implicit single chunk", d, m)
+		}
+	}
+}
+
+// TestEyerissInnerCluster checks the co-mapped SpatialMap Y + SpatialMap R
+// of the row-stationary dataflow (paper Figure 6).
+func TestEyerissInnerCluster(t *testing.T) {
+	layer := tensor.Layer{
+		Name: "fig6", Op: tensor.Conv2D,
+		Sizes: tensor.Sizes{tensor.N: 2, tensor.K: 4, tensor.C: 6, tensor.Y: 8, tensor.X: 8, tensor.R: 3, tensor.S: 3},
+	}.Normalize()
+	df := Dataflow{Name: "rs", Directives: []Directive{
+		TMap(Lit(1), Lit(1), tensor.N),
+		TMap(Lit(3), Lit(3), tensor.C),
+		TMap(Lit(2), Lit(2), tensor.K),
+		SMap(Sz(tensor.R), Lit(1), tensor.Y),
+		TMap(Sz(tensor.S), Lit(1), tensor.X),
+		TMap(Sz(tensor.R), Sz(tensor.R), tensor.R),
+		TMap(Sz(tensor.S), Sz(tensor.S), tensor.S),
+		ClusterOf(Sz(tensor.R)),
+		SMap(Lit(1), Lit(1), tensor.Y),
+		SMap(Lit(1), Lit(1), tensor.R),
+	}}
+	sp, err := Resolve(df, layer, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.SubClusters(0) != 2 || sp.SubClusters(1) != 3 {
+		t.Fatalf("subclusters = %d,%d; want 2,3", sp.SubClusters(0), sp.SubClusters(1))
+	}
+	lv0, err := sp.Level(0, layer.Sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Y spatial chunks: 8 rows, window 3, chunk 3, offset 1 => 6 chunks over
+	// 2 clusters => 3 folds.
+	if lv0.SpatialChunks != 6 || lv0.Folds != 3 {
+		t.Errorf("level0 chunks=%d folds=%d; want 6,3", lv0.SpatialChunks, lv0.Folds)
+	}
+	// The sub-problem one cluster receives.
+	sub := lv0.SubTile()
+	if sub.Get(tensor.Y) != 3 || sub.Get(tensor.R) != 3 || sub.Get(tensor.K) != 2 {
+		t.Errorf("subtile = %v", sub)
+	}
+	lv1, err := sp.Level(1, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lv1.Spatial) != 2 {
+		t.Fatalf("inner spatial maps = %d; want 2 (co-mapped Y and R)", len(lv1.Spatial))
+	}
+	if lv1.SpatialChunks != 3 || lv1.Folds != 1 {
+		t.Errorf("inner chunks=%d folds=%d; want 3,1", lv1.SpatialChunks, lv1.Folds)
+	}
+}
+
+func TestResolveRejects(t *testing.T) {
+	layer := conv1D()
+	// Cluster product exceeding the PE count.
+	df := Dataflow{Directives: []Directive{
+		SMap(Lit(6), Lit(1), tensor.X),
+		ClusterOf(Lit(8)),
+		SMap(Lit(1), Lit(1), tensor.S),
+	}}
+	if _, err := Resolve(df, layer, 6); err == nil {
+		t.Error("oversized cluster accepted")
+	}
+	// Non-dividing PE counts floor, leaving the remainder idle.
+	df4 := Dataflow{Directives: []Directive{
+		SMap(Lit(6), Lit(1), tensor.X),
+		ClusterOf(Lit(4)),
+		SMap(Lit(1), Lit(1), tensor.S),
+	}}
+	if sp, err := Resolve(df4, layer, 6); err != nil {
+		t.Errorf("non-dividing PE count rejected: %v", err)
+	} else if sp.SubClusters(0) != 1 || sp.UsedPEs() != 4 {
+		t.Errorf("sub=%d used=%d; want 1, 4", sp.SubClusters(0), sp.UsedPEs())
+	}
+	// Same dim mapped twice in one level.
+	df2 := Dataflow{Directives: []Directive{
+		SMap(Lit(6), Lit(6), tensor.X),
+		TMap(Lit(6), Lit(6), tensor.X),
+	}}
+	if _, err := Resolve(df2, layer, 4); err == nil {
+		t.Error("duplicate dim accepted")
+	}
+	// Gap-leaving offset.
+	df3 := Dataflow{Directives: []Directive{SMap(Lit(2), Lit(4), tensor.C)}}
+	layer2 := tensor.Layer{Op: tensor.Conv2D, Sizes: tensor.Sizes{
+		tensor.N: 1, tensor.K: 4, tensor.C: 16, tensor.Y: 4, tensor.X: 4, tensor.R: 1, tensor.S: 1}}.Normalize()
+	if sp, err := Resolve(df3, layer2, 4); err == nil {
+		if _, err := sp.Level(0, layer2.Sizes); err == nil {
+			t.Error("gap-leaving map accepted")
+		}
+	}
+}
+
+// TestStrideScaling checks the CLA engine's stride handling: a sliding map
+// written for stride 1 is rescaled so that it covers the same outputs.
+func TestStrideScaling(t *testing.T) {
+	layer := tensor.Layer{
+		Name: "alexconv1", Op: tensor.Conv2D,
+		Sizes:   tensor.Sizes{tensor.N: 1, tensor.K: 96, tensor.C: 3, tensor.Y: 227, tensor.X: 227, tensor.R: 11, tensor.S: 11},
+		StrideY: 4, StrideX: 4,
+	}.Normalize()
+	df := Dataflow{Directives: []Directive{
+		SMap(Sz(tensor.R), Lit(1), tensor.Y), // 1 output row per PE
+		TMap(Sz(tensor.S), Lit(1), tensor.X), // 1 output col per step
+	}}
+	sp, err := Resolve(df, layer, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv, err := sp.Level(0, layer.Sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ym := lv.Map(tensor.Y)
+	if ym.Size != 11 || ym.Offset != 4 {
+		t.Errorf("Y map size=%d offset=%d; want 11,4", ym.Size, ym.Offset)
+	}
+	// 55 output rows (AlexNet CONV1).
+	if ym.Steps != 55 {
+		t.Errorf("Y chunks = %d; want 55", ym.Steps)
+	}
+	xm := lv.Map(tensor.X)
+	if xm.Steps != 55 || xm.Offset != 4 {
+		t.Errorf("X map steps=%d offset=%d; want 55,4", xm.Steps, xm.Offset)
+	}
+}
+
+func TestParseNetworkRoundTrip(t *testing.T) {
+	src := `
+// A miniature network in the MAESTRO-style DSL.
+Network tiny {
+  Layer CONV1 {
+    Type: CONV2D
+    Stride { Y: 1, X: 1 }
+    Dimensions { N: 1, K: 4, C: 3, Y: 10, X: 10, R: 3, S: 3 }
+    Dataflow {
+      SpatialMap(1,1) K;
+      TemporalMap(8+Sz(S)-1, 8) X;
+      TemporalMap(Sz(R),1) Y;
+      TemporalMap(Sz(R),Sz(R)) R;
+      TemporalMap(Sz(S),Sz(S)) S;
+      Cluster(2, P);
+      SpatialMap(1,1) C;
+    }
+  }
+}`
+	net, err := ParseNetwork(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Name != "tiny" || len(net.Layers) != 1 {
+		t.Fatalf("parsed %+v", net)
+	}
+	ls := net.Layers[0]
+	if ls.Layer.Sizes.Get(tensor.K) != 4 || ls.Layer.Op != tensor.Conv2D {
+		t.Errorf("layer = %+v", ls.Layer)
+	}
+	if len(ls.Dataflow.Directives) != 7 {
+		t.Fatalf("directives = %d; want 7", len(ls.Dataflow.Directives))
+	}
+	xdir := ls.Dataflow.Directives[1]
+	if xdir.Size.Const != 7 || !xdir.Size.SymbolicOf(tensor.S) {
+		t.Errorf("8+Sz(S)-1 parsed as %v", xdir.Size)
+	}
+	// Round-trip: print and reparse.
+	printed := ls.Dataflow.String()
+	again, err := ParseDataflow("again", printed)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\nsource:\n%s", err, printed)
+	}
+	if len(again.Directives) != len(ls.Dataflow.Directives) {
+		t.Fatalf("round trip lost directives: %d vs %d", len(again.Directives), len(ls.Dataflow.Directives))
+	}
+	for i, d := range again.Directives {
+		if d.String() != ls.Dataflow.Directives[i].String() {
+			t.Errorf("directive %d: %q vs %q", i, d.String(), ls.Dataflow.Directives[i].String())
+		}
+	}
+	// The parsed mapping must resolve.
+	if _, err := Resolve(ls.Dataflow, ls.Layer, 8); err != nil {
+		t.Errorf("resolve: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"Network x { Layer l { Type: NOPE } }",
+		"Network x { Layer l { Bogus: 3 } }",
+		"Network x {",
+		"Network x { Layer l { Dimensions { Q: 3 } } }",
+		"Network x { Layer l { Dataflow { WeirdMap(1,1) K; } } }",
+	}
+	for _, src := range bad {
+		if _, err := ParseNetwork(src); err == nil {
+			t.Errorf("accepted invalid source %q", src)
+		}
+	}
+	if _, err := ParseDataflow("d", "SpatialMap(1 1) K;"); err == nil {
+		t.Error("accepted missing comma")
+	}
+	if !strings.Contains(Dataflow{Directives: []Directive{ClusterOf(Lit(4))}}.String(), "Cluster(4)") {
+		t.Error("cluster printing broken")
+	}
+}

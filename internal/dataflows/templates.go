@@ -1,0 +1,60 @@
+package dataflows
+
+import (
+	"repro/internal/dataflow"
+	"repro/internal/tensor"
+)
+
+// The DSE of Section 5.2 explores hardware parameters for a dataflow
+// *style*; the style's tile sizes (the paper's "mapping sizes in our
+// directive representation") are the knobs that trade buffer capacity
+// against reuse. These builders parameterize the KC-P and YR-P styles.
+
+// KCPSized returns the NVDLA-style KC-P dataflow with a C-tile of ct
+// channels staged per step and clusters of `cluster` PEs reducing over C.
+func KCPSized(ct, cluster int) dataflow.Dataflow {
+	if ct < cluster {
+		ct = cluster
+	}
+	return dataflow.Dataflow{Name: "KC-P", Directives: []dataflow.Directive{
+		dataflow.SMap(dataflow.Lit(1), dataflow.Lit(1), tensor.K),
+		dataflow.TMap(dataflow.Lit(ct), dataflow.Lit(ct), tensor.C),
+		dataflow.TMap(dataflow.Sz(tensor.R), dataflow.Sz(tensor.R), tensor.R),
+		dataflow.TMap(dataflow.Sz(tensor.S), dataflow.Sz(tensor.S), tensor.S),
+		dataflow.TMap(dataflow.Sz(tensor.R), dataflow.Lit(1), tensor.Y),
+		dataflow.TMap(dataflow.Sz(tensor.S), dataflow.Lit(1), tensor.X),
+		dataflow.ClusterOf(dataflow.Lit(cluster)),
+		dataflow.SMap(dataflow.Lit(1), dataflow.Lit(1), tensor.C),
+	}}
+}
+
+// YRPSized returns the Eyeriss-style row-stationary YR-P dataflow with
+// C- and K-tiles of ct and kt.
+func YRPSized(ct, kt int) dataflow.Dataflow {
+	return dataflow.Dataflow{Name: "YR-P", Directives: []dataflow.Directive{
+		dataflow.TMap(dataflow.Lit(ct), dataflow.Lit(ct), tensor.C),
+		dataflow.TMap(dataflow.Lit(kt), dataflow.Lit(kt), tensor.K),
+		dataflow.SMap(dataflow.Sz(tensor.R), dataflow.Lit(1), tensor.Y),
+		dataflow.TMap(dataflow.Sz(tensor.S), dataflow.Lit(1), tensor.X),
+		dataflow.TMap(dataflow.Sz(tensor.R), dataflow.Sz(tensor.R), tensor.R),
+		dataflow.TMap(dataflow.Sz(tensor.S), dataflow.Sz(tensor.S), tensor.S),
+		dataflow.ClusterOf(dataflow.Sz(tensor.R)),
+		dataflow.SMap(dataflow.Lit(1), dataflow.Lit(1), tensor.Y),
+		dataflow.SMap(dataflow.Lit(1), dataflow.Lit(1), tensor.R),
+	}}
+}
+
+// YXPSized returns the ShiDianNao-style YX-P dataflow with an X strip of
+// xt output columns per step.
+func YXPSized(xt int) dataflow.Dataflow {
+	return dataflow.Dataflow{Name: "YX-P", Directives: []dataflow.Directive{
+		dataflow.TMap(dataflow.Lit(1), dataflow.Lit(1), tensor.K),
+		dataflow.SMap(dataflow.Sz(tensor.R), dataflow.Lit(1), tensor.Y),
+		dataflow.TMap(dataflow.Sz(tensor.S).PlusConst(xt-1), dataflow.Lit(xt), tensor.X),
+		dataflow.TMap(dataflow.Lit(1), dataflow.Lit(1), tensor.C),
+		dataflow.TMap(dataflow.Sz(tensor.R), dataflow.Sz(tensor.R), tensor.R),
+		dataflow.TMap(dataflow.Sz(tensor.S), dataflow.Sz(tensor.S), tensor.S),
+		dataflow.ClusterOf(dataflow.Lit(xt)),
+		dataflow.SMap(dataflow.Sz(tensor.S), dataflow.Lit(1), tensor.X),
+	}}
+}

@@ -1,0 +1,307 @@
+// Package dse is the hardware design-space exploration tool of the
+// paper's Section 5.2: driven by MAESTRO, it sweeps the number of PEs,
+// scratchpad capacities (via the dataflow's tile-size knobs — "the DSE
+// tool places the exact amount buffers MAESTRO reported"), and NoC
+// bandwidth under area and power constraints, and reports
+// throughput-, energy- and EDP-optimized design points plus the Pareto
+// frontier (Figure 13).
+//
+// The tool reproduces the paper's skip-invalid optimization: before
+// descending into the inner parameter loops it bounds the minimum area
+// and power any inner point could have and skips the whole sub-space
+// arithmetically, which is what makes the effective exploration rate
+// orders of magnitude higher than the MAESTRO invocation rate.
+package dse
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/energy"
+	"repro/internal/hw"
+	"repro/internal/noc"
+	"repro/internal/tensor"
+)
+
+// Template builds a dataflow for a pair of tile-size knobs.
+type Template struct {
+	Name   string
+	Build  func(p1, p2 int) dataflow.Dataflow
+	P1, P2 []int // knob value sweeps
+}
+
+// Space is the search space of one DSE run.
+type Space struct {
+	Layer    tensor.Layer
+	Template Template
+	// PEs and BWs are the hardware axes (elements/cycle for bandwidth).
+	PEs []int
+	BWs []float64
+	// L1Steps/L2Steps count the buffer-capacity grid the raw space spans:
+	// for every mapping the buffers are placed at the exact requirement,
+	// and all grid capacities >= the requirement (within budget) are
+	// valid-by-dominance and counted arithmetically instead of evaluated.
+	L1Grid []int64
+	L2Grid []int64
+
+	AreaBudgetMM2 float64
+	PowerBudgetMW float64
+	Cost          hw.CostModel
+	// Workers bounds parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Point is one valid design.
+type Point struct {
+	NumPEs  int
+	BW      float64 // elements/cycle
+	P1, P2  int
+	L1Bytes int64 // per-PE scratchpad, as required by the mapping
+	L2Bytes int64
+
+	AreaMM2    float64
+	PowerMW    float64
+	Runtime    int64
+	Throughput float64 // MACs/cycle
+	EnergyPJ   float64 // on-chip energy for the layer
+	EDP        float64
+}
+
+// Stats summarizes one exploration run (the paper's Figure 13(c)).
+type Stats struct {
+	Raw      int64 // full parameter grid including buffer axes
+	Explored int64 // grid points covered (evaluated or bulk-skipped)
+	Invoked  int64 // MAESTRO invocations actually performed
+	Valid    int64 // valid design points found
+	Elapsed  time.Duration
+}
+
+// Rate returns explored designs per second.
+func (s Stats) Rate() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Explored) / s.Elapsed.Seconds()
+}
+
+// DefaultGrid builds a geometric capacity grid between lo and hi bytes.
+func DefaultGrid(lo, hi int64, step float64) []int64 {
+	var g []int64
+	for v := float64(lo); v <= float64(hi); v *= step {
+		g = append(g, int64(v))
+	}
+	return g
+}
+
+// Explore sweeps the space and returns all valid design points.
+func Explore(sp Space) ([]Point, Stats) {
+	start := time.Now()
+	stats := Stats{}
+	gridPerMapping := int64(len(sp.L1Grid)) * int64(len(sp.L2Grid))
+	if gridPerMapping == 0 {
+		gridPerMapping = 1
+	}
+	stats.Raw = int64(len(sp.PEs)) * int64(len(sp.BWs)) *
+		int64(len(sp.Template.P1)) * int64(len(sp.Template.P2)) * gridPerMapping
+
+	workers := sp.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type job struct{ pes int }
+	jobs := make(chan job)
+	var mu sync.Mutex
+	var points []Point
+	var wg sync.WaitGroup
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var localPts []Point
+			var localStats Stats
+			for j := range jobs {
+				explorePEs(sp, j.pes, gridPerMapping, &localPts, &localStats)
+			}
+			mu.Lock()
+			points = append(points, localPts...)
+			stats.Explored += localStats.Explored
+			stats.Invoked += localStats.Invoked
+			stats.Valid += localStats.Valid
+			mu.Unlock()
+		}()
+	}
+	for _, pes := range sp.PEs {
+		jobs <- job{pes}
+	}
+	close(jobs)
+	wg.Wait()
+	stats.Elapsed = time.Since(start)
+	return points, stats
+}
+
+// explorePEs evaluates the sub-space of one PE count.
+func explorePEs(sp Space, pes int, gridPerMapping int64, out *[]Point, st *Stats) {
+	innerRaw := int64(len(sp.BWs)) * int64(len(sp.Template.P1)) *
+		int64(len(sp.Template.P2)) * gridPerMapping
+	// Skip-invalid bound: even with the smallest buffers and narrowest
+	// NoC, this PE count may already blow the budget.
+	minArea := sp.Cost.Area(pes, 0, 0, sp.BWs[0])
+	minPower := sp.Cost.Power(pes, 0, 0, sp.BWs[0])
+	if minArea > sp.AreaBudgetMM2 || minPower > sp.PowerBudgetMW {
+		st.Explored += innerRaw
+		return
+	}
+	for _, p1 := range sp.Template.P1 {
+		for _, p2 := range sp.Template.P2 {
+			df := sp.Template.Build(p1, p2)
+			spec, err := dataflow.Resolve(df, sp.Layer, pes)
+			if err != nil {
+				st.Explored += int64(len(sp.BWs)) * gridPerMapping
+				continue
+			}
+			for _, bw := range sp.BWs {
+				st.Explored += gridPerMapping
+				m := noc.Bus(bw)
+				m.Reduction = true
+				cfg := hw.Config{
+					Name: "dse", NumPEs: pes,
+					NoCs: []noc.Model{m},
+				}.Normalize()
+				st.Invoked++
+				r, err := core.Analyze(spec, cfg)
+				if err != nil {
+					continue
+				}
+				l1 := r.L1ReqBytes()
+				// The L2 grid is a real axis: capacity beyond the staging
+				// requirement retains tensors on-chip, trading SRAM area
+				// and access energy against DRAM traffic. WithL2 re-prices
+				// the same analysis per capacity, so the whole column
+				// costs one engine invocation.
+				for _, l2 := range sp.l2Candidates(r.L2ReqBytes()) {
+					r2 := r.WithL2(l2)
+					area := sp.Cost.Area(pes, l1*int64(pes), l2, bw)
+					power := sp.Cost.Power(pes, l1*int64(pes), l2, bw)
+					if area > sp.AreaBudgetMM2 || power > sp.PowerBudgetMW {
+						continue
+					}
+					eb := r2.Energy(energy.TableFor(l1, l2, pes))
+					pt := Point{
+						NumPEs: pes, BW: bw, P1: p1, P2: p2,
+						L1Bytes: l1, L2Bytes: l2,
+						AreaMM2: area, PowerMW: power,
+						Runtime:    r2.Runtime,
+						Throughput: r2.Throughput(),
+						EnergyPJ:   eb.Total() + sp.Cost.StaticEnergyPJ(area, r2.Runtime),
+					}
+					pt.EDP = pt.EnergyPJ * float64(pt.Runtime)
+					*out = append(*out, pt)
+					// L1 capacities above the per-PE requirement are
+					// valid by dominance; count them arithmetically.
+					st.Valid += 1 + sp.l1Headroom(pes, bw, l1, l2)
+				}
+			}
+		}
+	}
+}
+
+// l2Candidates returns the shared-scratchpad capacities to evaluate for
+// a mapping whose staging requirement is req: the requirement itself plus
+// every grid capacity above it.
+func (sp Space) l2Candidates(req int64) []int64 {
+	cands := []int64{req}
+	for _, g := range sp.L2Grid {
+		if g > req {
+			cands = append(cands, g)
+		}
+	}
+	return cands
+}
+
+// l1Headroom counts grid L1 capacities at or above the per-PE requirement
+// that still fit the budget.
+func (sp Space) l1Headroom(pes int, bw float64, l1, l2 int64) int64 {
+	var n int64
+	for _, g1 := range sp.L1Grid {
+		if g1 < l1 {
+			continue
+		}
+		if sp.Cost.Area(pes, g1*int64(pes), l2, bw) > sp.AreaBudgetMM2 {
+			continue
+		}
+		if sp.Cost.Power(pes, g1*int64(pes), l2, bw) > sp.PowerBudgetMW {
+			continue
+		}
+		n++
+	}
+	if n > 0 {
+		n-- // the exact-requirement point itself is already counted
+	}
+	return n
+}
+
+// ThroughputOpt returns the highest-throughput point (ties: lower energy).
+func ThroughputOpt(pts []Point) (Point, bool) {
+	return pick(pts, func(a, b Point) bool {
+		if a.Throughput != b.Throughput {
+			return a.Throughput > b.Throughput
+		}
+		return a.EnergyPJ < b.EnergyPJ
+	})
+}
+
+// EnergyOpt returns the lowest-energy point (ties: higher throughput).
+func EnergyOpt(pts []Point) (Point, bool) {
+	return pick(pts, func(a, b Point) bool {
+		if a.EnergyPJ != b.EnergyPJ {
+			return a.EnergyPJ < b.EnergyPJ
+		}
+		return a.Throughput > b.Throughput
+	})
+}
+
+// EDPOpt returns the lowest energy-delay-product point.
+func EDPOpt(pts []Point) (Point, bool) {
+	return pick(pts, func(a, b Point) bool { return a.EDP < b.EDP })
+}
+
+func pick(pts []Point, better func(a, b Point) bool) (Point, bool) {
+	if len(pts) == 0 {
+		return Point{}, false
+	}
+	best := pts[0]
+	for _, p := range pts[1:] {
+		if better(p, best) {
+			best = p
+		}
+	}
+	return best, true
+}
+
+// Pareto returns the throughput/energy Pareto frontier: points not
+// dominated by any other (higher-or-equal throughput and lower-or-equal
+// energy, strictly better in one).
+func Pareto(pts []Point) []Point {
+	var front []Point
+	for i, p := range pts {
+		dominated := false
+		for j, q := range pts {
+			if i == j {
+				continue
+			}
+			if q.Throughput >= p.Throughput && q.EnergyPJ <= p.EnergyPJ &&
+				(q.Throughput > p.Throughput || q.EnergyPJ < p.EnergyPJ) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, p)
+		}
+	}
+	return front
+}

@@ -1,0 +1,154 @@
+package dse
+
+import (
+	"testing"
+
+	"repro/internal/dataflows"
+	"repro/internal/hw"
+	"repro/internal/models"
+)
+
+func smallSpace() Space {
+	vgg := models.VGG16()
+	conv11, _ := vgg.Find("CONV11")
+	return Space{
+		Layer: conv11.Layer,
+		Template: Template{
+			Name:  "KC-P",
+			Build: dataflows.KCPSized,
+			P1:    []int{16, 32, 64},
+			P2:    []int{8, 16},
+		},
+		PEs:           []int{64, 128, 256},
+		BWs:           []float64{8, 16, 32},
+		L1Grid:        DefaultGrid(64, 1<<14, 2),
+		L2Grid:        DefaultGrid(1<<12, 1<<21, 2),
+		AreaBudgetMM2: 16,
+		PowerBudgetMW: 450,
+		Cost:          hw.Default28nm(),
+		Workers:       2,
+	}
+}
+
+func TestExplore(t *testing.T) {
+	pts, stats := Explore(smallSpace())
+	if len(pts) == 0 {
+		t.Fatal("no valid designs found")
+	}
+	if stats.Valid < int64(len(pts)) {
+		t.Errorf("stats.Valid %d < evaluated points %d", stats.Valid, len(pts))
+	}
+	if stats.Explored > stats.Raw {
+		t.Errorf("explored %d > raw %d", stats.Explored, stats.Raw)
+	}
+	if stats.Invoked == 0 || stats.Invoked > stats.Explored {
+		t.Errorf("invoked %d out of range (explored %d)", stats.Invoked, stats.Explored)
+	}
+	for _, p := range pts {
+		if p.AreaMM2 > 16 || p.PowerMW > 450 {
+			t.Fatalf("budget violated: %+v", p)
+		}
+		if p.Throughput <= 0 || p.EnergyPJ <= 0 {
+			t.Fatalf("degenerate point: %+v", p)
+		}
+	}
+}
+
+func TestOptima(t *testing.T) {
+	pts, _ := Explore(smallSpace())
+	thr, ok1 := ThroughputOpt(pts)
+	eng, ok2 := EnergyOpt(pts)
+	edp, ok3 := EDPOpt(pts)
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatal("optima not found")
+	}
+	if eng.EnergyPJ > thr.EnergyPJ {
+		t.Errorf("energy-opt %v pJ worse than throughput-opt %v pJ", eng.EnergyPJ, thr.EnergyPJ)
+	}
+	if thr.Throughput < eng.Throughput {
+		t.Errorf("throughput-opt slower than energy-opt")
+	}
+	if edp.EDP > thr.EDP || edp.EDP > eng.EDP {
+		t.Errorf("EDP-opt not minimal: %v vs %v / %v", edp.EDP, thr.EDP, eng.EDP)
+	}
+}
+
+func TestPareto(t *testing.T) {
+	pts, _ := Explore(smallSpace())
+	front := Pareto(pts)
+	if len(front) == 0 || len(front) > len(pts) {
+		t.Fatalf("frontier size %d of %d", len(front), len(pts))
+	}
+	// Every non-frontier point must be dominated by some frontier point.
+	inFront := map[Point]bool{}
+	for _, p := range front {
+		inFront[p] = true
+	}
+	for _, p := range pts {
+		if inFront[p] {
+			continue
+		}
+		dominated := false
+		for _, q := range front {
+			if q.Throughput >= p.Throughput && q.EnergyPJ <= p.EnergyPJ {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			t.Fatalf("point %+v neither on frontier nor dominated", p)
+		}
+	}
+}
+
+func TestSkipInvalidPruning(t *testing.T) {
+	sp := smallSpace()
+	sp.PEs = []int{1 << 20} // absurd: must be pruned without invocations
+	pts, stats := Explore(sp)
+	if len(pts) != 0 {
+		t.Fatal("invalid PEs produced designs")
+	}
+	if stats.Invoked != 0 {
+		t.Errorf("pruning failed: %d invocations", stats.Invoked)
+	}
+	if stats.Explored != stats.Raw {
+		t.Errorf("pruned sub-space not counted: explored %d raw %d", stats.Explored, stats.Raw)
+	}
+}
+
+// TestL2AxisTradesEnergy: within one mapping, growing L2 along the grid
+// must never increase DRAM traffic, and some growth must pay off in
+// energy (the retention trade the DSE explores).
+func TestL2AxisTradesEnergy(t *testing.T) {
+	sp := smallSpace()
+	pts, _ := Explore(sp)
+	// Group points by identical mapping+hardware except L2.
+	type key struct {
+		pes    int
+		bw     float64
+		p1, p2 int
+	}
+	groups := map[key][]Point{}
+	for _, p := range pts {
+		k := key{p.NumPEs, p.BW, p.P1, p.P2}
+		groups[k] = append(groups[k], p)
+	}
+	multi := 0
+	for _, g := range groups {
+		if len(g) < 2 {
+			continue
+		}
+		multi++
+		// Runtime must be non-increasing in L2 (DRAM bound can only relax).
+		for i := range g {
+			for j := range g {
+				if g[i].L2Bytes < g[j].L2Bytes && g[i].Runtime < g[j].Runtime {
+					t.Fatalf("bigger L2 slowed the design: %+v vs %+v", g[i], g[j])
+				}
+			}
+		}
+	}
+	if multi == 0 {
+		t.Fatal("no mapping explored multiple L2 capacities")
+	}
+}

@@ -1,0 +1,104 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSRAMMonotone(t *testing.T) {
+	// Access energy must grow with capacity (the only property the
+	// paper's conclusions require from the Cacti substitute).
+	prev := 0.0
+	for _, b := range []int64{512, 2 << 10, 64 << 10, 1 << 20, 16 << 20} {
+		e := SRAMRead(b)
+		if e <= prev {
+			t.Errorf("SRAMRead(%d) = %v not > %v", b, e, prev)
+		}
+		prev = e
+	}
+	if SRAMRead(0) != 0 {
+		t.Error("zero-capacity SRAM should cost nothing")
+	}
+	if SRAMWrite(2048) <= SRAMRead(2048) {
+		t.Error("writes should cost more than reads")
+	}
+}
+
+func TestDefaultTableOrdering(t *testing.T) {
+	// 2 KB L1, 1 MB L2 (the paper's Cacti setup): MAC < L1 < L2 << DRAM.
+	tb := DefaultTable(2<<10, 1<<20)
+	if !(tb.MAC < tb.L1Read && tb.L1Read < tb.L2Read && tb.L2Read < tb.DRAM) {
+		t.Errorf("energy ordering violated: %+v", tb)
+	}
+	if tb.DRAM/tb.MAC < 50 {
+		t.Errorf("DRAM/MAC ratio %v implausibly low", tb.DRAM/tb.MAC)
+	}
+}
+
+func TestTableForHopScaling(t *testing.T) {
+	small := TableFor(2048, 1<<20, 16)
+	big := TableFor(2048, 1<<20, 1024)
+	if big.NoCHop <= small.NoCHop {
+		t.Errorf("hop energy must grow with the array: %v vs %v", small.NoCHop, big.NoCHop)
+	}
+}
+
+func TestSplitTotalsAgree(t *testing.T) {
+	tb := DefaultTable(2048, 1<<20)
+	a := Activity{
+		MACs: 1000, L1Reads: 3000, L1Writes: 1000,
+		L2Reads: 500, L2Writes: 100, NoCTransfers: 600,
+		DRAMReads: 50, DRAMWrites: 10,
+	}
+	split := tb.Split(a)
+	if math.Abs(split.Total()-tb.Total(a)) > 1e-9 {
+		t.Errorf("Split total %v != Total %v", split.Total(), tb.Total(a))
+	}
+	if math.Abs(split.OnChip()-(split.Total()-split.DRAM)) > 1e-9 {
+		t.Error("OnChip != Total - DRAM")
+	}
+}
+
+// Property: energy is additive in activity.
+func TestEnergyAdditive(t *testing.T) {
+	tb := DefaultTable(2048, 1<<20)
+	f := func(m1, m2, r1, r2 uint16) bool {
+		a := Activity{MACs: int64(m1), L1Reads: int64(r1)}
+		b := Activity{MACs: int64(m2), L1Reads: int64(r2)}
+		sum := Activity{MACs: int64(m1) + int64(m2), L1Reads: int64(r1) + int64(r2)}
+		return math.Abs(tb.Total(a)+tb.Total(b)-tb.Total(sum)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseTableRoundTrip(t *testing.T) {
+	orig := DefaultTable(2048, 1<<20)
+	back, err := ParseTable(orig.Format())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != orig {
+		t.Errorf("round trip: %+v vs %+v", back, orig)
+	}
+}
+
+func TestParseTableComments(t *testing.T) {
+	tb, err := ParseTable("# comment\nmac: 2.5 // inline\n\nl2_read: 10\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.MAC != 2.5 || tb.L2Read != 10 || tb.L1Read != 0 {
+		t.Errorf("parsed %+v", tb)
+	}
+}
+
+func TestParseTableErrors(t *testing.T) {
+	for _, src := range []string{"bogus: 1", "mac: lots", "mac: -1", "just text"} {
+		if _, err := ParseTable(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}

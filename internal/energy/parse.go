@@ -1,0 +1,77 @@
+package energy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseTable reads a per-event energy table from a line-oriented file,
+// the substitution point the paper describes ("which can be replaced by
+// any other energy model based on such activity counts (e.g.,
+// Accelergy)"):
+//
+//	# per-event energies in picojoules
+//	mac: 1.0
+//	l1_read: 1.6
+//	l1_write: 1.8
+//	l2_read: 29.1
+//	l2_write: 32.0
+//	noc_hop: 0.35
+//	dram: 200
+//
+// Missing keys keep zero; `#` and `//` start comments; unknown keys are
+// errors.
+func ParseTable(src string) (Table, error) {
+	var t Table
+	for ln, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(line, ":")
+		if !ok {
+			return t, fmt.Errorf("energy table line %d: expected key: value, got %q", ln+1, raw)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			return t, fmt.Errorf("energy table line %d: %v", ln+1, err)
+		}
+		if v < 0 {
+			return t, fmt.Errorf("energy table line %d: negative energy %v", ln+1, v)
+		}
+		switch strings.TrimSpace(key) {
+		case "mac":
+			t.MAC = v
+		case "l1_read":
+			t.L1Read = v
+		case "l1_write":
+			t.L1Write = v
+		case "l2_read":
+			t.L2Read = v
+		case "l2_write":
+			t.L2Write = v
+		case "noc_hop":
+			t.NoCHop = v
+		case "dram":
+			t.DRAM = v
+		default:
+			return t, fmt.Errorf("energy table line %d: unknown key %q", ln+1, key)
+		}
+	}
+	return t, nil
+}
+
+// Format renders the table in the file format ParseTable reads.
+func (t Table) Format() string {
+	return fmt.Sprintf(
+		"mac: %g\nl1_read: %g\nl1_write: %g\nl2_read: %g\nl2_write: %g\nnoc_hop: %g\ndram: %g\n",
+		t.MAC, t.L1Read, t.L1Write, t.L2Read, t.L2Write, t.NoCHop, t.DRAM)
+}

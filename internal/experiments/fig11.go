@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/dataflows"
+	"repro/internal/hw"
+	"repro/internal/models"
+	"repro/internal/tensor"
+)
+
+// fig11Op is one representative operator of Figure 11.
+type fig11Op struct {
+	title string
+	layer tensor.Layer
+}
+
+// fig11Ops returns the four representative operators the paper selects:
+// early layer (ResNet50 CONV1), late layer (VGG16 CONV13), depth-wise
+// (grouped 3x3 of ResNeXt50 CONV2), point-wise (first convolution of a
+// MobileNetV2 bottleneck).
+func fig11Ops() []fig11Op {
+	r50, _ := models.ResNet50().Find("CONV1")
+	vgg, _ := models.VGG16().Find("CONV13")
+	rx, _ := models.ResNeXt50().Find("CONV2_g3x3")
+	mb, _ := models.MobileNetV2().Find("B2_exp")
+	return []fig11Op{
+		{"Early layer (ResNet50 CONV1)", r50.Layer},
+		{"Late layer (VGG16 CONV13)", vgg.Layer},
+		{"Depth-wise (ResNeXt50 CONV2 grouped 3x3)", rx.Layer},
+		{"Point-wise (MobileNetV2 bottleneck2 expand)", mb.Layer},
+	}
+}
+
+// Fig11 reproduces the reuse study (Figure 11): activation and filter
+// reuse factors (local accesses per L2 fetch, log scale in the paper) and
+// the NoC bandwidth each dataflow needs to sustain peak throughput, for
+// four representative operators on 256 PEs, including the algorithmic
+// maximum ("A" in the paper).
+func Fig11(w io.Writer, _ Options) error {
+	cfg := hw.Accel256()
+	fmt.Fprintln(w, "Figure 11: reuse factors and NoC bandwidth requirements (256 PEs)")
+	for _, op := range fig11Ops() {
+		fmt.Fprintf(w, "\n%s  [%v]\n", op.title, op.layer.Sizes)
+		tw := newTab(w)
+		fmt.Fprintln(tw, "dataflow\tactivation reuse\tfilter reuse\tNoC BW req (GB/s)")
+		for _, df := range dataflows.All() {
+			r := analyzeOrSkip(df, op.layer, cfg)
+			if r == nil {
+				fmt.Fprintf(tw, "%s\t-\t-\t-\n", df.Name)
+				continue
+			}
+			fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%.1f\n",
+				df.Name, r.ReuseFactor(tensor.Input), r.ReuseFactor(tensor.Weight), r.PeakBWGBps())
+		}
+		fmt.Fprintf(tw, "A (algorithmic max)\t%.1f\t%.1f\t-\n",
+			op.layer.AlgorithmicReuse(tensor.Input), op.layer.AlgorithmicReuse(tensor.Weight))
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/dataflows"
+	"repro/internal/energy"
+	"repro/internal/hw"
+	"repro/internal/models"
+)
+
+// Fig12 reproduces the energy breakdown (Figure 12): MAC and L1/L2
+// scratchpad access energy of the five dataflows on VGG16 CONV1 (early)
+// and CONV11 (late), normalized to the MAC energy of the C-P dataflow,
+// using the built-in Cacti-substitute table (2 KB L1, 1 MB L2 at 28 nm,
+// matching the paper's Cacti setup).
+func Fig12(w io.Writer, _ Options) error {
+	cfg := hw.Accel256()
+	tbl := energy.DefaultTable(2*1024, 1<<20)
+	vgg := models.VGG16()
+	fmt.Fprintln(w, "Figure 12: energy breakdown normalized to C-P MAC energy (VGG16)")
+	for _, name := range []string{"CONV1", "CONV11"} {
+		li, ok := vgg.Find(name)
+		if !ok {
+			return fmt.Errorf("fig12: %s not found", name)
+		}
+		// The normalization base: MAC energy of the C-P mapping.
+		base := analyzeOrSkip(dataflows.Get("C-P"), li.Layer, cfg)
+		if base == nil {
+			return fmt.Errorf("fig12: C-P failed on %s", name)
+		}
+		macBase := tbl.Split(base.Activity()).MAC
+		fmt.Fprintf(w, "\nVGG16 %s  [%v]\n", name, li.Layer.Sizes)
+		tw := newTab(w)
+		fmt.Fprintln(tw, "dataflow\tMAC\tL1 read\tL1 write\tL2 read\tL2 write\tNoC\ttotal")
+		for _, df := range dataflows.All() {
+			r := analyzeOrSkip(df, li.Layer, cfg)
+			if r == nil {
+				fmt.Fprintf(tw, "%s\t-\n", df.Name)
+				continue
+			}
+			b := tbl.Split(r.Activity())
+			fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n", df.Name,
+				b.MAC/macBase, b.L1Read/macBase, b.L1Write/macBase,
+				b.L2Read/macBase, b.L2Write/macBase, b.NoC/macBase, b.OnChip()/macBase)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(w, "\n(values are multiples of the C-P mapping's total MAC energy;")
+	fmt.Fprintln(w, " the paper's plot normalizes the same way)")
+	return nil
+}

@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/dataflows"
+	"repro/internal/dse"
+	"repro/internal/hw"
+	"repro/internal/models"
+	"repro/internal/report"
+	"repro/internal/tensor"
+)
+
+// fig13Space builds the DSE search space for one dataflow template and
+// layer under the Eyeriss-class budget the paper applies (16 mm²,
+// 450 mW).
+func fig13Space(template dse.Template, layer tensor.Layer, quick bool) dse.Space {
+	pes := []int{}
+	step := 16
+	if quick {
+		step = 64
+	}
+	for p := step; p <= 1024; p += step {
+		pes = append(pes, p)
+	}
+	bws := []float64{}
+	for b := 1.0; b <= 128; b *= 2 {
+		bws = append(bws, b, b*1.5)
+	}
+	if quick {
+		bws = []float64{4, 16, 64}
+	}
+	return dse.Space{
+		Layer:         layer,
+		Template:      template,
+		PEs:           pes,
+		BWs:           bws,
+		L1Grid:        dse.DefaultGrid(64, 1<<20, 1.45),
+		L2Grid:        dse.DefaultGrid(1<<12, 1<<24, 1.4),
+		AreaBudgetMM2: 16,
+		PowerBudgetMW: 450,
+		Cost:          hw.Default28nm(),
+	}
+}
+
+// kcpTemplate and yrpTemplate are the two dataflow styles Figure 13
+// explores, with their tile-size knobs.
+func kcpTemplate(quick bool) dse.Template {
+	t := dse.Template{
+		Name:  "KC-P",
+		Build: dataflows.KCPSized,
+		P1:    []int{8, 16, 32, 64, 128, 256, 512},
+		P2:    []int{4, 8, 16, 32, 64},
+	}
+	if quick {
+		t.P1, t.P2 = []int{16, 64}, []int{8, 32}
+	}
+	return t
+}
+
+func yrpTemplate(quick bool) dse.Template {
+	t := dse.Template{
+		Name:  "YR-P",
+		Build: dataflows.YRPSized,
+		P1:    []int{1, 2, 4, 8, 16, 32, 64},
+		P2:    []int{1, 2, 4, 8, 16, 32},
+	}
+	if quick {
+		t.P1, t.P2 = []int{2, 8}, []int{2, 8}
+	}
+	return t
+}
+
+// Fig13Run is one of the four DSE runs of Figure 13.
+type Fig13Run struct {
+	Dataflow string
+	Layer    string
+	Points   []dse.Point
+	Stats    dse.Stats
+}
+
+// RunFig13 executes the four DSE runs (KC-P and YR-P on VGG16 CONV2 and
+// CONV11) and returns their design spaces for printing or plotting.
+func RunFig13(opt Options) ([]Fig13Run, error) {
+	vgg := models.VGG16()
+	var runs []Fig13Run
+	for _, layerName := range []string{"CONV2", "CONV11"} {
+		li, ok := vgg.Find(layerName)
+		if !ok {
+			return nil, fmt.Errorf("fig13: %s not found", layerName)
+		}
+		for _, tmpl := range []dse.Template{kcpTemplate(opt.Quick), yrpTemplate(opt.Quick)} {
+			pts, stats := dse.Explore(fig13Space(tmpl, li.Layer, opt.Quick))
+			runs = append(runs, Fig13Run{
+				Dataflow: tmpl.Name, Layer: "VGG16-" + layerName,
+				Points: pts, Stats: stats,
+			})
+		}
+	}
+	return runs, nil
+}
+
+// WriteFig13CSVs dumps each DSE run's design space as CSV into dir, for
+// regenerating the Figure 13 scatter plots with external tooling.
+func WriteFig13CSVs(dir string, runs []Fig13Run) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, run := range runs {
+		name := strings.ToLower(run.Dataflow + "_" + run.Layer + ".csv")
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := report.WriteDSECSV(f, run.Points); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fig13 reproduces the design-space exploration study (Figure 13): the
+// KC-P and YR-P design spaces of an early (VGG16 CONV2) and a late
+// (VGG16 CONV11) layer under a 16 mm² / 450 mW budget, the
+// throughput- and energy-optimized designs, and the DSE statistics table
+// of Figure 13(c).
+func Fig13(w io.Writer, opt Options) error {
+	runs, err := RunFig13(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 13: DSE under 16 mm² / 450 mW (Eyeriss-class budget)")
+	for _, run := range runs {
+		fmt.Fprintf(w, "\n%s dataflow on %s: %d valid designs\n", run.Dataflow, run.Layer, len(run.Points))
+		if len(run.Points) == 0 {
+			continue
+		}
+		thr, _ := dse.ThroughputOpt(run.Points)
+		eng, _ := dse.EnergyOpt(run.Points)
+		tw := newTab(w)
+		fmt.Fprintln(tw, "design\tPEs\tNoC BW\tL1/PE\tL2\tarea mm²\tpower mW\tthroughput MAC/cyc\tenergy (x1e9 MAC)")
+		pr := func(tag string, p dse.Point) {
+			fmt.Fprintf(tw, "%s\t%d\t%.0f\t%dB\t%s\t%.2f\t%.1f\t%.1f\t%.2f\n",
+				tag, p.NumPEs, p.BW, p.L1Bytes, fmtEng(float64(p.L2Bytes)),
+				p.AreaMM2, p.PowerMW, p.Throughput, p.EnergyPJ/1e9)
+		}
+		pr("throughput-opt", thr)
+		pr("energy-opt", eng)
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "Pareto frontier: %d points\n", len(dse.Pareto(run.Points)))
+	}
+
+	fmt.Fprintln(w, "\n(c) DSE statistics")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "run\tvalid designs\texplored (incl. pruned)\tMAESTRO invocations\ttime\trate (designs/s)")
+	var totRaw, totValid int64
+	var totRate float64
+	for _, run := range runs {
+		st := run.Stats
+		fmt.Fprintf(tw, "%s %s\t%d\t%d\t%d\t%.2fs\t%s\n",
+			run.Dataflow, run.Layer, st.Valid, st.Explored, st.Invoked,
+			st.Elapsed.Seconds(), fmtEng(st.Rate()))
+		totRaw += st.Raw
+		totValid += st.Valid
+		totRate += st.Rate()
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "total raw space %s designs, %s valid, average rate %s designs/s\n",
+		fmtEng(float64(totRaw)), fmtEng(float64(totValid)), fmtEng(totRate/float64(len(runs))))
+	fmt.Fprintln(w, "(paper: 480M searched, 2.5M valid, 0.17M designs/s average)")
+	return nil
+}
+
+// Headline reproduces the abstract's headline comparison: for the
+// KC-P (NVDLA-like) dataflow on VGG16 CONV11, the energy- versus
+// throughput-optimized design points (the paper reports up to 2.16x
+// power difference, 10.6x more SRAM and 80% of the PEs on the
+// energy-optimized design, 65% EDP improvement at 62% throughput).
+func Headline(w io.Writer, opt Options) error {
+	vgg := models.VGG16()
+	li, _ := vgg.Find("CONV11")
+	pts, _ := dse.Explore(fig13Space(kcpTemplate(opt.Quick), li.Layer, opt.Quick))
+	if len(pts) == 0 {
+		return fmt.Errorf("headline: empty design space")
+	}
+	thr, _ := dse.ThroughputOpt(pts)
+	eng, _ := dse.EnergyOpt(pts)
+	fmt.Fprintln(w, "Headline: KC-P on VGG16 CONV11, throughput- vs EDP/energy-optimized designs")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "metric\tthroughput-opt\tenergy-opt\tratio")
+	rows := []struct {
+		name   string
+		a, b   float64
+		format string
+	}{
+		{"PEs", float64(thr.NumPEs), float64(eng.NumPEs), "%.0f"},
+		{"total SRAM (KB)", float64(thr.L1Bytes*int64(thr.NumPEs)+thr.L2Bytes) / 1024,
+			float64(eng.L1Bytes*int64(eng.NumPEs)+eng.L2Bytes) / 1024, "%.1f"},
+		{"power (mW)", thr.PowerMW, eng.PowerMW, "%.1f"},
+		{"throughput (MAC/cyc)", thr.Throughput, eng.Throughput, "%.1f"},
+		{"EDP (pJ*cyc)", thr.EDP, eng.EDP, "%.3g"},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t"+r.format+"\t"+r.format+"\t%.2fx\n", r.name, r.a, r.b, r.b/r.a)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "energy-opt runs at %.0f%% throughput with %.0f%% EDP of the throughput-opt design\n",
+		100*eng.Throughput/thr.Throughput, 100*eng.EDP/thr.EDP)
+	fmt.Fprintln(w, "(paper: 2.16x power, 10.6x SRAM, 80% PEs, 65% EDP improvement, 62% throughput)")
+	return nil
+}

@@ -1,0 +1,117 @@
+// Package hetero evaluates heterogeneous accelerators: several
+// sub-accelerators with different dataflow styles sharing one chip, the
+// design point the paper's Section 5.1 motivates ("heterogeneous
+// accelerators that employ multiple sub-accelerators with various
+// dataflow styles in a single DNN accelerator chip").
+//
+// Each layer is assigned to the sub-accelerator whose dataflow suits it
+// best. Two execution disciplines are priced:
+//
+//   - Sequential: one inference at a time; a layer's latency is its
+//     latency on its sub-accelerator, and the others idle (latency =
+//     sum of per-layer latencies).
+//   - Pipelined: a stream of inferences; each sub-accelerator works on a
+//     different image, so steady-state throughput is set by the most
+//     loaded sub-accelerator (throughput bound = max per-accelerator
+//     total).
+package hetero
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/hw"
+	"repro/internal/models"
+	"repro/internal/tensor"
+)
+
+// SubAccel is one sub-accelerator of the chip.
+type SubAccel struct {
+	Name     string
+	Dataflow dataflow.Dataflow
+	Cfg      hw.Config
+}
+
+// Assignment records where one layer runs.
+type Assignment struct {
+	Layer  tensor.Layer
+	Count  int
+	Accel  int // index into the chip's sub-accelerators
+	Result *core.Result
+}
+
+// Plan is the evaluation of one model on one heterogeneous chip.
+type Plan struct {
+	Assignments []Assignment
+	// LatencyCycles is the single-inference latency (sequential layers).
+	LatencyCycles int64
+	// PipelineBound is the steady-state cycles per inference when the
+	// sub-accelerators pipeline across images: the busiest accelerator's
+	// total load.
+	PipelineBound int64
+	// PerAccel is each sub-accelerator's total load in cycles.
+	PerAccel []int64
+	EnergyPJ float64
+}
+
+// Evaluate assigns every layer of the model to its fastest
+// sub-accelerator and prices the sequential and pipelined disciplines.
+func Evaluate(m models.Model, accels []SubAccel) (*Plan, error) {
+	if len(accels) == 0 {
+		return nil, fmt.Errorf("hetero: no sub-accelerators")
+	}
+	plan := &Plan{PerAccel: make([]int64, len(accels))}
+	for _, li := range m.Layers {
+		var best *core.Result
+		bestIdx := -1
+		for i, acc := range accels {
+			r, err := core.AnalyzeDataflow(acc.Dataflow, li.Layer, acc.Cfg)
+			if err != nil {
+				continue
+			}
+			if best == nil || r.Runtime < best.Runtime {
+				best, bestIdx = r, i
+			}
+		}
+		if best == nil {
+			return nil, fmt.Errorf("hetero: no sub-accelerator maps layer %s", li.Layer.Name)
+		}
+		n := int64(li.Count)
+		plan.Assignments = append(plan.Assignments, Assignment{
+			Layer: li.Layer, Count: li.Count, Accel: bestIdx, Result: best,
+		})
+		plan.LatencyCycles += best.Runtime * n
+		plan.PerAccel[bestIdx] += best.Runtime * n
+		plan.EnergyPJ += best.EnergyDefault().OnChip() * float64(n)
+	}
+	for _, load := range plan.PerAccel {
+		if load > plan.PipelineBound {
+			plan.PipelineBound = load
+		}
+	}
+	return plan, nil
+}
+
+// Utilization returns the fraction of the chip's sub-accelerators kept
+// busy in the pipelined discipline: total load over (stages * bound).
+func (p *Plan) Utilization() float64 {
+	if p.PipelineBound == 0 {
+		return 0
+	}
+	var total int64
+	for _, l := range p.PerAccel {
+		total += l
+	}
+	return float64(total) / float64(p.PipelineBound*int64(len(p.PerAccel)))
+}
+
+// Homogeneous builds a chip of n identical sub-accelerators running one
+// dataflow (the baseline a heterogeneous design is compared against).
+func Homogeneous(name string, n int, df dataflow.Dataflow, cfg hw.Config) []SubAccel {
+	out := make([]SubAccel, n)
+	for i := range out {
+		out[i] = SubAccel{Name: fmt.Sprintf("%s-%d", name, i), Dataflow: df, Cfg: cfg}
+	}
+	return out
+}

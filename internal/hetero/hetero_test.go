@@ -1,0 +1,87 @@
+package hetero
+
+import (
+	"testing"
+
+	"repro/internal/dataflows"
+	"repro/internal/hw"
+	"repro/internal/models"
+	"repro/internal/noc"
+)
+
+func subCfg(pes int) hw.Config {
+	m := noc.Bus(16)
+	m.Reduction = true
+	return hw.Config{Name: "sub", NumPEs: pes, NoCs: []noc.Model{m}}.Normalize()
+}
+
+func chip() []SubAccel {
+	return []SubAccel{
+		{Name: "act-parallel", Dataflow: dataflows.Get("YX-P"), Cfg: subCfg(128)},
+		{Name: "chan-parallel", Dataflow: dataflows.Get("KC-P"), Cfg: subCfg(128)},
+	}
+}
+
+func TestHeteroBeatsHomogeneousOnMixedModel(t *testing.T) {
+	// MobileNetV2 mixes point-wise and depth-wise operators with opposite
+	// dataflow preferences — the paper's motivating case.
+	m := models.MobileNetV2()
+	het, err := Evaluate(m, chip())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dfName := range []string{"YX-P", "KC-P"} {
+		hom, err := Evaluate(m, Homogeneous("hom", 2, dataflows.Get(dfName), subCfg(128)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if het.LatencyCycles > hom.LatencyCycles {
+			t.Errorf("heterogeneous latency %d worse than homogeneous %s %d",
+				het.LatencyCycles, dfName, hom.LatencyCycles)
+		}
+	}
+}
+
+func TestPlanAccounting(t *testing.T) {
+	m := models.Model{Name: "two", Layers: models.MobileNetV2().Layers[:4]}
+	p, err := Evaluate(m, chip())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Assignments) != 4 {
+		t.Fatalf("assignments = %d", len(p.Assignments))
+	}
+	var sum int64
+	for _, l := range p.PerAccel {
+		sum += l
+	}
+	if sum != p.LatencyCycles {
+		t.Errorf("per-accelerator loads %d != latency %d", sum, p.LatencyCycles)
+	}
+	if p.PipelineBound > p.LatencyCycles || p.PipelineBound <= 0 {
+		t.Errorf("pipeline bound %d vs latency %d", p.PipelineBound, p.LatencyCycles)
+	}
+	if u := p.Utilization(); u <= 0 || u > 1 {
+		t.Errorf("utilization %v", u)
+	}
+}
+
+func TestHomogeneousPipelineEqualsLatencyOnOneStage(t *testing.T) {
+	m := models.Model{Name: "sub", Layers: models.MobileNetV2().Layers[:3]}
+	p, err := Evaluate(m, Homogeneous("solo", 1, dataflows.Get("KC-P"), subCfg(64)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PipelineBound != p.LatencyCycles {
+		t.Errorf("single stage: bound %d != latency %d", p.PipelineBound, p.LatencyCycles)
+	}
+	if p.Utilization() != 1 {
+		t.Errorf("single stage utilization %v", p.Utilization())
+	}
+}
+
+func TestEvaluateRejectsEmptyChip(t *testing.T) {
+	if _, err := Evaluate(models.MobileNetV2(), nil); err == nil {
+		t.Error("empty chip accepted")
+	}
+}

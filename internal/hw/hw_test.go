@@ -1,0 +1,103 @@
+package hw
+
+import (
+	"testing"
+
+	"repro/internal/noc"
+)
+
+func TestNormalizeDefaults(t *testing.T) {
+	c := Config{NumPEs: 8}.Normalize()
+	if c.VectorWidth != 1 || c.ElemBytes != 1 || c.ClockGHz != 1 {
+		t.Errorf("defaults: %+v", c)
+	}
+	if len(c.NoCs) == 0 || c.OffchipBandwidth == 0 {
+		t.Errorf("NoC/DRAM defaults missing: %+v", c)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []Config{
+		{NumPEs: 0},
+		{NumPEs: 4, VectorWidth: -1},
+		{NumPEs: 4, VectorWidth: 1, ElemBytes: 1, NoCs: []noc.Model{{Bandwidth: 0}}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestNoCAtFallsBack(t *testing.T) {
+	c := Config{NumPEs: 8, NoCs: []noc.Model{noc.Bus(4), noc.Bus(8)}}.Normalize()
+	if c.NoCAt(0).Bandwidth != 4 || c.NoCAt(1).Bandwidth != 8 {
+		t.Error("per-level NoCs not respected")
+	}
+	if c.NoCAt(5).Bandwidth != 8 {
+		t.Error("deep levels must reuse the last NoC entry")
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, c := range []Config{MAERI64(), Eyeriss168(), Accel256()} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+	if Eyeriss168().NumPEs != 168 || MAERI64().NumPEs != 64 || Accel256().NumPEs != 256 {
+		t.Error("preset PE counts wrong")
+	}
+	if Accel256().NoCAt(0).Bandwidth != 32 {
+		t.Errorf("Accel256 bandwidth = %v; want 32 elem/cyc (32 GB/s)", Accel256().NoCAt(0).Bandwidth)
+	}
+}
+
+func TestCostModelForms(t *testing.T) {
+	cm := Default28nm()
+	// Linear in PEs (holding buffers constant): doubling PEs should more
+	// than double area because the arbiter term is quadratic.
+	a1 := cm.Area(128, 0, 0, 8)
+	a2 := cm.Area(256, 0, 0, 8)
+	if a2 <= a1 {
+		t.Error("area not increasing in PEs")
+	}
+	// SRAM is linear per byte.
+	s1 := cm.Area(1, 1<<20, 0, 0) - cm.Area(1, 0, 0, 0)
+	s2 := cm.Area(1, 2<<20, 0, 0) - cm.Area(1, 0, 0, 0)
+	if diff := s2 - 2*s1; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("SRAM area non-linear: %v vs %v", s1, s2)
+	}
+	// The arbiter quadratic term: area(2n) - 2*area(n) grows with n when
+	// buffers and bus are excluded.
+	quad := func(n int) float64 { return cm.Area(n, 0, 0, 0) }
+	if quad(512)-2*quad(256) <= quad(256)-2*quad(128) {
+		t.Error("arbiter term not super-linear")
+	}
+	// An Eyeriss-scale design must sit well inside the paper's
+	// 16 mm² / 450 mW reference envelope.
+	area := cm.Area(168, 168*512, 108<<10, 3)
+	power := cm.Power(168, 168*512, 108<<10, 3)
+	if area > 16 || power > 450 {
+		t.Errorf("Eyeriss-scale estimate out of envelope: %.2f mm², %.1f mW", area, power)
+	}
+}
+
+func TestStaticEnergy(t *testing.T) {
+	cm := Default28nm()
+	// 1 mW over 1 cycle at 1 GHz is 1 pJ: 18 mW/mm² * 2 mm² * 1e6 cycles.
+	got := cm.StaticEnergyPJ(2, 1_000_000)
+	if want := 18.0 * 2 * 1e6; got != want {
+		t.Errorf("static energy = %v; want %v", got, want)
+	}
+}
+
+func TestPeakMACs(t *testing.T) {
+	c := Config{NumPEs: 64, VectorWidth: 4}.Normalize()
+	if c.PeakMACsPerCycle() != 256 {
+		t.Errorf("peak = %v", c.PeakMACsPerCycle())
+	}
+}

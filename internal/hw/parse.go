@@ -1,0 +1,156 @@
+package hw
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/noc"
+)
+
+// ParseConfig reads a line-oriented accelerator description, the
+// hardware-resource input of the paper's Figure 7:
+//
+//	# an edge accelerator
+//	name: edge-npu
+//	pes: 256
+//	vector_width: 1
+//	l1_bytes: 2048
+//	l2_bytes: 1048576
+//	elem_bytes: 1
+//	clock_ghz: 1.0
+//	offchip_gbps: 16
+//	noc: bus bandwidth=32 latency=2 multicast=true reduction=true
+//	noc: bus bandwidth=64          # inner cluster level (optional)
+//
+// Repeated `noc:` lines describe successive cluster levels (outermost
+// first). `#` and `//` start comments. Unknown keys are errors.
+func ParseConfig(src string) (Config, error) {
+	var c Config
+	sawNoC := false
+	for ln, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(line, ":")
+		if !ok {
+			return c, fmt.Errorf("hw config line %d: expected key: value, got %q", ln+1, raw)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "name":
+			c.Name = val
+		case "pes":
+			c.NumPEs, err = strconv.Atoi(val)
+		case "vector_width":
+			c.VectorWidth, err = strconv.Atoi(val)
+		case "l1_bytes":
+			c.L1Size, err = strconv.ParseInt(val, 10, 64)
+		case "l2_bytes":
+			c.L2Size, err = strconv.ParseInt(val, 10, 64)
+		case "elem_bytes":
+			c.ElemBytes, err = strconv.Atoi(val)
+		case "clock_ghz":
+			c.ClockGHz, err = strconv.ParseFloat(val, 64)
+		case "offchip_gbps":
+			var g float64
+			g, err = strconv.ParseFloat(val, 64)
+			if err == nil {
+				eb := c.ElemBytes
+				if eb == 0 {
+					eb = 1
+				}
+				ck := c.ClockGHz
+				if ck == 0 {
+					ck = 1
+				}
+				c.OffchipBandwidth = noc.GBpsToElems(g, ck, eb)
+			}
+		case "noc":
+			var m noc.Model
+			m, err = parseNoCLine(val, c.NumPEs)
+			if err == nil {
+				c.NoCs = append(c.NoCs, m)
+				sawNoC = true
+			}
+		default:
+			return c, fmt.Errorf("hw config line %d: unknown key %q", ln+1, key)
+		}
+		if err != nil {
+			return c, fmt.Errorf("hw config line %d: %s: %v", ln+1, key, err)
+		}
+	}
+	_ = sawNoC
+	c = c.Normalize()
+	return c, c.Validate()
+}
+
+// parseNoCLine parses "TYPE k=v k=v ..." into a NoC model. The type sets
+// topology defaults (including multicast/reduction capability); explicit
+// keys override them.
+func parseNoCLine(val string, pes int) (noc.Model, error) {
+	fields := strings.Fields(val)
+	if len(fields) == 0 {
+		return noc.Model{}, fmt.Errorf("empty noc description")
+	}
+	var m noc.Model
+	switch fields[0] {
+	case "bus":
+		m = noc.Bus(16)
+	case "crossbar":
+		m = noc.Crossbar(16)
+	case "mesh":
+		n := 1
+		for n*n < max(pes, 1) {
+			n++
+		}
+		m = noc.Mesh(n)
+	case "tree":
+		m = noc.Tree(max(pes, 2))
+	case "systolic":
+		m = noc.SystolicRow(max(pes, 2))
+	default:
+		return m, fmt.Errorf("unknown noc type %q", fields[0])
+	}
+	for _, f := range fields[1:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return m, fmt.Errorf("expected key=value, got %q", f)
+		}
+		var err error
+		switch k {
+		case "bandwidth":
+			m.Bandwidth, err = strconv.ParseFloat(v, 64)
+		case "latency":
+			m.AvgLatency, err = strconv.ParseInt(v, 10, 64)
+		case "multicast":
+			m.Multicast, err = strconv.ParseBool(v)
+		case "reduction":
+			m.Reduction, err = strconv.ParseBool(v)
+		case "channels":
+			m.Channels, err = strconv.Atoi(v)
+		default:
+			return m, fmt.Errorf("unknown noc key %q", k)
+		}
+		if err != nil {
+			return m, fmt.Errorf("%s: %v", k, err)
+		}
+	}
+	return m, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

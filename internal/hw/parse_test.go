@@ -1,0 +1,90 @@
+package hw
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleCfg = `
+# an edge accelerator
+name: edge-npu
+pes: 256
+vector_width: 2
+l1_bytes: 2048
+elem_bytes: 1
+clock_ghz: 1.0
+l2_bytes: 1048576
+offchip_gbps: 16
+noc: bus bandwidth=32 latency=2 reduction=true channels=3   // top level
+noc: crossbar bandwidth=64
+`
+
+func TestParseConfig(t *testing.T) {
+	c, err := ParseConfig(sampleCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "edge-npu" || c.NumPEs != 256 || c.VectorWidth != 2 {
+		t.Errorf("parsed %+v", c)
+	}
+	if c.L1Size != 2048 || c.L2Size != 1<<20 {
+		t.Errorf("buffers: %d, %d", c.L1Size, c.L2Size)
+	}
+	if c.OffchipBandwidth != 16 {
+		t.Errorf("offchip = %v", c.OffchipBandwidth)
+	}
+	if len(c.NoCs) != 2 {
+		t.Fatalf("nocs = %d", len(c.NoCs))
+	}
+	top := c.NoCs[0]
+	if top.Bandwidth != 32 || top.AvgLatency != 2 || !top.Reduction || !top.Multicast {
+		t.Errorf("top noc = %+v", top)
+	}
+	if top.Channels != 3 {
+		t.Errorf("channels = %d; want 3", top.Channels)
+	}
+	if c.NoCs[1].Bandwidth != 64 {
+		t.Errorf("inner noc = %+v", c.NoCs[1])
+	}
+}
+
+func TestParseConfigDefaults(t *testing.T) {
+	c, err := ParseConfig("pes: 64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.VectorWidth != 1 || len(c.NoCs) == 0 {
+		t.Errorf("defaults missing: %+v", c)
+	}
+}
+
+func TestParseConfigMeshSizedToPEs(t *testing.T) {
+	c, err := ParseConfig("pes: 100\nnoc: mesh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NoCs[0].Bandwidth != 10 || c.NoCs[0].AvgLatency != 10 {
+		t.Errorf("mesh sizing: %+v", c.NoCs[0])
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	bad := []string{
+		"bogus_key: 3",
+		"pes: lots",
+		"pes: 8\nnoc: warp bandwidth=3",
+		"pes: 8\nnoc: bus width=3",
+		"pes: 8\nnoc: bus bandwidth",
+		"just a line",
+		"pes: 0",
+	}
+	for _, src := range bad {
+		if _, err := ParseConfig(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+	if _, err := ParseConfig(sampleCfg + "\nnoc: bus multicast=maybe"); err == nil ||
+		!strings.Contains(err.Error(), "multicast") {
+		t.Errorf("bool parse error not surfaced: %v", err)
+	}
+}

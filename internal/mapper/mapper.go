@@ -1,0 +1,383 @@
+// Package mapper searches the full mapping space of a layer on a fixed
+// accelerator: loop orders, tile sizes, spatial dimensions, and cluster
+// splits. This is the class of tool the paper positions MAESTRO to
+// drive ("recent proposals on compilation and analysis tools analyze a
+// broad space of software mappings") — every candidate is expressed in
+// the data-centric directives and priced by the analytical engine.
+//
+// Three strategies are provided: exhaustive enumeration with a budget,
+// uniform random sampling, and random-restart hill climbing over the
+// candidate encoding. All respect an evaluation budget, since the raw
+// space (7! orders x tile grids x spatial choices) is astronomically
+// large.
+package mapper
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/hw"
+	"repro/internal/tensor"
+)
+
+// Candidate encodes one point of the mapping space.
+type Candidate struct {
+	// Order is the temporal nest order, outermost first; a permutation
+	// of the seven dimensions.
+	Order [tensor.NumDims]tensor.Dim
+	// Tiles holds the per-dimension tile size. For the sliding dims Y/X
+	// the tile counts output positions (the builder converts to input
+	// coordinates); for all others it is the chunk size directly.
+	Tiles tensor.Sizes
+	// Spatial is the spatially mapped dimension of the top level.
+	Spatial tensor.Dim
+	// Cluster is the sub-cluster size of an optional second level that
+	// spatially maps InnerSpatial; 0 keeps a single level.
+	Cluster      int
+	InnerSpatial tensor.Dim
+}
+
+// String renders a compact mapping signature.
+func (c Candidate) String() string {
+	s := ""
+	for _, d := range c.Order {
+		s += d.String()
+	}
+	out := fmt.Sprintf("%s tiles=%v spatial=%s", s, c.Tiles, c.Spatial)
+	if c.Cluster > 0 {
+		out += fmt.Sprintf(" cluster=%d:%s", c.Cluster, c.InnerSpatial)
+	}
+	return out
+}
+
+// Dataflow lowers the candidate to data-centric directives for a layer.
+func (c Candidate) Dataflow(layer tensor.Layer) dataflow.Dataflow {
+	df := dataflow.Dataflow{Name: "mapper"}
+	for _, d := range c.Order {
+		t := c.Tiles.Get(d)
+		if t < 1 {
+			t = 1
+		}
+		var size, offset dataflow.SizeExpr
+		if wd, ok := d.Window(); ok {
+			// t output positions need (t-1)*stride + window inputs; the
+			// resolver handles the stride scaling from the symbolic form.
+			size = dataflow.Sz(wd).PlusConst(t - 1)
+			offset = dataflow.Lit(t)
+		} else {
+			size, offset = dataflow.Lit(t), dataflow.Lit(t)
+		}
+		if d == c.Spatial {
+			df.Directives = append(df.Directives, dataflow.SMap(size, offset, d))
+		} else {
+			df.Directives = append(df.Directives, dataflow.TMap(size, offset, d))
+		}
+	}
+	if c.Cluster > 1 && c.InnerSpatial != c.Spatial {
+		df.Directives = append(df.Directives,
+			dataflow.ClusterOf(dataflow.Lit(c.Cluster)),
+			dataflow.SMap(dataflow.Lit(1), dataflow.Lit(1), c.InnerSpatial),
+		)
+	}
+	return df
+}
+
+// Strategy selects the search algorithm.
+type Strategy uint8
+
+// Strategies.
+const (
+	Exhaustive Strategy = iota // deterministic enumeration up to Budget
+	RandomSample
+	HillClimb
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case Exhaustive:
+		return "exhaustive"
+	case RandomSample:
+		return "random"
+	case HillClimb:
+		return "hillclimb"
+	}
+	return fmt.Sprintf("Strategy(%d)", uint8(s))
+}
+
+// Options configures a search.
+type Options struct {
+	Strategy Strategy
+	// Budget caps cost-model evaluations (default 2000).
+	Budget int
+	// Seed drives the stochastic strategies.
+	Seed int64
+	// Score maps a result to the value minimized; nil minimizes runtime.
+	Score func(*core.Result) float64
+	// Restarts for hill climbing (default 4).
+	Restarts int
+}
+
+func (o Options) normalize() Options {
+	if o.Budget == 0 {
+		o.Budget = 2000
+	}
+	if o.Score == nil {
+		o.Score = func(r *core.Result) float64 { return float64(r.Runtime) }
+	}
+	if o.Restarts == 0 {
+		o.Restarts = 4
+	}
+	return o
+}
+
+// Best is the winning mapping of a search.
+type Best struct {
+	Candidate Candidate
+	Dataflow  dataflow.Dataflow
+	Result    *core.Result
+	Score     float64
+}
+
+// Stats summarizes a search run.
+type Stats struct {
+	Evaluated int // cost-model invocations
+	Invalid   int // candidates the resolver or engine rejected
+}
+
+// searcher holds shared state.
+type searcher struct {
+	layer tensor.Layer
+	cfg   hw.Config
+	opt   Options
+	rng   *rand.Rand
+
+	tileChoices [tensor.NumDims][]int
+	best        *Best
+	stats       Stats
+}
+
+// Search explores the mapping space of a layer on a configuration.
+func Search(layer tensor.Layer, cfg hw.Config, opt Options) (Best, Stats, error) {
+	layer = layer.Normalize()
+	cfg = cfg.Normalize()
+	opt = opt.normalize()
+	s := &searcher{
+		layer: layer,
+		cfg:   cfg,
+		opt:   opt,
+		rng:   rand.New(rand.NewSource(opt.Seed + 1)),
+	}
+	for d := tensor.Dim(0); d < tensor.NumDims; d++ {
+		s.tileChoices[d] = tileChoicesFor(layer, d)
+	}
+	switch opt.Strategy {
+	case RandomSample:
+		s.randomSample()
+	case HillClimb:
+		s.hillClimb()
+	default:
+		s.exhaustive()
+	}
+	if s.best == nil {
+		return Best{}, s.stats, fmt.Errorf("mapper: no valid mapping found in %d evaluations", s.stats.Evaluated)
+	}
+	return *s.best, s.stats, nil
+}
+
+// tileChoicesFor enumerates tile sizes for a dimension: powers of two,
+// the full extent, and (for sliding dims) output-position counts.
+func tileChoicesFor(layer tensor.Layer, d tensor.Dim) []int {
+	limit := layer.Sizes.Get(d)
+	if wd, ok := d.Window(); ok {
+		stride := layer.StrideY
+		if d == tensor.X {
+			stride = layer.StrideX
+		}
+		limit = tensor.OutSpan(layer.Sizes.Get(d), layer.Sizes.Get(wd), stride)
+	}
+	var out []int
+	for v := 1; v < limit; v *= 2 {
+		out = append(out, v)
+	}
+	out = append(out, limit)
+	return out
+}
+
+// evaluate prices one candidate, updating the best.
+func (s *searcher) evaluate(c Candidate) (float64, bool) {
+	if s.stats.Evaluated >= s.opt.Budget {
+		return 0, false
+	}
+	df := c.Dataflow(s.layer)
+	spec, err := dataflow.Resolve(df, s.layer, s.cfg.NumPEs)
+	if err != nil {
+		s.stats.Invalid++
+		return 0, false
+	}
+	s.stats.Evaluated++
+	r, err := core.Analyze(spec, s.cfg)
+	if err != nil || r.MACs != s.layer.MACs() {
+		// Reject inexact mappings (overlapping output responsibility).
+		s.stats.Invalid++
+		return 0, false
+	}
+	score := s.opt.Score(r)
+	if s.best == nil || score < s.best.Score {
+		s.best = &Best{Candidate: c, Dataflow: df, Result: r, Score: score}
+	}
+	return score, true
+}
+
+// canonicalOrders lists nest orders worth visiting deterministically:
+// rotations of the canonical order plus reversals, which cover the
+// stationary extremes (weight-, output-, input-stationary).
+func canonicalOrders() [][tensor.NumDims]tensor.Dim {
+	base := [tensor.NumDims]tensor.Dim{tensor.N, tensor.K, tensor.C, tensor.Y, tensor.X, tensor.R, tensor.S}
+	var orders [][tensor.NumDims]tensor.Dim
+	for shift := 0; shift < int(tensor.NumDims); shift++ {
+		var o, rev [tensor.NumDims]tensor.Dim
+		for i := 0; i < int(tensor.NumDims); i++ {
+			o[i] = base[(i+shift)%int(tensor.NumDims)]
+		}
+		for i := range o {
+			rev[i] = o[int(tensor.NumDims)-1-i]
+		}
+		orders = append(orders, o, rev)
+	}
+	return orders
+}
+
+// exhaustive walks a deterministic sub-grid: canonical orders x tile
+// choices for the spatial dim and the innermost dims x spatial choices.
+func (s *searcher) exhaustive() {
+	for _, order := range canonicalOrders() {
+		for _, spatial := range []tensor.Dim{tensor.K, tensor.C, tensor.Y, tensor.X} {
+			for _, st := range s.tileChoices[spatial] {
+				for _, cluster := range []int{0, 8} {
+					c := Candidate{Order: order, Spatial: spatial, Cluster: cluster}
+					if cluster > 0 {
+						c.InnerSpatial = tensor.C
+						if spatial == tensor.C {
+							c.InnerSpatial = tensor.K
+						}
+					}
+					c.Tiles = fullTiles(s.layer)
+					c.Tiles = c.Tiles.Set(spatial, st)
+					if _, ok := s.evaluate(c); !ok && s.stats.Evaluated >= s.opt.Budget {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// fullTiles returns single-chunk tiles (everything staged at once); the
+// searchers shrink from there.
+func fullTiles(layer tensor.Layer) tensor.Sizes {
+	var t tensor.Sizes
+	for d := tensor.Dim(0); d < tensor.NumDims; d++ {
+		sz := layer.Sizes.Get(d)
+		if wd, ok := d.Window(); ok {
+			stride := layer.StrideY
+			if d == tensor.X {
+				stride = layer.StrideX
+			}
+			sz = tensor.OutSpan(layer.Sizes.Get(d), layer.Sizes.Get(wd), stride)
+		}
+		t = t.Set(d, sz)
+	}
+	return t
+}
+
+// randomCandidate draws a uniform candidate.
+func (s *searcher) randomCandidate() Candidate {
+	var c Candidate
+	perm := s.rng.Perm(int(tensor.NumDims))
+	for i, p := range perm {
+		c.Order[i] = tensor.Dim(p)
+	}
+	for d := tensor.Dim(0); d < tensor.NumDims; d++ {
+		ch := s.tileChoices[d]
+		c.Tiles = c.Tiles.Set(d, ch[s.rng.Intn(len(ch))])
+	}
+	spatials := []tensor.Dim{tensor.K, tensor.C, tensor.Y, tensor.X}
+	c.Spatial = spatials[s.rng.Intn(len(spatials))]
+	if s.rng.Intn(2) == 0 {
+		c.Cluster = []int{2, 4, 8, 16}[s.rng.Intn(4)]
+		c.InnerSpatial = spatials[s.rng.Intn(len(spatials))]
+		if c.InnerSpatial == c.Spatial {
+			c.Cluster = 0
+		}
+	}
+	return c
+}
+
+func (s *searcher) randomSample() {
+	for s.stats.Evaluated < s.opt.Budget {
+		s.evaluate(s.randomCandidate())
+		if s.stats.Invalid > 50*s.opt.Budget {
+			return // generator keeps missing; bail out
+		}
+	}
+}
+
+// mutate perturbs one aspect of a candidate.
+func (s *searcher) mutate(c Candidate) Candidate {
+	switch s.rng.Intn(4) {
+	case 0: // swap two nest positions
+		i, j := s.rng.Intn(len(c.Order)), s.rng.Intn(len(c.Order))
+		c.Order[i], c.Order[j] = c.Order[j], c.Order[i]
+	case 1: // re-draw one tile
+		d := tensor.Dim(s.rng.Intn(int(tensor.NumDims)))
+		ch := s.tileChoices[d]
+		c.Tiles = c.Tiles.Set(d, ch[s.rng.Intn(len(ch))])
+	case 2: // change the spatial dim
+		spatials := []tensor.Dim{tensor.K, tensor.C, tensor.Y, tensor.X}
+		c.Spatial = spatials[s.rng.Intn(len(spatials))]
+	default: // toggle/adjust the cluster level
+		if c.Cluster == 0 {
+			c.Cluster = []int{2, 4, 8}[s.rng.Intn(3)]
+			c.InnerSpatial = tensor.C
+			if c.Spatial == tensor.C {
+				c.InnerSpatial = tensor.K
+			}
+		} else {
+			c.Cluster = 0
+		}
+	}
+	return c
+}
+
+func (s *searcher) hillClimb() {
+	perRestart := s.opt.Budget / s.opt.Restarts
+	for r := 0; r < s.opt.Restarts && s.stats.Evaluated < s.opt.Budget; r++ {
+		// Seed the restart with a valid random candidate.
+		var cur Candidate
+		var curScore float64
+		for tries := 0; tries < 200; tries++ {
+			cur = s.randomCandidate()
+			if sc, ok := s.evaluate(cur); ok {
+				curScore = sc
+				break
+			}
+			if tries == 199 {
+				return
+			}
+		}
+		stall := 0
+		for used := 1; used < perRestart && stall < 60 && s.stats.Evaluated < s.opt.Budget; used++ {
+			next := s.mutate(cur)
+			sc, ok := s.evaluate(next)
+			if ok && sc < curScore {
+				cur, curScore = next, sc
+				stall = 0
+			} else {
+				stall++
+			}
+		}
+	}
+}

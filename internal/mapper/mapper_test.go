@@ -1,0 +1,144 @@
+package mapper
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataflows"
+	"repro/internal/hw"
+	"repro/internal/noc"
+	"repro/internal/tensor"
+)
+
+func testLayer() tensor.Layer {
+	return tensor.Layer{
+		Name: "map", Op: tensor.Conv2D,
+		Sizes: tensor.Sizes{tensor.N: 1, tensor.K: 16, tensor.C: 16, tensor.Y: 16, tensor.X: 16, tensor.R: 3, tensor.S: 3},
+	}.Normalize()
+}
+
+func testCfg() hw.Config {
+	m := noc.Bus(16)
+	m.Reduction = true
+	return hw.Config{Name: "map", NumPEs: 32, NoCs: []noc.Model{m}}.Normalize()
+}
+
+func TestCandidateLowering(t *testing.T) {
+	layer := testLayer()
+	c := Candidate{
+		Order:   [tensor.NumDims]tensor.Dim{tensor.K, tensor.C, tensor.Y, tensor.X, tensor.R, tensor.S, tensor.N},
+		Spatial: tensor.K,
+		Tiles:   fullTiles(layer).Set(tensor.K, 1).Set(tensor.Y, 2),
+	}
+	df := c.Dataflow(layer)
+	if len(df.Directives) != int(tensor.NumDims) {
+		t.Fatalf("directives = %d", len(df.Directives))
+	}
+	// Y tile of 2 output rows lowers to size Sz(R)+1, offset 2.
+	var yDir *struct{ size, offset int }
+	for _, d := range df.Directives {
+		if !d.IsCluster && d.Dim == tensor.Y {
+			yDir = &struct{ size, offset int }{
+				d.Size.Eval(layer.Sizes), d.Offset.Eval(layer.Sizes)}
+		}
+	}
+	if yDir == nil || yDir.size != 4 || yDir.offset != 2 {
+		t.Fatalf("Y directive = %+v; want size 4 offset 2", yDir)
+	}
+	r, err := core.AnalyzeDataflow(df, layer, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSearchStrategies(t *testing.T) {
+	layer := testLayer()
+	cfg := testCfg()
+	for _, st := range []Strategy{Exhaustive, RandomSample, HillClimb} {
+		best, stats, err := Search(layer, cfg, Options{Strategy: st, Budget: 300, Seed: 11})
+		if err != nil {
+			t.Fatalf("%v: %v", st, err)
+		}
+		if stats.Evaluated == 0 || stats.Evaluated > 300 {
+			t.Errorf("%v: evaluated %d", st, stats.Evaluated)
+		}
+		if err := best.Result.CheckConservation(); err != nil {
+			t.Errorf("%v: %v", st, err)
+		}
+		if best.Score <= 0 {
+			t.Errorf("%v: score %v", st, best.Score)
+		}
+	}
+}
+
+// TestSearchCompetitive: with a modest budget the mapper should find a
+// mapping at least as good as the best fixed Table 3 dataflow.
+func TestSearchCompetitive(t *testing.T) {
+	layer := testLayer()
+	cfg := testCfg()
+	var bestFixed int64 = -1
+	for _, df := range dataflows.All() {
+		r, err := core.AnalyzeDataflow(df, layer, cfg)
+		if err != nil {
+			continue
+		}
+		if bestFixed < 0 || r.Runtime < bestFixed {
+			bestFixed = r.Runtime
+		}
+	}
+	best, _, err := Search(layer, cfg, Options{Strategy: HillClimb, Budget: 800, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Result.Runtime > bestFixed {
+		t.Errorf("mapper best %d cycles worse than fixed best %d", best.Result.Runtime, bestFixed)
+	}
+}
+
+// TestDeterministicSeeds: the stochastic strategies reproduce with the
+// same seed.
+func TestDeterministicSeeds(t *testing.T) {
+	layer := testLayer()
+	cfg := testCfg()
+	a, _, err := Search(layer, cfg, Options{Strategy: RandomSample, Budget: 120, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Search(layer, cfg, Options{Strategy: RandomSample, Budget: 120, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Score != b.Score || a.Candidate.String() != b.Candidate.String() {
+		t.Errorf("non-deterministic search: %v vs %v", a.Candidate, b.Candidate)
+	}
+}
+
+func TestBudgetRespected(t *testing.T) {
+	_, stats, err := Search(testLayer(), testCfg(), Options{Strategy: Exhaustive, Budget: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Evaluated > 25 {
+		t.Errorf("budget exceeded: %d", stats.Evaluated)
+	}
+}
+
+func TestCustomObjective(t *testing.T) {
+	layer := testLayer()
+	cfg := testCfg()
+	energyScore := func(r *core.Result) float64 { return r.EnergyDefault().OnChip() }
+	e, _, err := Search(layer, cfg, Options{Strategy: Exhaustive, Budget: 400, Score: energyScore})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, _, err := Search(layer, cfg, Options{Strategy: Exhaustive, Budget: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Result.EnergyDefault().OnChip() > rt.Result.EnergyDefault().OnChip() {
+		t.Error("energy objective found worse energy than runtime objective")
+	}
+}

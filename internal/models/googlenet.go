@@ -1,0 +1,41 @@
+package models
+
+// GoogLeNet returns the Inception-v1 network (Szegedy et al.): the stem
+// convolutions plus nine inception modules, each expanded into its 1x1,
+// 3x3-reduce/3x3, 5x5-reduce/5x5 and pool-projection branches.
+func GoogLeNet() Model {
+	m := Model{Name: "GoogLeNet", Layers: []LayerInst{
+		inst(conv("CONV1", 64, 3, 112, 7, 2), 1),
+		inst(pwconv("CONV2r", 64, 64, 56, 1), 1),
+		inst(conv("CONV2", 192, 64, 56, 3, 1), 1),
+	}}
+	type incep struct {
+		name                     string
+		in, out                  int
+		c1, c3r, c3, c5r, c5, pp int
+	}
+	blocks := []incep{
+		{"3a", 192, 28, 64, 96, 128, 16, 32, 32},
+		{"3b", 256, 28, 128, 128, 192, 32, 96, 64},
+		{"4a", 480, 14, 192, 96, 208, 16, 48, 64},
+		{"4b", 512, 14, 160, 112, 224, 24, 64, 64},
+		{"4c", 512, 14, 128, 128, 256, 24, 64, 64},
+		{"4d", 512, 14, 112, 144, 288, 32, 64, 64},
+		{"4e", 528, 14, 256, 160, 320, 32, 128, 128},
+		{"5a", 832, 7, 256, 160, 320, 32, 128, 128},
+		{"5b", 832, 7, 384, 192, 384, 48, 128, 128},
+	}
+	for _, b := range blocks {
+		p := "INC" + b.name
+		m.Layers = append(m.Layers,
+			inst(pwconv(p+"_1x1", b.c1, b.in, b.out, 1), 1),
+			inst(pwconv(p+"_3x3r", b.c3r, b.in, b.out, 1), 1),
+			inst(conv(p+"_3x3", b.c3, b.c3r, b.out, 3, 1), 1),
+			inst(pwconv(p+"_5x5r", b.c5r, b.in, b.out, 1), 1),
+			inst(conv(p+"_5x5", b.c5, b.c5r, b.out, 5, 1), 1),
+			inst(pwconv(p+"_pool", b.pp, b.in, b.out, 1), 1),
+		)
+	}
+	m.Layers = append(m.Layers, inst(fc("FC1000", 1000, 1024), 1))
+	return m
+}

@@ -1,0 +1,52 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Transformer returns one encoder block of a Transformer with the given
+// model width, head count, feed-forward width, and sequence length,
+// expressed as the GEMMs a DNN accelerator executes (the paper's
+// Section 4.4 notes MAESTRO covers "all the operations represented as
+// the loop nest with two input tensors and one output tensor"):
+//
+//   - Q/K/V projections: three [seq, d] x [d, d] GEMMs;
+//   - attention scores: per head, [seq, d/h] x [d/h, seq];
+//   - attention-weighted values: per head, [seq, seq] x [seq, d/h];
+//   - output projection: [seq, d] x [d, d];
+//   - feed-forward: [seq, d] x [d, ff] and [seq, ff] x [ff, d].
+//
+// Softmax/normalization are element-wise and carry no MACs.
+func Transformer(name string, dModel, heads, ff, seqLen int) Model {
+	gemm := func(n string, m, k, c int) LayerInst {
+		l := tensor.Layer{
+			Name: n, Op: tensor.GEMM,
+			Sizes: tensor.Sizes{tensor.N: m, tensor.K: k, tensor.C: c},
+		}.Normalize()
+		return LayerInst{Layer: l, Count: 1, Class: FullyConn}
+	}
+	dHead := dModel / heads
+	m := Model{Name: name}
+	m.Layers = append(m.Layers,
+		gemm(name+"_qkv", seqLen, 3*dModel, dModel),
+	)
+	// Attention GEMMs repeat per head.
+	scores := gemm(name+"_scores", seqLen, seqLen, dHead)
+	scores.Count = heads
+	ctx := gemm(name+"_context", seqLen, dHead, seqLen)
+	ctx.Count = heads
+	m.Layers = append(m.Layers, scores, ctx,
+		gemm(name+"_proj", seqLen, dModel, dModel),
+		gemm(name+"_ff1", seqLen, ff, dModel),
+		gemm(name+"_ff2", seqLen, dModel, ff),
+	)
+	return m
+}
+
+// BERTBase returns the GEMM workload of one BERT-base encoder block
+// (d=768, 12 heads, ff=3072) at the given sequence length.
+func BERTBase(seqLen int) Model {
+	return Transformer(fmt.Sprintf("BERT-base-s%d", seqLen), 768, 12, 3072, seqLen)
+}

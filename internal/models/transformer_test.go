@@ -1,0 +1,60 @@
+package models
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/hw"
+	"repro/internal/tensor"
+)
+
+func TestTransformerMACs(t *testing.T) {
+	// BERT-base block at seq 128:
+	//   qkv: 128*2304*768; scores+context: 12*(128*128*64)*2;
+	//   proj: 128*768*768; ff: 2*128*3072*768.
+	m := BERTBase(128)
+	want := int64(128)*2304*768 +
+		2*12*int64(128)*128*64 +
+		int64(128)*768*768 +
+		2*int64(128)*3072*768
+	if m.MACs() != want {
+		t.Fatalf("BERT block MACs = %d; want %d", m.MACs(), want)
+	}
+}
+
+func TestTransformerHeadsDivide(t *testing.T) {
+	m := Transformer("t", 512, 8, 2048, 64)
+	if len(m.Layers) != 6 {
+		t.Fatalf("layers = %d", len(m.Layers))
+	}
+	for _, li := range m.Layers {
+		if err := li.Layer.Validate(); err != nil {
+			t.Errorf("%s: %v", li.Layer.Name, err)
+		}
+		if li.Layer.Op != tensor.GEMM {
+			t.Errorf("%s: op %v", li.Layer.Name, li.Layer.Op)
+		}
+	}
+}
+
+// TestTransformerAnalyzes runs every GEMM of a block through the engine
+// under a GEMM-friendly mapping with exact conservation.
+func TestTransformerAnalyzes(t *testing.T) {
+	m := BERTBase(64)
+	cfg := hw.Accel256()
+	df := dataflow.Dataflow{Name: "gemm-kn", Directives: []dataflow.Directive{
+		dataflow.TMap(dataflow.Lit(1), dataflow.Lit(1), tensor.N),
+		dataflow.SMap(dataflow.Lit(1), dataflow.Lit(1), tensor.K),
+		dataflow.TMap(dataflow.Lit(64), dataflow.Lit(64), tensor.C),
+	}}
+	for _, li := range m.Layers {
+		r, err := core.AnalyzeDataflow(df, li.Layer, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", li.Layer.Name, err)
+		}
+		if err := r.CheckConservation(); err != nil {
+			t.Fatalf("%s: %v", li.Layer.Name, err)
+		}
+	}
+}

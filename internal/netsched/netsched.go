@@ -1,0 +1,222 @@
+// Package netsched schedules a whole network layer by layer on one
+// accelerator. Beyond summing per-layer costs it models the inter-layer
+// data movement the paper's Table 4 points at:
+//
+//   - an activation produced by layer i can stay resident in the shared
+//     L2 scratchpad and feed layer i+1 without a DRAM round trip, when
+//     capacity allows;
+//   - residual (skip) connections pin their source activation in L2
+//     across the intervening layers — or pay the "extra global buffer /
+//     DRAM accesses to fetch previous activation" the paper lists.
+//
+// Dataflows are chosen per layer: a fixed style, or the auto-tuner.
+package netsched
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/hw"
+	"repro/internal/models"
+	"repro/internal/tensor"
+	"repro/internal/tuner"
+)
+
+// Edge is a skip connection: the output of layer From (index into the
+// model's layer list) is consumed again by layer To (> From+1).
+type Edge struct {
+	From, To int
+}
+
+// Options configures a schedule.
+type Options struct {
+	// Dataflow maps each layer to its mapping; nil uses the auto-tuner
+	// with the Objective below.
+	Dataflow func(tensor.Layer) (dataflow.Dataflow, bool)
+	// Objective drives the tuner when Dataflow is nil.
+	Objective tuner.Objective
+	// L2Bytes is the shared scratchpad capacity available for staging
+	// and inter-layer residency. Zero disables residency (every layer
+	// round-trips DRAM), reproducing a plain per-layer sum.
+	L2Bytes int64
+	// Residuals lists skip connections.
+	Residuals []Edge
+}
+
+// LayerPlan is one scheduled layer.
+type LayerPlan struct {
+	Inst     models.LayerInst
+	Dataflow dataflow.Dataflow
+	Result   *core.Result
+	// InputResident/OutputResident report whether the layer's activation
+	// input/output stayed in L2 rather than round-tripping DRAM.
+	InputResident  bool
+	OutputResident bool
+	// HeldBytes is L2 capacity pinned by live residual sources while
+	// this layer runs.
+	HeldBytes int64
+	// DRAMReads/DRAMWrites are the layer's off-chip element transfers
+	// after residency adjustments.
+	DRAMReads, DRAMWrites int64
+}
+
+// Schedule is the end-to-end plan.
+type Schedule struct {
+	Plans       []LayerPlan
+	TotalCycles int64
+	// DRAMTraffic is the total off-chip elements moved, after residency.
+	DRAMTraffic int64
+	// DRAMSaved is the traffic residency avoided versus a no-residency
+	// schedule.
+	DRAMSaved int64
+	EnergyPJ  float64
+}
+
+// Run schedules every layer of the model in order.
+func Run(m models.Model, cfg hw.Config, opt Options) (*Schedule, error) {
+	cfg = cfg.Normalize()
+	if err := validateEdges(m, opt.Residuals); err != nil {
+		return nil, err
+	}
+	// liveUntil[i] = last layer index that still needs layer i's output
+	// beyond the immediate successor.
+	liveUntil := map[int]int{}
+	for _, e := range opt.Residuals {
+		if e.To > liveUntil[e.From] {
+			liveUntil[e.From] = e.To
+		}
+	}
+
+	sched := &Schedule{}
+	type held struct {
+		until int
+		bytes int64
+	}
+	var pinned []held
+	prevOutResident := false
+	var prevOutBytes int64
+
+	for i, li := range m.Layers {
+		layer := li.Layer
+		df, r, err := chooseMapping(layer, cfg, opt)
+		if err != nil {
+			return nil, fmt.Errorf("layer %s: %w", layer.Name, err)
+		}
+
+		// L2 pressure: pinned residual sources shrink what the layer may
+		// use for staging and retention.
+		var heldBytes int64
+		livePinned := pinned[:0]
+		for _, h := range pinned {
+			if h.until > i {
+				heldBytes += h.bytes
+				livePinned = append(livePinned, h)
+			}
+		}
+		pinned = livePinned
+		avail := opt.L2Bytes - heldBytes
+		if opt.L2Bytes > 0 {
+			if avail < r.L2ReqBytes() {
+				// Pinned residuals crowd out the staging tiles: the
+				// residual source spills and is re-fetched (the paper's
+				// "extra DRAM accesses").
+				avail = r.L2ReqBytes()
+			}
+			r = r.WithL2(avail)
+		}
+
+		plan := LayerPlan{
+			Inst: li, Dataflow: df, Result: r,
+			HeldBytes:  heldBytes,
+			DRAMReads:  r.DRAMReads,
+			DRAMWrites: r.DRAMWrites,
+		}
+		inBytes := scaled(layer, tensor.Input, cfg)
+		outBytes := scaled(layer, tensor.Output, cfg)
+
+		// Input residency: the previous layer's output feeds this layer
+		// from L2 when it was kept and fits alongside the staging tiles.
+		if prevOutResident && opt.L2Bytes > 0 &&
+			prevOutBytes <= avail-r.L2ReqBytes() {
+			plan.InputResident = true
+			saved := min64(plan.DRAMReads, inBytes/int64(cfg.ElemBytes))
+			plan.DRAMReads -= saved
+			sched.DRAMSaved += saved
+		}
+		// Output residency: keep this output for the next layer when it
+		// fits; otherwise it drains to DRAM as usual.
+		if opt.L2Bytes > 0 && outBytes <= avail-r.L2ReqBytes() {
+			plan.OutputResident = true
+			saved := min64(plan.DRAMWrites, outBytes/int64(cfg.ElemBytes))
+			plan.DRAMWrites -= saved
+			sched.DRAMSaved += saved
+		}
+		// Pin residual sources for their consumers; a source that cannot
+		// stay resident costs a DRAM write now and a read at the consumer
+		// (both already in the default accounting).
+		if until, ok := liveUntil[i]; ok && plan.OutputResident {
+			pinned = append(pinned, held{until: until, bytes: outBytes})
+		}
+
+		n := int64(li.Count)
+		sched.Plans = append(sched.Plans, plan)
+		sched.TotalCycles += r.OnChipRuntime * n
+		sched.DRAMTraffic += (plan.DRAMReads + plan.DRAMWrites) * n
+		// Price the layer with its DRAM term replaced by the
+		// residency-adjusted traffic.
+		eb := r.EnergyDefault()
+		perInst := eb.OnChip() + float64(plan.DRAMReads+plan.DRAMWrites)*200
+		sched.EnergyPJ += perInst * float64(n)
+		prevOutResident = plan.OutputResident
+		prevOutBytes = outBytes
+	}
+	// The DRAM link bounds the end-to-end runtime too.
+	dramDelay := int64(float64(sched.DRAMTraffic)/cfg.OffchipBandwidth + 0.999999)
+	if dramDelay > sched.TotalCycles {
+		sched.TotalCycles = dramDelay
+	}
+	return sched, nil
+}
+
+func chooseMapping(layer tensor.Layer, cfg hw.Config, opt Options) (dataflow.Dataflow, *core.Result, error) {
+	if opt.Dataflow != nil {
+		df, ok := opt.Dataflow(layer)
+		if !ok {
+			return dataflow.Dataflow{}, nil, fmt.Errorf("no dataflow provided")
+		}
+		r, err := core.AnalyzeDataflow(df, layer, cfg)
+		return df, r, err
+	}
+	ch, err := tuner.TuneLayer(layer, cfg, tuner.Options{Objective: opt.Objective})
+	if err != nil {
+		return dataflow.Dataflow{}, nil, err
+	}
+	return ch.Dataflow, ch.Result, nil
+}
+
+func validateEdges(m models.Model, edges []Edge) error {
+	for _, e := range edges {
+		if e.From < 0 || e.To >= len(m.Layers) || e.To <= e.From+1 {
+			return fmt.Errorf("netsched: residual edge %d->%d invalid (need From < To-1 within %d layers)",
+				e.From, e.To, len(m.Layers))
+		}
+	}
+	return nil
+}
+
+// scaled returns tensor k's size in bytes, density-scaled.
+func scaled(layer tensor.Layer, k tensor.Kind, cfg hw.Config) int64 {
+	d := layer.Density[k]
+	if d == 0 {
+		d = 1
+	}
+	return int64(float64(layer.TensorSize(k))*d+0.5) * int64(cfg.ElemBytes)
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,132 @@
+package netsched
+
+import (
+	"testing"
+
+	"repro/internal/dataflow"
+	"repro/internal/dataflows"
+	"repro/internal/hw"
+	"repro/internal/models"
+	"repro/internal/tensor"
+)
+
+// chain builds a small three-layer CNN whose activations fit in a
+// megabyte-class L2.
+func chain() models.Model {
+	mk := func(name string, k, c, out int) models.LayerInst {
+		in := out + 2
+		l := tensor.Layer{
+			Name: name, Op: tensor.Conv2D,
+			Sizes: tensor.Sizes{tensor.N: 1, tensor.K: k, tensor.C: c, tensor.Y: in, tensor.X: in, tensor.R: 3, tensor.S: 3},
+		}.Normalize()
+		return models.LayerInst{Layer: l, Count: 1, Class: models.Classify(l)}
+	}
+	return models.Model{Name: "chain", Layers: []models.LayerInst{
+		mk("A", 16, 8, 28),
+		mk("B", 16, 16, 28),
+		mk("C", 16, 16, 28),
+		mk("D", 16, 16, 28),
+	}}
+}
+
+func fixedKCP(tensor.Layer) (dataflow.Dataflow, bool) {
+	return dataflows.Get("KC-P"), true
+}
+
+func TestResidencySavesDRAM(t *testing.T) {
+	m := chain()
+	cfg := hw.Accel256()
+	noRes, err := Run(m, cfg, Options{Dataflow: fixedKCP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withRes, err := Run(m, cfg, Options{Dataflow: fixedKCP, L2Bytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withRes.DRAMTraffic >= noRes.DRAMTraffic {
+		t.Errorf("residency did not cut DRAM traffic: %d vs %d",
+			withRes.DRAMTraffic, noRes.DRAMTraffic)
+	}
+	if withRes.DRAMSaved == 0 {
+		t.Error("no savings recorded")
+	}
+	if withRes.EnergyPJ >= noRes.EnergyPJ {
+		t.Errorf("residency did not cut energy: %v vs %v", withRes.EnergyPJ, noRes.EnergyPJ)
+	}
+	// Middle layers should see both input and output resident.
+	mid := withRes.Plans[1]
+	if !mid.InputResident || !mid.OutputResident {
+		t.Errorf("middle layer residency: in=%v out=%v", mid.InputResident, mid.OutputResident)
+	}
+}
+
+func TestTinyL2DisablesResidency(t *testing.T) {
+	m := chain()
+	cfg := hw.Accel256()
+	s, err := Run(m, cfg, Options{Dataflow: fixedKCP, L2Bytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range s.Plans {
+		if p.InputResident || p.OutputResident {
+			t.Errorf("layer %s resident despite 4 KB L2", p.Inst.Layer.Name)
+		}
+	}
+}
+
+func TestResidualPinning(t *testing.T) {
+	m := chain()
+	cfg := hw.Accel256()
+	// Skip connection from layer 0's output to layer 3.
+	s, err := Run(m, cfg, Options{
+		Dataflow: fixedKCP, L2Bytes: 1 << 20,
+		Residuals: []Edge{{From: 0, To: 3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layers 1 and 2 run with the residual pinned.
+	if s.Plans[1].HeldBytes == 0 || s.Plans[2].HeldBytes == 0 {
+		t.Errorf("residual not pinned: held=%d,%d", s.Plans[1].HeldBytes, s.Plans[2].HeldBytes)
+	}
+	if s.Plans[3].HeldBytes != 0 {
+		t.Errorf("residual still pinned at its consumer: %d", s.Plans[3].HeldBytes)
+	}
+	// Pinning shrinks retention capacity: DRAM traffic must not drop
+	// below the unpinned schedule's.
+	free, err := Run(m, cfg, Options{Dataflow: fixedKCP, L2Bytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DRAMTraffic < free.DRAMTraffic {
+		t.Errorf("pinned schedule moved less DRAM (%d) than free (%d)", s.DRAMTraffic, free.DRAMTraffic)
+	}
+}
+
+func TestEdgeValidation(t *testing.T) {
+	m := chain()
+	cfg := hw.Accel256()
+	for _, bad := range []Edge{{From: 2, To: 3}, {From: -1, To: 3}, {From: 0, To: 99}} {
+		if _, err := Run(m, cfg, Options{Dataflow: fixedKCP, Residuals: []Edge{bad}}); err == nil {
+			t.Errorf("edge %+v accepted", bad)
+		}
+	}
+}
+
+func TestTunedSchedule(t *testing.T) {
+	m := chain()
+	cfg := hw.Accel256()
+	tuned, err := Run(m, cfg, Options{L2Bytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := Run(m, cfg, Options{Dataflow: fixedKCP, L2Bytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuned.TotalCycles > fixed.TotalCycles {
+		t.Errorf("tuned schedule (%d) slower than fixed KC-P (%d)",
+			tuned.TotalCycles, fixed.TotalCycles)
+	}
+}

@@ -1,0 +1,139 @@
+// Package noc provides the analytical network-on-chip model of MAESTRO
+// (Section 4.2): a pipe characterized by bandwidth (width) and average
+// latency (length), with capability flags for in-network spatial multicast
+// and spatial reduction (Table 2).
+//
+// The pipe model incorporates pipelining: delivering n elements costs
+// latency + ceil(n / bandwidth) cycles. Presets approximate common
+// topologies the paper discusses (bus, crossbar, 2D mesh bisection,
+// systolic store-and-forward).
+package noc
+
+import "fmt"
+
+// Model is one NoC link: the connection between a buffer level and the
+// sub-clusters below it.
+type Model struct {
+	Name string
+	// Bandwidth is the pipe width in data elements per cycle.
+	Bandwidth float64
+	// AvgLatency is the pipe length: average cycles from injection to
+	// delivery, e.g. N for an N x N mesh injected at a corner.
+	AvgLatency int64
+	// Multicast reports in-network spatial multicast support (fan-out
+	// bus/tree): one read from the parent buffer reaches all sub-clusters.
+	// Without it, replicated data is read and sent once per destination.
+	Multicast bool
+	// Reduction reports in-network spatial reduction support (fan-in
+	// adder tree or reduce-and-forward): partial sums combine in flight.
+	// Without it, every sub-cluster's partial output travels to the
+	// parent buffer and accumulates there.
+	Reduction bool
+	// Channels > 1 dedicates a fixed share of the bandwidth to each
+	// tensor (Eyeriss's per-tensor channels: "a bandwidth of 3X properly
+	// models the top level NoC"). Transfers of different tensors then
+	// overlap — the delay of a step is the slowest channel, not the sum —
+	// but a hot tensor cannot borrow idle channels' wires. 0 or 1 means
+	// one shared pipe.
+	Channels int
+}
+
+// Validate reports an error for non-physical parameters.
+func (m Model) Validate() error {
+	if m.Bandwidth <= 0 {
+		return fmt.Errorf("noc %s: bandwidth %v must be positive", m.Name, m.Bandwidth)
+	}
+	if m.AvgLatency < 0 {
+		return fmt.Errorf("noc %s: negative latency", m.Name)
+	}
+	return nil
+}
+
+// Delay returns the pipe-model cycles to deliver n elements: avgLatency +
+// ceil(n/bandwidth). Zero elements cost nothing.
+func (m Model) Delay(n int64) int64 {
+	return m.delayAt(n, m.Bandwidth)
+}
+
+func (m Model) delayAt(n int64, bw float64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	cycles := int64(float64(n)/bw + 0.999999)
+	if cycles < 1 {
+		cycles = 1
+	}
+	return m.AvgLatency + cycles
+}
+
+// DelayPer returns the cycles to deliver per-tensor payloads. With
+// dedicated channels each payload rides its own bandwidth share and the
+// slowest channel governs; with a shared pipe the payloads serialize.
+func (m Model) DelayPer(payloads ...int64) int64 {
+	if m.Channels <= 1 {
+		var sum int64
+		for _, n := range payloads {
+			sum += n
+		}
+		return m.Delay(sum)
+	}
+	per := m.Bandwidth / float64(m.Channels)
+	var worst int64
+	for _, n := range payloads {
+		if d := m.delayAt(n, per); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// Bus models a shared bus of the given element-per-cycle width with
+// broadcast (multicast) support but no in-network reduction.
+func Bus(width float64) Model {
+	return Model{Name: "bus", Bandwidth: width, AvgLatency: 2, Multicast: true}
+}
+
+// Crossbar models an n-port crossbar: n parallel element channels,
+// single-cycle arbitration latency, multicast-capable.
+func Crossbar(n int) Model {
+	return Model{Name: "crossbar", Bandwidth: float64(n), AvgLatency: 1, Multicast: true}
+}
+
+// Mesh models an n x n 2D mesh injected at a corner, following the paper's
+// guidance: bisection bandwidth n, average latency n.
+func Mesh(n int) Model {
+	return Model{Name: "mesh", Bandwidth: float64(n), AvgLatency: int64(n), Multicast: true}
+}
+
+// SystolicRow models a store-and-forward systolic chain of n PEs: one
+// element per cycle enters the chain, average delivery latency n/2, with
+// forwarding acting as multicast and reduce-and-forward as reduction.
+func SystolicRow(n int) Model {
+	return Model{
+		Name: "systolic", Bandwidth: 1, AvgLatency: int64(n / 2),
+		Multicast: true, Reduction: true,
+	}
+}
+
+// Tree models a fan-out/fan-in tree over n leaves: full-width distribution
+// with log-depth latency and both multicast and reduction support (the
+// MAERI-style fat tree).
+func Tree(n int) Model {
+	lat := int64(1)
+	for m := 1; m < n; m *= 2 {
+		lat++
+	}
+	return Model{Name: "tree", Bandwidth: float64(n), AvgLatency: lat, Multicast: true, Reduction: true}
+}
+
+// GBpsToElems converts a link bandwidth in GB/s to elements per cycle for
+// a given clock (GHz) and element size (bytes). The paper's experiments
+// quote NoC bandwidth in GB/s (e.g. 32 GB/s at 1 GHz, 1-byte elements).
+func GBpsToElems(gbps, clockGHz float64, elemBytes int) float64 {
+	return gbps / clockGHz / float64(elemBytes)
+}
+
+// ElemsToGBps converts elements per cycle back to GB/s.
+func ElemsToGBps(elems, clockGHz float64, elemBytes int) float64 {
+	return elems * clockGHz * float64(elemBytes)
+}

@@ -1,0 +1,129 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDelayPipeModel(t *testing.T) {
+	m := Model{Name: "t", Bandwidth: 4, AvgLatency: 3}
+	cases := []struct {
+		n    int64
+		want int64
+	}{
+		{0, 0},  // nothing to send
+		{1, 4},  // latency + 1
+		{4, 4},  // one beat
+		{5, 5},  // two beats
+		{16, 7}, // four beats
+		{1000, 3 + 250},
+	}
+	for _, c := range cases {
+		if got := m.Delay(c.n); got != c.want {
+			t.Errorf("Delay(%d) = %d; want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestDelayFractionalBandwidth(t *testing.T) {
+	m := Model{Name: "t", Bandwidth: 0.5, AvgLatency: 0}
+	if got := m.Delay(3); got != 6 {
+		t.Errorf("Delay(3) at bw 0.5 = %d; want 6", got)
+	}
+}
+
+// Property: delay is monotone in payload and never below latency+1 for a
+// non-empty payload.
+func TestDelayMonotone(t *testing.T) {
+	m := Bus(16)
+	f := func(a, b uint16) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		dx, dy := m.Delay(x), m.Delay(y)
+		if dx > dy {
+			return false
+		}
+		return x == 0 || dx >= m.AvgLatency+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	if !Bus(8).Multicast || Bus(8).Reduction {
+		t.Error("bus: multicast without reduction expected")
+	}
+	if m := Mesh(8); m.Bandwidth != 8 || m.AvgLatency != 8 {
+		t.Errorf("mesh(8) = %+v", m)
+	}
+	if m := Tree(64); !m.Multicast || !m.Reduction || m.AvgLatency != 7 {
+		t.Errorf("tree(64) = %+v; want log-depth latency 7", m)
+	}
+	if m := SystolicRow(16); !m.Reduction || m.Bandwidth != 1 {
+		t.Errorf("systolic = %+v", m)
+	}
+	for _, m := range []Model{Bus(4), Crossbar(4), Mesh(4), Tree(4), SystolicRow(4)} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	if err := (Model{Bandwidth: 0}).Validate(); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	if err := (Model{Bandwidth: 1, AvgLatency: -1}).Validate(); err == nil {
+		t.Error("negative latency accepted")
+	}
+}
+
+func TestBandwidthConversion(t *testing.T) {
+	// 32 GB/s at 1 GHz with 1-byte elements = 32 elements/cycle.
+	if got := GBpsToElems(32, 1, 1); got != 32 {
+		t.Errorf("GBpsToElems = %v", got)
+	}
+	// fp16 halves the element rate.
+	if got := GBpsToElems(32, 1, 2); got != 16 {
+		t.Errorf("GBpsToElems fp16 = %v", got)
+	}
+	if got := ElemsToGBps(16, 1, 2); got != 32 {
+		t.Errorf("ElemsToGBps = %v", got)
+	}
+	// Round trip.
+	if got := ElemsToGBps(GBpsToElems(13, 1.5, 2), 1.5, 2); got != 13 {
+		t.Errorf("round trip = %v", got)
+	}
+}
+
+func TestDelayPerChannels(t *testing.T) {
+	shared := Model{Name: "s", Bandwidth: 3, AvgLatency: 1}
+	// Shared pipe serializes: 1 + ceil(30/3).
+	if got := shared.DelayPer(10, 10, 10); got != 11 {
+		t.Errorf("shared DelayPer = %d; want 11", got)
+	}
+	ch := shared
+	ch.Channels = 3
+	// Dedicated channels overlap: slowest channel at bandwidth 1.
+	if got := ch.DelayPer(10, 10, 10); got != 11 {
+		t.Errorf("balanced channels DelayPer = %d; want 11", got)
+	}
+	// Skewed traffic: channels can't borrow idle bandwidth.
+	if got, sharedD := ch.DelayPer(30, 0, 0), shared.DelayPer(30, 0, 0); got <= sharedD {
+		t.Errorf("skewed channels %d should exceed shared %d", got, sharedD)
+	}
+	// Balanced traffic: channels match the aggregate pipe (the paper's
+	// "bandwidth of 3X properly models the top level NoC" equivalence)
+	// and never do worse.
+	if got, sharedD := ch.DelayPer(9, 9, 9), shared.DelayPer(9, 9, 9); got > sharedD {
+		t.Errorf("balanced channels %d worse than shared %d", got, sharedD)
+	}
+	// Skew always costs with fixed channel shares: dedicated wires
+	// cannot be borrowed, so channels never beat the aggregate pipe.
+	if got, sharedD := ch.DelayPer(9, 6, 3), shared.DelayPer(9, 6, 3); got < sharedD {
+		t.Errorf("channels %d beat the aggregate pipe %d; impossible with fixed shares", got, sharedD)
+	}
+}

@@ -1,0 +1,211 @@
+// Package report renders analysis results machine-readably (CSV, JSON)
+// and provides roofline-style derived metrics, so MAESTRO's outputs can
+// feed plotting scripts and downstream tooling the way the paper's DSE
+// plots (Figure 13) were produced.
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/dse"
+	"repro/internal/tensor"
+)
+
+// Row is the flat record exported per analyzed layer.
+type Row struct {
+	Layer      string  `json:"layer"`
+	Dataflow   string  `json:"dataflow"`
+	PEs        int     `json:"pes"`
+	UsedPEs    int     `json:"used_pes"`
+	Runtime    int64   `json:"runtime_cycles"`
+	MACs       int64   `json:"macs"`
+	Throughput float64 `json:"throughput_mac_per_cycle"`
+	Util       float64 `json:"utilization"`
+
+	L2Reads  int64 `json:"l2_reads"`
+	L2Writes int64 `json:"l2_writes"`
+	L1Reads  int64 `json:"l1_reads"`
+	L1Writes int64 `json:"l1_writes"`
+	DRAM     int64 `json:"dram_elems"`
+
+	L1ReqBytes int64 `json:"l1_req_bytes"`
+	L2ReqBytes int64 `json:"l2_req_bytes"`
+
+	PeakBWGBps   float64 `json:"peak_bw_gbps"`
+	EnergyPJ     float64 `json:"energy_pj_onchip"`
+	Bottleneck   string  `json:"bottleneck"`
+	InputReuse   float64 `json:"input_reuse"`
+	WeightReuse  float64 `json:"weight_reuse"`
+	OutputReuse  float64 `json:"output_reuse"`
+	ArithIntensy float64 `json:"arithmetic_intensity"`
+}
+
+// RowOf flattens one result.
+func RowOf(r *core.Result) Row {
+	var l2r, l2w int64
+	for _, k := range tensor.AllKinds() {
+		l2r += r.L2Read(k)
+		l2w += r.L2Write(k)
+	}
+	return Row{
+		Layer:        r.Layer.Name,
+		Dataflow:     r.DataflowName,
+		PEs:          r.Cfg.NumPEs,
+		UsedPEs:      r.UsedPEs,
+		Runtime:      r.Runtime,
+		MACs:         r.MACs,
+		Throughput:   r.Throughput(),
+		Util:         r.Utilization(),
+		L2Reads:      l2r,
+		L2Writes:     l2w,
+		L1Reads:      sumKinds(r.L1Read),
+		L1Writes:     sumKinds(r.L1Write),
+		DRAM:         r.DRAMReads + r.DRAMWrites,
+		L1ReqBytes:   r.L1ReqBytes(),
+		L2ReqBytes:   r.L2ReqBytes(),
+		PeakBWGBps:   r.PeakBWGBps(),
+		EnergyPJ:     r.EnergyDefault().OnChip(),
+		Bottleneck:   r.Bottleneck,
+		InputReuse:   r.ReuseFactor(tensor.Input),
+		WeightReuse:  r.ReuseFactor(tensor.Weight),
+		OutputReuse:  r.ReuseFactor(tensor.Output),
+		ArithIntensy: ArithmeticIntensity(r),
+	}
+}
+
+func sumKinds(f func(tensor.Kind) int64) int64 {
+	var s int64
+	for _, k := range tensor.AllKinds() {
+		s += f(k)
+	}
+	return s
+}
+
+// ArithmeticIntensity returns MACs per off-chip element moved — the
+// x-axis of a roofline plot.
+func ArithmeticIntensity(r *core.Result) float64 {
+	d := r.DRAMReads + r.DRAMWrites
+	if d == 0 {
+		return 0
+	}
+	return float64(r.MACs) / float64(d)
+}
+
+// Roofline summarizes where a mapping sits against the machine's two
+// roofs: the compute peak and the off-chip bandwidth slope.
+type Roofline struct {
+	// PeakMACsPerCycle is the compute roof.
+	PeakMACsPerCycle float64
+	// Intensity is MACs per DRAM element.
+	Intensity float64
+	// BandwidthBound is intensity * offchip bandwidth: the throughput
+	// ceiling imposed by DRAM at this intensity.
+	BandwidthBound float64
+	// Achieved is the mapping's measured MACs/cycle.
+	Achieved float64
+	// ComputeBound reports whether the roof at this intensity is the
+	// compute peak (true) or the bandwidth slope (false).
+	ComputeBound bool
+}
+
+// RooflineOf computes the roofline placement of a result.
+func RooflineOf(r *core.Result) Roofline {
+	rf := Roofline{
+		PeakMACsPerCycle: r.Cfg.PeakMACsPerCycle(),
+		Intensity:        ArithmeticIntensity(r),
+		Achieved:         r.Throughput(),
+	}
+	rf.BandwidthBound = rf.Intensity * r.Cfg.OffchipBandwidth
+	rf.ComputeBound = rf.BandwidthBound >= rf.PeakMACsPerCycle
+	return rf
+}
+
+// Roof returns the binding ceiling in MACs/cycle.
+func (rf Roofline) Roof() float64 {
+	if rf.ComputeBound {
+		return rf.PeakMACsPerCycle
+	}
+	return rf.BandwidthBound
+}
+
+// csvHeader lists the exported columns in order.
+var csvHeader = []string{
+	"layer", "dataflow", "pes", "used_pes", "runtime_cycles", "macs",
+	"throughput_mac_per_cycle", "utilization",
+	"l2_reads", "l2_writes", "l1_reads", "l1_writes", "dram_elems",
+	"l1_req_bytes", "l2_req_bytes", "peak_bw_gbps", "energy_pj_onchip",
+	"bottleneck", "input_reuse", "weight_reuse", "output_reuse",
+	"arithmetic_intensity",
+}
+
+// WriteCSV exports rows as CSV with a header.
+func WriteCSV(w io.Writer, rows []Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Layer, r.Dataflow,
+			strconv.Itoa(r.PEs), strconv.Itoa(r.UsedPEs),
+			strconv.FormatInt(r.Runtime, 10), strconv.FormatInt(r.MACs, 10),
+			f(r.Throughput), f(r.Util),
+			strconv.FormatInt(r.L2Reads, 10), strconv.FormatInt(r.L2Writes, 10),
+			strconv.FormatInt(r.L1Reads, 10), strconv.FormatInt(r.L1Writes, 10),
+			strconv.FormatInt(r.DRAM, 10),
+			strconv.FormatInt(r.L1ReqBytes, 10), strconv.FormatInt(r.L2ReqBytes, 10),
+			f(r.PeakBWGBps), f(r.EnergyPJ),
+			r.Bottleneck, f(r.InputReuse), f(r.WeightReuse), f(r.OutputReuse),
+			f(r.ArithIntensy),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+// WriteJSON exports rows as a JSON array.
+func WriteJSON(w io.Writer, rows []Row) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}
+
+// WriteDSECSV exports a DSE design space for plotting (Figure 13).
+func WriteDSECSV(w io.Writer, pts []dse.Point) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"pes", "bw", "p1", "p2", "l1_bytes", "l2_bytes",
+		"area_mm2", "power_mw", "runtime_cycles", "throughput", "energy_pj", "edp"}); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		rec := []string{
+			strconv.Itoa(p.NumPEs), f(p.BW),
+			strconv.Itoa(p.P1), strconv.Itoa(p.P2),
+			strconv.FormatInt(p.L1Bytes, 10), strconv.FormatInt(p.L2Bytes, 10),
+			f(p.AreaMM2), f(p.PowerMW),
+			strconv.FormatInt(p.Runtime, 10),
+			f(p.Throughput), f(p.EnergyPJ), f(p.EDP),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Summary renders a one-line human summary of a row.
+func Summary(r Row) string {
+	return fmt.Sprintf("%s/%s: %d cyc, %.1f MAC/cyc (%.0f%% util), %.3g pJ, %s-bound",
+		r.Layer, r.Dataflow, r.Runtime, r.Throughput, 100*r.Util, r.EnergyPJ, r.Bottleneck)
+}

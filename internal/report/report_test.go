@@ -1,0 +1,119 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataflows"
+	"repro/internal/dse"
+	"repro/internal/hw"
+	"repro/internal/models"
+)
+
+func sampleResults(t *testing.T) []*core.Result {
+	t.Helper()
+	cfg := hw.Accel256()
+	vgg := models.VGG16()
+	var out []*core.Result
+	for _, name := range []string{"CONV1", "CONV11"} {
+		li, _ := vgg.Find(name)
+		r, err := core.AnalyzeDataflow(dataflows.Get("KC-P"), li.Layer, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	var rows []Row
+	for _, r := range sampleResults(t) {
+		rows = append(rows, RowOf(r))
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(rows)+1 {
+		t.Fatalf("records = %d; want %d", len(recs), len(rows)+1)
+	}
+	if len(recs[0]) != len(recs[1]) {
+		t.Fatalf("header width %d != row width %d", len(recs[0]), len(recs[1]))
+	}
+	if recs[1][0] != "CONV1" || recs[2][0] != "CONV11" {
+		t.Errorf("layer column: %v / %v", recs[1][0], recs[2][0])
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	rows := []Row{RowOf(sampleResults(t)[0])}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	var back []Row
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0] != rows[0] {
+		t.Errorf("json round trip lost data: %+v vs %+v", back, rows)
+	}
+}
+
+func TestRoofline(t *testing.T) {
+	r := sampleResults(t)[1]
+	rf := RooflineOf(r)
+	if rf.PeakMACsPerCycle != 256 {
+		t.Errorf("peak = %v", rf.PeakMACsPerCycle)
+	}
+	if rf.Intensity <= 0 {
+		t.Fatalf("intensity = %v", rf.Intensity)
+	}
+	// Achieved throughput can never exceed the binding roof.
+	if rf.Achieved > rf.Roof()+1e-9 {
+		t.Errorf("achieved %v exceeds roof %v", rf.Achieved, rf.Roof())
+	}
+	// Consistency of the bound selection.
+	if rf.ComputeBound && rf.Roof() != rf.PeakMACsPerCycle {
+		t.Error("compute-bound roof mismatch")
+	}
+}
+
+func TestSummaryFormat(t *testing.T) {
+	row := RowOf(sampleResults(t)[0])
+	s := Summary(row)
+	for _, want := range []string{"CONV1", "KC-P", "bound"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+}
+
+func TestWriteDSECSV(t *testing.T) {
+	pts := []dse.Point{
+		{NumPEs: 64, BW: 8, P1: 16, P2: 4, L1Bytes: 128, L2Bytes: 4096,
+			AreaMM2: 0.5, PowerMW: 40, Runtime: 1000, Throughput: 32, EnergyPJ: 1e6, EDP: 1e9},
+		{NumPEs: 128, BW: 16, P1: 32, P2: 8, L1Bytes: 256, L2Bytes: 8192,
+			AreaMM2: 1.0, PowerMW: 80, Runtime: 500, Throughput: 64, EnergyPJ: 2e6, EDP: 1e9},
+	}
+	var buf bytes.Buffer
+	if err := WriteDSECSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[1][0] != "64" || recs[2][0] != "128" {
+		t.Fatalf("records: %v", recs)
+	}
+}

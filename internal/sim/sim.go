@@ -1,0 +1,451 @@
+// Package sim is a step-accurate reference simulator for dataflow
+// mappings: the stand-in for the RTL simulations (MAERI) and measured
+// hardware (Eyeriss) the paper validates MAESTRO against in Figure 9.
+//
+// Unlike the analytical engine, the simulator enumerates every time step
+// of every cluster level explicitly. Per step it derives each PE's tensor
+// tiles as coordinate boxes from the actual chunk geometry, computes new
+// data as exact box differences against the PE's previously held box
+// (the live double-buffered tile), serializes the transfers through the
+// NoC pipe, and advances a three-stage (ingress/compute/egress)
+// double-buffered pipeline by explicit recurrence. It shares the dataflow
+// *semantics* (chunk resolution) with the analytical path — both must
+// agree on what a mapping means — but none of the analytical engine's
+// reuse classification, case enumeration, or delay formulas.
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/dataflow"
+	"repro/internal/hw"
+	"repro/internal/reuse"
+	"repro/internal/tensor"
+)
+
+// Result reports what the simulator measured.
+type Result struct {
+	Cycles int64
+	MACs   int64
+	// L2Reads/L2Writes count elements moved at the top level.
+	L2Reads  int64
+	L2Writes int64
+}
+
+// box is an axis-aligned tile in up to four tensor coordinates,
+// half-open per axis. Unused axes are [0,1).
+type box struct {
+	lo, hi [4]int64
+}
+
+func unitBox() box {
+	var b box
+	for i := range b.hi {
+		b.hi[i] = 1
+	}
+	return b
+}
+
+func (b box) vol() int64 {
+	v := int64(1)
+	for i := range b.lo {
+		s := b.hi[i] - b.lo[i]
+		if s <= 0 {
+			return 0
+		}
+		v *= s
+	}
+	return v
+}
+
+// overlap returns the volume of the intersection of two boxes.
+func overlap(a, b box) int64 {
+	v := int64(1)
+	for i := range a.lo {
+		lo, hi := max64(a.lo[i], b.lo[i]), min64(a.hi[i], b.hi[i])
+		if hi <= lo {
+			return 0
+		}
+		v *= hi - lo
+	}
+	return v
+}
+
+// hull returns the bounding box of two boxes (exact for the union of
+// tiles shifted along a single spatial axis, which is how the spatial
+// maps distribute data).
+func hull(a, b box) box {
+	if a.vol() == 0 {
+		return b
+	}
+	if b.vol() == 0 {
+		return a
+	}
+	var h box
+	for i := range a.lo {
+		h.lo[i], h.hi[i] = min64(a.lo[i], b.lo[i]), max64(a.hi[i], b.hi[i])
+	}
+	return h
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+type simulator struct {
+	spec  *dataflow.Spec
+	cfg   hw.Config
+	layer tensor.Layer
+	nlv   int
+	cache map[cacheKey]int64 // sub-problem cycles
+	trace io.Writer          // optional per-step CSV trace (top level only)
+	step  int64
+}
+
+type cacheKey struct {
+	level int
+	dims  tensor.Sizes
+}
+
+// Simulate runs the mapping step by step and returns the measured cycle
+// count and traffic.
+func Simulate(spec *dataflow.Spec, cfg hw.Config) (*Result, error) {
+	return SimulateTrace(spec, cfg, nil)
+}
+
+// SimulateTrace runs the simulation and, when trace is non-nil, emits one
+// CSV row per top-level time step: the step index, active sub-clusters,
+// ingress/egress traffic, the three stage delays, and the pipeline
+// completion times. The trace is the ground-level view of the
+// double-buffered pipeline the analytical model summarizes.
+func SimulateTrace(spec *dataflow.Spec, cfg hw.Config, trace io.Writer) (*Result, error) {
+	cfg = cfg.Normalize()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &simulator{
+		spec:  spec,
+		cfg:   cfg,
+		layer: spec.Layer,
+		nlv:   spec.NumLevels(),
+		cache: make(map[cacheKey]int64),
+		trace: trace,
+	}
+	if trace != nil {
+		fmt.Fprintln(trace, "step,active,traffic_in,traffic_out,t_in,t_comp,t_out,in_done,comp_done,out_done")
+	}
+	res := &Result{}
+	cycles, err := s.level(0, spec.Layer.Sizes, res)
+	if err != nil {
+		return nil, err
+	}
+	res.Cycles = cycles
+	return res, nil
+}
+
+// chunkOf captures one dimension's current chunk.
+type chunkOf struct {
+	start, size int
+}
+
+// level simulates one full pass of cluster level `level` over the given
+// sub-problem. Only level 0 accumulates traffic and MACs into res (the
+// L2-side quantities Figure 9's runtime depends on); deeper levels
+// contribute their cycles as the parent's compute delay.
+func (s *simulator) level(level int, dims tensor.Sizes, res *Result) (int64, error) {
+	if level == s.nlv {
+		psums := psumsOf(s.layer, dims)
+		d := s.layer.Density[tensor.Input] * wdens(s.layer)
+		eff := int64(float64(psums)*d + 0.5)
+		cycles := (eff + int64(s.cfg.VectorWidth) - 1) / int64(s.cfg.VectorWidth)
+		if s.cfg.SparseImbalance && d < 1 && psums > 0 && s.cfg.NumPEs > 1 {
+			mean := float64(psums) * d
+			factor := 1 + 1.4142135623730951*
+				sqrt(mean*(1-d)*ln(float64(s.cfg.NumPEs)))/mean
+			cycles = int64(float64(cycles)*factor + 0.5)
+		}
+		return cycles, nil
+	}
+	lv, err := s.spec.Level(level, dims)
+	if err != nil {
+		return 0, err
+	}
+	a := reuse.New(lv, s.layer)
+	loops := a.Loops
+	nocm := s.cfg.NoCAt(level)
+	topLevel := level == 0
+
+	rFull := lv.Map(tensor.R).DimSize
+	sFull := lv.Map(tensor.S).DimSize
+
+	// Per-PE held boxes (the live tile) and the union across PEs.
+	nsub := lv.SubClusters
+	held := make([][tensor.NumKinds]box, nsub)
+	var heldUnion [tensor.NumKinds]box
+	// Pipeline state.
+	var inDone, compDone, compDonePrev, outDone int64
+
+	idx := make([]int, len(loops))
+	var temporal, perPE [tensor.NumDims]chunkOf
+	firstStep := true
+	for {
+		// Decode the step: temporal chunk per dimension and the fold.
+		fold := 0
+		for _, m := range lv.Maps {
+			if m.Kind == dataflow.Temporal {
+				temporal[m.Dim] = chunkOf{0, m.Size}
+			}
+		}
+		for li, lp := range loops {
+			if lp.IsFold {
+				fold = idx[li]
+				continue
+			}
+			st, sz := lp.Map.ChunkAt(idx[li])
+			temporal[lp.Map.Dim] = chunkOf{st, sz}
+		}
+		active := nsub
+		if len(lv.Spatial) == 0 {
+			active = 1
+		} else if remaining := lv.SpatialChunks - fold*nsub; remaining < active {
+			active = remaining
+		}
+
+		// Per-PE tiles, compute delay, and per-PE new data.
+		var sumPerPE [tensor.NumKinds]int64
+		var newUnion [tensor.NumKinds]box
+		var maxComp int64
+		for p := 0; p < active; p++ {
+			perPE = temporal
+			for _, si := range lv.Spatial {
+				m := lv.Maps[si]
+				st, sz := m.ChunkAt(fold*nsub + p)
+				perPE[m.Dim] = chunkOf{st, sz}
+			}
+			for _, k := range tensor.AllKinds() {
+				nb := s.boxOf(k, &perPE, rFull, sFull)
+				newUnion[k] = hull(newUnion[k], nb)
+				sumPerPE[k] += nb.vol() - overlap(nb, held[p][k])
+				held[p][k] = nb
+			}
+			var sub tensor.Sizes
+			for d := tensor.Dim(0); d < tensor.NumDims; d++ {
+				sub = sub.Set(d, perPE[d].size)
+			}
+			sub = a.ChildDims(sub)
+			ck := cacheKey{level + 1, sub}
+			cycles, ok := s.cache[ck]
+			if !ok {
+				cycles, err = s.level(level+1, sub, res)
+				if err != nil {
+					return 0, err
+				}
+				s.cache[ck] = cycles
+			}
+			if topLevel {
+				res.MACs += childPsums(s.layer, sub)
+			}
+			if cycles > maxComp {
+				maxComp = cycles
+			}
+		}
+		tComp := maxComp
+		if firstStep && a.OutputReduced() && nocm.Reduction {
+			// Pipelined reduction tree: fill latency on the first step only.
+			tComp += log2ceil(active)
+		}
+
+		// Ingress traffic: union-based with multicast hardware, replicated
+		// per destination without. The displaced output slice drains as
+		// egress; partial-sum re-reads are not re-charged here (box state
+		// alone cannot distinguish first visits — the analytical engine
+		// tracks that exactly and the two agree within Figure 9 tolerance).
+		var trafficIn, egress int64
+		var perKind [tensor.NumKinds]int64
+		for _, k := range tensor.AllKinds() {
+			if k == tensor.Output {
+				egress = heldUnion[k].vol() - overlap(newUnion[k], heldUnion[k])
+				if !nocm.Reduction && len(lv.Spatial) > 0 && a.OutputReduced() {
+					egress *= int64(active)
+				}
+				heldUnion[k] = newUnion[k]
+				continue
+			}
+			var nd int64
+			if nocm.Multicast {
+				nd = newUnion[k].vol() - overlap(newUnion[k], heldUnion[k])
+			} else {
+				nd = sumPerPE[k]
+			}
+			perKind[k] = int64(float64(nd)*s.layer.Density[k] + 0.5)
+			trafficIn += perKind[k]
+			heldUnion[k] = newUnion[k]
+		}
+		egress = int64(float64(egress)*s.layer.Density[tensor.Output] + 0.5)
+		tIn := nocm.DelayPer(perKind[tensor.Input], perKind[tensor.Weight], perKind[tensor.Output])
+		tOut := nocm.Delay(egress)
+		if !nocm.Reduction && a.OutputReduced() && active > 1 {
+			// Parent-side serialized accumulation of unreduced partials.
+			tOut += 2 * egress / int64(active) * int64(active-1)
+		}
+		if topLevel {
+			res.L2Reads += trafficIn
+			res.L2Writes += egress
+		}
+
+		// Double-buffered pipeline recurrence: ingress i waits for ingress
+		// i-1 and the buffer freed by compute i-2; compute waits for its
+		// data and the previous compute; egress drains behind compute.
+		inStart := max64(inDone, compDonePrev)
+		inDone = inStart + tIn
+		compStart := max64(inDone, compDone)
+		compDonePrev = compDone
+		compDone = compStart + tComp
+		outStart := max64(compDone, outDone)
+		outDone = outStart + tOut
+		if topLevel && s.trace != nil {
+			fmt.Fprintf(s.trace, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+				s.step, active, trafficIn, egress, tIn, tComp, tOut, inDone, compDone, outDone)
+			s.step++
+		}
+
+		firstStep = false
+		if !advance(idx, loops) {
+			break
+		}
+	}
+	// Flush the final output tiles.
+	flush := int64(float64(heldUnion[tensor.Output].vol())*s.layer.Density[tensor.Output] + 0.5)
+	if topLevel {
+		res.L2Writes += flush
+	}
+	outDone = max64(compDone, outDone) + nocm.Delay(flush)
+	return outDone, nil
+}
+
+// advance increments the loop odometer (innermost fastest); false at end.
+func advance(idx []int, loops []reuse.Loop) bool {
+	for i := len(idx) - 1; i >= 0; i-- {
+		if idx[i]+1 < loops[i].Steps {
+			idx[i]++
+			for j := i + 1; j < len(idx); j++ {
+				idx[j] = 0
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// boxOf derives tensor k's coordinate box from per-dimension chunks.
+// rFull/sFull are the level's full filter extents, which anchor the
+// output window when the activation chunk can host a complete window.
+func (s *simulator) boxOf(k tensor.Kind, ch *[tensor.NumDims]chunkOf, rFull, sFull int) box {
+	b := unitBox()
+	set := func(i int, c chunkOf) {
+		b.lo[i], b.hi[i] = int64(c.start), int64(c.start+c.size)
+	}
+	switch k {
+	case tensor.Weight:
+		set(0, ch[tensor.C])
+		set(1, ch[tensor.R])
+		set(2, ch[tensor.S])
+		if s.layer.TensorDims(tensor.Weight).Has(tensor.K) {
+			set(3, ch[tensor.K])
+		}
+	case tensor.Input:
+		set(0, ch[tensor.N])
+		set(1, ch[tensor.C])
+		set(2, ch[tensor.Y])
+		set(3, ch[tensor.X])
+	case tensor.Output:
+		set(0, ch[tensor.N])
+		if s.layer.TensorDims(tensor.Output).Has(tensor.K) {
+			set(1, ch[tensor.K])
+		} else {
+			set(1, ch[tensor.C])
+		}
+		oy := outInterval(ch[tensor.Y], ch[tensor.R], rFull, s.layer.StrideY)
+		ox := outInterval(ch[tensor.X], ch[tensor.S], sFull, s.layer.StrideX)
+		b.lo[2], b.hi[2] = oy.lo, oy.hi
+		b.lo[3], b.hi[3] = ox.lo, ox.hi
+	}
+	return b
+}
+
+type interval struct{ lo, hi int64 }
+
+// outInterval returns the half-open output coordinate range computed by
+// an activation chunk against a filter chunk at the given stride. A
+// chunk hosting a complete window anchors the outputs to the chunk
+// start (partial filter chunks only select taps); a smaller chunk pairs
+// diagonally with its filter chunk.
+func outInterval(act, filt chunkOf, filtFull, stride int) interval {
+	if act.size >= filtFull {
+		lo := (act.start + stride - 1) / stride
+		hi := (act.start + act.size - filtFull) / stride
+		if act.start == 0 {
+			lo = 0
+		}
+		if hi < lo {
+			return interval{}
+		}
+		return interval{int64(lo), int64(hi) + 1}
+	}
+	lo := act.start - filt.start
+	if lo < 0 {
+		lo = 0
+	} else {
+		lo = (lo + stride - 1) / stride
+	}
+	hi := act.start + act.size - (filt.start + filt.size)
+	if hi < 0 {
+		return interval{}
+	}
+	hi = hi / stride
+	return interval{int64(lo), int64(hi) + 1}
+}
+
+// childPsums counts the MACs of a transformed child sub-problem: its
+// window arithmetic is self-consistent by construction.
+func childPsums(layer tensor.Layer, dims tensor.Sizes) int64 {
+	return psumsOf(layer, dims)
+}
+
+func psumsOf(layer tensor.Layer, dims tensor.Sizes) int64 {
+	oy := tensor.OutSpan(dims.Get(tensor.Y), dims.Get(tensor.R), layer.StrideY)
+	ox := tensor.OutSpan(dims.Get(tensor.X), dims.Get(tensor.S), layer.StrideX)
+	return int64(dims.Get(tensor.N)) * int64(dims.Get(tensor.K)) * int64(dims.Get(tensor.C)) *
+		int64(oy) * int64(ox) * int64(dims.Get(tensor.R)) * int64(dims.Get(tensor.S))
+}
+
+func wdens(l tensor.Layer) float64 {
+	if l.Density[tensor.Weight] == 0 {
+		return 1
+	}
+	return l.Density[tensor.Weight]
+}
+
+func sqrt(v float64) float64 { return math.Sqrt(v) }
+
+func ln(v float64) float64 { return math.Log(v) }
+
+func log2ceil(n int) int64 {
+	var l int64
+	for m := 1; m < n; m *= 2 {
+		l++
+	}
+	return l
+}

@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/dataflows"
+	"repro/internal/hw"
+	"repro/internal/tensor"
+)
+
+// TestSimStridedMultiLevel runs the two-level YX-P dataflow on a strided
+// layer through the simulator and checks MAC conservation.
+func TestSimStridedMultiLevel(t *testing.T) {
+	layer := tensor.Layer{
+		Name: "strided", Op: tensor.Conv2D,
+		Sizes:   tensor.Sizes{tensor.N: 1, tensor.K: 8, tensor.C: 4, tensor.Y: 23, tensor.X: 23, tensor.R: 3, tensor.S: 3},
+		StrideY: 2, StrideX: 2,
+	}.Normalize()
+	spec, err := dataflow.Resolve(dataflows.Get("YX-P"), layer, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Simulate(spec, cfg64())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MACs != layer.MACs() {
+		t.Fatalf("MACs %d != algorithmic %d", r.MACs, layer.MACs())
+	}
+}
+
+// TestSimulateTrace checks the per-step CSV: header, one row per
+// top-level step, monotone completion times, and a steady-state cadence
+// equal to the bottleneck stage.
+func TestSimulateTrace(t *testing.T) {
+	layer := layerOf(4, 4, 10, 3, 1)
+	spec, err := dataflow.Resolve(dataflows.Get("X-P"), layer, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	r, err := SimulateTrace(spec, cfg64withPEs(8), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("trace too short:\n%s", buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "step,active,") {
+		t.Fatalf("missing header: %q", lines[0])
+	}
+	var prevOut int64 = -1
+	for _, line := range lines[1:] {
+		f := strings.Split(line, ",")
+		if len(f) != 10 {
+			t.Fatalf("bad row %q", line)
+		}
+		outDone, err := strconv.ParseInt(f[9], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if outDone < prevOut {
+			t.Fatalf("completion time went backwards: %q", line)
+		}
+		prevOut = outDone
+	}
+	// The last completion time cannot exceed the reported total.
+	if prevOut > r.Cycles {
+		t.Fatalf("last step finishes at %d after total %d", prevOut, r.Cycles)
+	}
+}
+
+// TestSimPipelineSteadyState: for a compute-bound mapping the steady-state
+// cadence between compute completions must equal the compute delay.
+func TestSimPipelineSteadyState(t *testing.T) {
+	layer := layerOf(4, 4, 10, 3, 1)
+	spec, err := dataflow.Resolve(dataflows.Get("X-P"), layer, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := SimulateTrace(spec, cfg64withPEs(8), &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	type row struct{ tIn, tComp, tOut, compDone int64 }
+	parse := func(line string) row {
+		f := strings.Split(line, ",")
+		g := func(i int) int64 {
+			v, _ := strconv.ParseInt(f[i], 10, 64)
+			return v
+		}
+		return row{g(4), g(5), g(6), g(8)}
+	}
+	// Pick two adjacent steady rows (skip the first two and last two).
+	if len(lines) < 7 {
+		t.Skip("not enough steady rows")
+	}
+	a := parse(lines[3])
+	b := parse(lines[4])
+	if a.tComp >= a.tIn && a.tComp >= a.tOut { // compute-bound
+		if got := b.compDone - a.compDone; got != b.tComp {
+			t.Errorf("steady cadence %d != compute delay %d", got, b.tComp)
+		}
+	}
+}
+
+func cfg64withPEs(pes int) hw.Config {
+	c := cfg64()
+	c.NumPEs = pes
+	return c
+}
+
+// TestTrafficMatchesAnalytical cross-checks the L2-side traffic, not
+// just runtime: the simulator's box-difference ingress and the
+// analytical engine's case-enumerated ingress must agree closely on the
+// canonical dataflows.
+func TestTrafficMatchesAnalytical(t *testing.T) {
+	layer := layerOf(16, 8, 18, 3, 1)
+	for _, name := range []string{"C-P", "X-P", "KC-P", "YR-P", "YX-P"} {
+		spec, err := dataflow.Resolve(dataflows.Get(name), layer, 64)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		cfg := cfg64()
+		simr, err := Simulate(spec, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ana, err := core.Analyze(spec, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var anaReads int64
+		for _, k := range tensor.AllKinds() {
+			if k != tensor.Output {
+				anaReads += ana.L2Read(k)
+			}
+		}
+		rel := func(a, b int64) float64 {
+			if b == 0 {
+				return 0
+			}
+			d := float64(a - b)
+			if d < 0 {
+				d = -d
+			}
+			return d / float64(b)
+		}
+		if e := rel(anaReads, simr.L2Reads); e > 0.05 {
+			t.Errorf("%s: L2 reads analytical %d vs sim %d (%.1f%%)",
+				name, anaReads, simr.L2Reads, 100*e)
+		}
+		if e := rel(ana.L2Write(tensor.Output), simr.L2Writes); e > 0.05 {
+			t.Errorf("%s: L2 writes analytical %d vs sim %d (%.1f%%)",
+				name, ana.L2Write(tensor.Output), simr.L2Writes, 100*e)
+		}
+	}
+}

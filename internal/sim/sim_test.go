@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/dataflows"
+	"repro/internal/hw"
+	"repro/internal/noc"
+	"repro/internal/tensor"
+)
+
+func layerOf(k, c, y, r, stride int) tensor.Layer {
+	return tensor.Layer{
+		Name: "t", Op: tensor.Conv2D,
+		Sizes:   tensor.Sizes{tensor.N: 1, tensor.K: k, tensor.C: c, tensor.Y: y, tensor.X: y, tensor.R: r, tensor.S: r},
+		StrideY: stride, StrideX: stride,
+	}.Normalize()
+}
+
+func cfg64() hw.Config {
+	m := noc.Bus(16)
+	m.Reduction = true
+	return hw.Config{Name: "t64", NumPEs: 64, NoCs: []noc.Model{m}}.Normalize()
+}
+
+func TestBoxMath(t *testing.T) {
+	a := box{lo: [4]int64{0, 0, 0, 0}, hi: [4]int64{2, 3, 1, 1}}
+	b := box{lo: [4]int64{1, 1, 0, 0}, hi: [4]int64{3, 4, 1, 1}}
+	if a.vol() != 6 || b.vol() != 6 {
+		t.Fatalf("vol: %d %d", a.vol(), b.vol())
+	}
+	if overlap(a, b) != 2 {
+		t.Fatalf("overlap = %d; want 2", overlap(a, b))
+	}
+	h := hull(a, b)
+	if h.vol() != 12 {
+		t.Fatalf("hull vol = %d; want 12", h.vol())
+	}
+	var empty box
+	if hull(empty, a).vol() != a.vol() {
+		t.Fatal("hull with empty broken")
+	}
+}
+
+func TestOutInterval(t *testing.T) {
+	cases := []struct {
+		act, filt chunkOf
+		full      int
+		stride    int
+		lo, hi    int64
+	}{
+		{chunkOf{0, 5}, chunkOf{0, 3}, 3, 1, 0, 3},
+		{chunkOf{2, 3}, chunkOf{0, 3}, 3, 1, 2, 3},
+		{chunkOf{1, 1}, chunkOf{1, 1}, 3, 1, 0, 1}, // Eyeriss diagonal PE
+		{chunkOf{0, 11}, chunkOf{0, 11}, 11, 4, 0, 1},
+		{chunkOf{4, 11}, chunkOf{0, 11}, 11, 4, 1, 2},
+		{chunkOf{0, 2}, chunkOf{0, 3}, 3, 1, 0, 0}, // too small: empty
+		{chunkOf{0, 6}, chunkOf{2, 1}, 6, 1, 0, 1}, // anchored: tap choice moves nothing
+		{chunkOf{3, 6}, chunkOf{0, 2}, 6, 1, 3, 4}, // anchored at offset chunk
+	}
+	for _, c := range cases {
+		iv := outInterval(c.act, c.filt, c.full, c.stride)
+		if iv.lo != c.lo || iv.hi != c.hi {
+			t.Errorf("outInterval(%v,%v,%d) = [%d,%d); want [%d,%d)",
+				c.act, c.filt, c.stride, iv.lo, iv.hi, c.lo, c.hi)
+		}
+	}
+}
+
+// TestSimMACConservation: the simulator must execute exactly the
+// algorithmic MACs for every Table 3 dataflow.
+func TestSimMACConservation(t *testing.T) {
+	layer := layerOf(16, 8, 18, 3, 1)
+	for _, df := range dataflows.All() {
+		spec, err := dataflow.Resolve(df, layer, 64)
+		if err != nil {
+			t.Fatalf("%s: %v", df.Name, err)
+		}
+		r, err := Simulate(spec, cfg64())
+		if err != nil {
+			t.Fatalf("%s: %v", df.Name, err)
+		}
+		if r.MACs != layer.MACs() {
+			t.Errorf("%s: simulated %d MACs; algorithmic %d", df.Name, r.MACs, layer.MACs())
+		}
+		if r.Cycles <= 0 {
+			t.Errorf("%s: non-positive cycle count", df.Name)
+		}
+	}
+}
+
+// TestAnalyticalMatchesSim is the Figure 9 experiment in miniature: the
+// analytical model must track the step-accurate simulator closely across
+// dataflows, layer shapes, and strides.
+func TestAnalyticalMatchesSim(t *testing.T) {
+	layers := []tensor.Layer{
+		layerOf(16, 8, 18, 3, 1),
+		layerOf(8, 16, 13, 3, 2),
+		layerOf(32, 4, 30, 5, 1),
+	}
+	worst := 0.0
+	for _, layer := range layers {
+		for _, df := range dataflows.All() {
+			spec, err := dataflow.Resolve(df, layer, 64)
+			if err != nil {
+				t.Fatalf("%s: %v", df.Name, err)
+			}
+			simr, err := Simulate(spec, cfg64())
+			if err != nil {
+				t.Fatalf("sim %s: %v", df.Name, err)
+			}
+			ana, err := core.Analyze(spec, cfg64())
+			if err != nil {
+				t.Fatalf("core %s: %v", df.Name, err)
+			}
+			if ana.MACs != simr.MACs {
+				t.Errorf("%s/%s: MACs analytical %d vs sim %d", layer.Name, df.Name, ana.MACs, simr.MACs)
+			}
+			relErr := math.Abs(float64(ana.OnChipRuntime)-float64(simr.Cycles)) / float64(simr.Cycles)
+			if relErr > worst {
+				worst = relErr
+			}
+			if relErr > 0.10 {
+				t.Errorf("%s %v/%s: runtime analytical %d vs sim %d (%.1f%% error)",
+					layer.Name, layer.Sizes, df.Name, ana.OnChipRuntime, simr.Cycles, 100*relErr)
+			}
+		}
+	}
+	t.Logf("worst analytical-vs-sim runtime error: %.2f%%", 100*worst)
+}

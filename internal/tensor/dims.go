@@ -1,0 +1,184 @@
+// Package tensor models the data dimensions, tensors, and layer shapes of
+// DNN operators as used by the MAESTRO cost model (Kwon et al., MICRO 2019).
+//
+// A layer is described by seven dimensions (Figure 1 of the paper):
+//
+//	N  input batch
+//	K  output channels
+//	C  input channels
+//	Y  input rows
+//	X  input columns
+//	R  filter rows
+//	S  filter columns
+//
+// Y and X are input-activation coordinates; output coordinates derive from
+// them through the convolution window: y' = (y-r)/stride. This matches the
+// convention of the paper's Table 3, where e.g. "SpatialMap(Sz(R),1) Y"
+// assigns R input rows (one output row) per PE, sliding by one.
+package tensor
+
+import "fmt"
+
+// Dim identifies one of the seven data dimensions of a DNN operator.
+type Dim uint8
+
+// The seven canonical dimensions, in nesting-friendly order.
+const (
+	N Dim = iota // input batch
+	K            // output channels
+	C            // input channels
+	Y            // input activation rows
+	X            // input activation columns
+	R            // filter rows
+	S            // filter columns
+	NumDims
+)
+
+var dimNames = [NumDims]string{"N", "K", "C", "Y", "X", "R", "S"}
+
+// String returns the canonical single-letter name of the dimension.
+func (d Dim) String() string {
+	if d < NumDims {
+		return dimNames[d]
+	}
+	return fmt.Sprintf("Dim(%d)", uint8(d))
+}
+
+// ParseDim converts a dimension name to a Dim. It accepts the canonical
+// single letters as well as the output-coordinate aliases "Y'" and "X'",
+// which the paper notes "should be interpreted as Y/X as appropriate".
+func ParseDim(s string) (Dim, error) {
+	switch s {
+	case "N":
+		return N, nil
+	case "K":
+		return K, nil
+	case "C":
+		return C, nil
+	case "Y", "Y'":
+		return Y, nil
+	case "X", "X'":
+		return X, nil
+	case "R":
+		return R, nil
+	case "S":
+		return S, nil
+	}
+	return 0, fmt.Errorf("tensor: unknown dimension %q", s)
+}
+
+// AllDims lists every dimension once, in canonical order.
+func AllDims() []Dim {
+	return []Dim{N, K, C, Y, X, R, S}
+}
+
+// Window returns the filter dimension that slides along d (R for Y, S for
+// X) and whether d is a sliding (windowed) dimension at all.
+func (d Dim) Window() (Dim, bool) {
+	switch d {
+	case Y:
+		return R, true
+	case X:
+		return S, true
+	}
+	return 0, false
+}
+
+// Sliding reports whether d is an input-activation dimension traversed by a
+// convolution window (Y or X).
+func (d Dim) Sliding() bool { _, ok := d.Window(); return ok }
+
+// DimSet is a bit set of dimensions.
+type DimSet uint8
+
+// NewDimSet builds a set containing the given dimensions.
+func NewDimSet(dims ...Dim) DimSet {
+	var s DimSet
+	for _, d := range dims {
+		s = s.Add(d)
+	}
+	return s
+}
+
+// Add returns the set with d included.
+func (s DimSet) Add(d Dim) DimSet { return s | 1<<d }
+
+// Has reports whether d is in the set.
+func (s DimSet) Has(d Dim) bool { return s&(1<<d) != 0 }
+
+// Union returns the union of both sets.
+func (s DimSet) Union(t DimSet) DimSet { return s | t }
+
+// Intersects reports whether the two sets share any dimension.
+func (s DimSet) Intersects(t DimSet) bool { return s&t != 0 }
+
+// Empty reports whether the set contains no dimensions.
+func (s DimSet) Empty() bool { return s == 0 }
+
+// Dims returns the members of the set in canonical order.
+func (s DimSet) Dims() []Dim {
+	var out []Dim
+	for d := Dim(0); d < NumDims; d++ {
+		if s.Has(d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// String renders the set as e.g. "{K,C,R,S}".
+func (s DimSet) String() string {
+	str := "{"
+	for i, d := range s.Dims() {
+		if i > 0 {
+			str += ","
+		}
+		str += d.String()
+	}
+	return str + "}"
+}
+
+// Sizes holds a size per dimension. The zero value has every size zero; a
+// valid problem has every size >= 1. Sizes is comparable and therefore
+// usable as a map key, which the analysis engines exploit for memoization.
+type Sizes [NumDims]int
+
+// Get returns the size of dimension d.
+func (z Sizes) Get(d Dim) int { return z[d] }
+
+// Set returns a copy of z with dimension d set to v.
+func (z Sizes) Set(d Dim, v int) Sizes {
+	z[d] = v
+	return z
+}
+
+// Volume returns the product of all sizes.
+func (z Sizes) Volume() int64 {
+	v := int64(1)
+	for _, s := range z {
+		v *= int64(s)
+	}
+	return v
+}
+
+// String renders the sizes as e.g. "N1 K64 C3 Y224 X224 R3 S3".
+func (z Sizes) String() string {
+	str := ""
+	for d := Dim(0); d < NumDims; d++ {
+		if d > 0 {
+			str += " "
+		}
+		str += fmt.Sprintf("%s%d", d, z[d])
+	}
+	return str
+}
+
+// Valid reports whether every dimension has a positive size.
+func (z Sizes) Valid() bool {
+	for _, s := range z {
+		if s < 1 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,181 @@
+// Package tuner implements the dataflow auto-tuner the paper names as
+// future work (Section 7): given a layer and a hardware configuration,
+// it searches across the dataflow styles of Table 3 *and* their tile-size
+// knobs, and returns the mapping that minimizes runtime, energy, or
+// energy-delay product. Combined across layers this subsumes the
+// adaptive-dataflow study of Section 5.1 (which picks among fixed
+// mappings only).
+package tuner
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/dataflows"
+	"repro/internal/hw"
+	"repro/internal/tensor"
+)
+
+// Objective selects the metric the tuner minimizes.
+type Objective uint8
+
+// Objectives.
+const (
+	MinRuntime Objective = iota
+	MinEnergy
+	MinEDP
+)
+
+// String returns the objective name.
+func (o Objective) String() string {
+	switch o {
+	case MinRuntime:
+		return "runtime"
+	case MinEnergy:
+		return "energy"
+	case MinEDP:
+		return "edp"
+	}
+	return fmt.Sprintf("Objective(%d)", uint8(o))
+}
+
+// Choice is one tuned mapping.
+type Choice struct {
+	Dataflow dataflow.Dataflow
+	Result   *core.Result
+	Score    float64
+}
+
+// Options configures the search.
+type Options struct {
+	Objective Objective
+	// MaxCandidates bounds the mappings evaluated per layer (0 = all).
+	MaxCandidates int
+}
+
+// score evaluates the objective on a result.
+func score(o Objective, r *core.Result) float64 {
+	switch o {
+	case MinEnergy:
+		return r.EnergyDefault().OnChip()
+	case MinEDP:
+		return r.EnergyDefault().OnChip() * float64(r.Runtime)
+	default:
+		return float64(r.Runtime)
+	}
+}
+
+// candidates generates the mapping search space for a layer: the five
+// Table 3 styles plus tile-size variants of the parameterized templates,
+// scaled to the layer's dimensions and the PE count.
+func candidates(layer tensor.Layer, numPEs int) []dataflow.Dataflow {
+	var out []dataflow.Dataflow
+	for _, df := range dataflows.All() {
+		out = append(out, df)
+	}
+	c := layer.Sizes.Get(tensor.C)
+	k := layer.Sizes.Get(tensor.K)
+	for _, cluster := range pow2Upto(min(numPEs, 128)) {
+		if cluster < 2 || numPEs%cluster != 0 {
+			continue
+		}
+		for _, ct := range pow2Upto(c) {
+			if ct < cluster {
+				continue
+			}
+			df := dataflows.KCPSized(ct, cluster)
+			df.Name = fmt.Sprintf("KC-P(c%d,x%d)", ct, cluster)
+			out = append(out, df)
+		}
+	}
+	for _, ct := range pow2Upto(min(c, 32)) {
+		for _, kt := range pow2Upto(min(k, 32)) {
+			df := dataflows.YRPSized(ct, kt)
+			df.Name = fmt.Sprintf("YR-P(c%d,k%d)", ct, kt)
+			out = append(out, df)
+		}
+	}
+	for _, xt := range []int{2, 4, 8, 16, 32} {
+		if xt > layer.OutX() {
+			break
+		}
+		df := dataflows.YXPSized(xt)
+		df.Name = fmt.Sprintf("YX-P(x%d)", xt)
+		out = append(out, df)
+	}
+	return out
+}
+
+// pow2Upto returns the powers of two up to n inclusive.
+func pow2Upto(n int) []int {
+	var out []int
+	for v := 1; v <= n; v *= 2 {
+		out = append(out, v)
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TuneLayer returns the best mapping of the candidate space for one
+// layer. Candidates that cannot map the layer are skipped; an error is
+// returned only if none can.
+func TuneLayer(layer tensor.Layer, cfg hw.Config, opt Options) (Choice, error) {
+	cfg = cfg.Normalize()
+	var best Choice
+	found := false
+	evaluated := 0
+	for _, df := range candidates(layer, cfg.NumPEs) {
+		if opt.MaxCandidates > 0 && evaluated >= opt.MaxCandidates {
+			break
+		}
+		r, err := core.AnalyzeDataflow(df, layer, cfg)
+		if err != nil {
+			continue
+		}
+		evaluated++
+		s := score(opt.Objective, r)
+		if !found || s < best.Score {
+			best = Choice{Dataflow: df, Result: r, Score: s}
+			found = true
+		}
+	}
+	if !found {
+		return Choice{}, fmt.Errorf("tuner: no candidate dataflow maps layer %s", layer.Name)
+	}
+	return best, nil
+}
+
+// ModelResult summarizes a tuned model.
+type ModelResult struct {
+	Choices []Choice
+	// Runtime and EnergyPJ are totals across the tuned layers (weighted
+	// by each layer's repetition count where the caller supplies one).
+	Runtime  int64
+	EnergyPJ float64
+}
+
+// TuneLayers tunes a list of (layer, count) pairs and accumulates totals.
+func TuneLayers(layers []tensor.Layer, counts []int, cfg hw.Config, opt Options) (ModelResult, error) {
+	var mr ModelResult
+	for i, l := range layers {
+		ch, err := TuneLayer(l, cfg, opt)
+		if err != nil {
+			return mr, err
+		}
+		n := 1
+		if counts != nil {
+			n = counts[i]
+		}
+		mr.Choices = append(mr.Choices, ch)
+		mr.Runtime += ch.Result.Runtime * int64(n)
+		mr.EnergyPJ += ch.Result.EnergyDefault().OnChip() * float64(n)
+	}
+	return mr, nil
+}

@@ -1,0 +1,130 @@
+package tuner
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataflows"
+	"repro/internal/hw"
+	"repro/internal/models"
+	"repro/internal/tensor"
+)
+
+func layer(k, c, out, r, stride int) tensor.Layer {
+	in := (out-1)*stride + r
+	return tensor.Layer{
+		Name: "t", Op: tensor.Conv2D,
+		Sizes:   tensor.Sizes{tensor.N: 1, tensor.K: k, tensor.C: c, tensor.Y: in, tensor.X: in, tensor.R: r, tensor.S: r},
+		StrideY: stride, StrideX: stride,
+	}.Normalize()
+}
+
+func TestTuneLayerBeatsFixed(t *testing.T) {
+	l := layer(64, 64, 28, 3, 1)
+	cfg := hw.Accel256()
+	best, err := TuneLayer(l, cfg, Options{Objective: MinRuntime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := best.Result.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	// The tuned mapping must be at least as good as every fixed Table 3
+	// dataflow (they are in the candidate set).
+	for _, df := range dataflows.All() {
+		r, err := core.AnalyzeDataflow(df, l, cfg)
+		if err != nil {
+			continue
+		}
+		if best.Result.Runtime > r.Runtime {
+			t.Errorf("tuned %s (%d cyc) slower than fixed %s (%d cyc)",
+				best.Dataflow.Name, best.Result.Runtime, df.Name, r.Runtime)
+		}
+	}
+}
+
+func TestObjectives(t *testing.T) {
+	l := layer(32, 32, 28, 3, 1)
+	cfg := hw.Accel256()
+	rt, err := TuneLayer(l, cfg, Options{Objective: MinRuntime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	en, err := TuneLayer(l, cfg, Options{Objective: MinEnergy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edp, err := TuneLayer(l, cfg, Options{Objective: MinEDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Result.Runtime > en.Result.Runtime {
+		t.Errorf("runtime objective (%d) lost to energy objective (%d) on runtime",
+			rt.Result.Runtime, en.Result.Runtime)
+	}
+	if en.Result.EnergyDefault().OnChip() > rt.Result.EnergyDefault().OnChip()+1 {
+		t.Errorf("energy objective worse than runtime objective on energy")
+	}
+	if edp.Score > edpOf(rt)+1e-6 || edp.Score > edpOf(en)+1e-6 {
+		t.Errorf("EDP objective (%g) worse than another objective's pick (%g, %g)",
+			edp.Score, edpOf(rt), edpOf(en))
+	}
+}
+
+func edpOf(c Choice) float64 {
+	return c.Result.EnergyDefault().OnChip() * float64(c.Result.Runtime)
+}
+
+func TestMaxCandidates(t *testing.T) {
+	l := layer(32, 32, 14, 3, 1)
+	cfg := hw.Accel256()
+	full, err := TuneLayer(l, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := TuneLayer(l, cfg, Options{MaxCandidates: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Score < full.Score {
+		t.Errorf("restricted search beat full search: %g < %g", one.Score, full.Score)
+	}
+}
+
+func TestTuneLayersTotals(t *testing.T) {
+	vgg := models.VGG16()
+	var ls []tensor.Layer
+	var counts []int
+	for _, li := range vgg.Layers[:3] {
+		ls = append(ls, li.Layer)
+		counts = append(counts, li.Count)
+	}
+	mr, err := TuneLayers(ls, counts, hw.Accel256(), Options{Objective: MinRuntime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mr.Choices) != 3 || mr.Runtime <= 0 || mr.EnergyPJ <= 0 {
+		t.Fatalf("totals: %+v", mr)
+	}
+}
+
+func TestCandidateNames(t *testing.T) {
+	l := layer(64, 64, 28, 3, 1)
+	seen := map[string]bool{}
+	for _, df := range candidates(l, 256) {
+		if seen[df.Name] {
+			t.Errorf("duplicate candidate name %q", df.Name)
+		}
+		seen[df.Name] = true
+	}
+	for _, want := range []string{"C-P", "KC-P(c64,x16)", "YR-P(c2,k8)", "YX-P(x8)"} {
+		if !seen[want] {
+			var names []string
+			for n := range seen {
+				names = append(names, n)
+			}
+			t.Errorf("candidate %q missing from %s", want, strings.Join(names, ", "))
+		}
+	}
+}

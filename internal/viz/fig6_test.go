@@ -1,0 +1,142 @@
+package viz
+
+import (
+	"testing"
+
+	"repro/internal/dataflow"
+	"repro/internal/tensor"
+)
+
+// fig6Spec builds the row-stationary mapping of the paper's Figure 6 on
+// its six-PE accelerator (two clusters of three).
+func fig6Spec(t *testing.T) *dataflow.Spec {
+	t.Helper()
+	layer := tensor.Layer{
+		Name: "fig6", Op: tensor.Conv2D,
+		Sizes: tensor.Sizes{tensor.N: 2, tensor.K: 4, tensor.C: 6, tensor.Y: 8, tensor.X: 8, tensor.R: 3, tensor.S: 3},
+	}.Normalize()
+	df := dataflow.Dataflow{Name: "rs", Directives: []dataflow.Directive{
+		dataflow.TMap(dataflow.Lit(1), dataflow.Lit(1), tensor.N),
+		dataflow.TMap(dataflow.Lit(3), dataflow.Lit(3), tensor.C),
+		dataflow.TMap(dataflow.Lit(2), dataflow.Lit(2), tensor.K),
+		dataflow.SMap(dataflow.Sz(tensor.R), dataflow.Lit(1), tensor.Y),
+		dataflow.TMap(dataflow.Sz(tensor.S), dataflow.Lit(1), tensor.X),
+		dataflow.TMap(dataflow.Sz(tensor.R), dataflow.Sz(tensor.R), tensor.R),
+		dataflow.TMap(dataflow.Sz(tensor.S), dataflow.Sz(tensor.S), tensor.S),
+		dataflow.ClusterOf(dataflow.Sz(tensor.R)),
+		dataflow.SMap(dataflow.Lit(1), dataflow.Lit(1), tensor.Y),
+		dataflow.SMap(dataflow.Lit(1), dataflow.Lit(1), tensor.R),
+	}}
+	spec, err := dataflow.Resolve(df, layer, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// TestFig6TopLevelMapping pins the paper's Figure 6(d) mapping table:
+// at time steps 0 and 1, the two clusters hold input rows 0-2/1-3 with
+// input columns sliding 0-2 -> 1-3, the full weight rows replicated, and
+// output rows 0/1 with the output column advancing 0 -> 1.
+func TestFig6TopLevelMapping(t *testing.T) {
+	w, err := NewWalker(fig6Spec(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step0, ok := w.Next()
+	if !ok {
+		t.Fatal("no steps")
+	}
+	step1, ok := w.Next()
+	if !ok {
+		t.Fatal("only one step")
+	}
+	if len(step0.PEs) != 2 {
+		t.Fatalf("clusters at step 0 = %d; want 2", len(step0.PEs))
+	}
+	// Input rows: cluster 0 holds Y 0-2, cluster 1 holds Y 1-3 (the
+	// skewed/diagonal replication of Figure 6(d)).
+	if got := step0.PEs[0].Dims[tensor.Y]; got != (Range{0, 3}) {
+		t.Errorf("cluster 0 Y = %v; want 0-2", got)
+	}
+	if got := step0.PEs[1].Dims[tensor.Y]; got != (Range{1, 4}) {
+		t.Errorf("cluster 1 Y = %v; want 1-3", got)
+	}
+	// Input columns slide 0-2 -> 1-3 between the two steps.
+	if got := step0.PEs[0].Dims[tensor.X]; got != (Range{0, 3}) {
+		t.Errorf("step 0 X = %v; want 0-2", got)
+	}
+	if got := step1.PEs[0].Dims[tensor.X]; got != (Range{1, 4}) {
+		t.Errorf("step 1 X = %v; want 1-3", got)
+	}
+	// Weights: both clusters hold the same K 0-1, C 0-2, R 0-2, S 0-2
+	// tile at both steps (the temporal multicast the paper calls out).
+	for _, st := range []Step{step0, step1} {
+		for _, pe := range st.PEs {
+			if pe.Dims[tensor.K] != (Range{0, 2}) || pe.Dims[tensor.C] != (Range{0, 3}) ||
+				pe.Dims[tensor.R] != (Range{0, 3}) || pe.Dims[tensor.S] != (Range{0, 3}) {
+				t.Errorf("weight tile at step %d PE %d = K%v C%v R%v S%v",
+					st.Index, pe.PE, pe.Dims[tensor.K], pe.Dims[tensor.C], pe.Dims[tensor.R], pe.Dims[tensor.S])
+			}
+		}
+	}
+	// Outputs: cluster p computes output row p; the column advances with
+	// the step (Figure 6(d)'s output table shows X' 1 then 0 across its
+	// two displayed steps; ours walks forward 0 then 1).
+	for p, pe := range step0.PEs {
+		if pe.OutY != (Range{p, p + 1}) {
+			t.Errorf("cluster %d output row = %v; want %d", p, pe.OutY, p)
+		}
+	}
+	if step0.PEs[0].OutX != (Range{0, 1}) || step1.PEs[0].OutX != (Range{1, 2}) {
+		t.Errorf("output column: step0 %v step1 %v; want 0 then 1",
+			step0.PEs[0].OutX, step1.PEs[0].OutX)
+	}
+}
+
+// TestFig6InnerDiagonal pins the within-cluster diagonal: PE i holds
+// input row y0+i and filter row i, all contributing to the same output
+// row (the spatial reduction of the row-stationary dataflow).
+func TestFig6InnerDiagonal(t *testing.T) {
+	w, err := NewWalker(fig6Spec(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, ok := w.Next()
+	if !ok {
+		t.Fatal("no steps")
+	}
+	if len(step.PEs) != 3 {
+		t.Fatalf("PEs = %d; want 3", len(step.PEs))
+	}
+	for i, pe := range step.PEs {
+		if pe.Dims[tensor.Y] != (Range{i, i + 1}) {
+			t.Errorf("PE %d input row %v; want %d", i, pe.Dims[tensor.Y], i)
+		}
+		if pe.Dims[tensor.R] != (Range{i, i + 1}) {
+			t.Errorf("PE %d filter row %v; want %d", i, pe.Dims[tensor.R], i)
+		}
+		if pe.OutY != step.PEs[0].OutY {
+			t.Errorf("PE %d output row %v differs from PE 0's %v (no reduction?)",
+				i, pe.OutY, step.PEs[0].OutY)
+		}
+	}
+}
+
+// TestTensorRangeFormatting covers the human rendering used by mapviz.
+func TestTensorRangeFormatting(t *testing.T) {
+	w, err := NewWalker(fig6Spec(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, _ := w.Next()
+	spec := fig6Spec(t)
+	got := TensorRange(spec.Layer, tensor.Weight, step.PEs[0])
+	if got != "W[K0-1 C0-2 R0-2 S0-2]" {
+		t.Errorf("weight render = %q", got)
+	}
+	got = TensorRange(spec.Layer, tensor.Output, step.PEs[0])
+	if got != "O[N0 K0-1 Y'0 X'0]" {
+		t.Errorf("output render = %q", got)
+	}
+}

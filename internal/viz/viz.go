@@ -1,0 +1,196 @@
+// Package viz renders how a dataflow maps tensor data onto PEs over
+// time, in the style of the paper's Figures 5 and 6: for each time step
+// of a cluster level, the index ranges each sub-cluster holds of every
+// tensor. cmd/mapviz prints these; the tests pin the paper's worked
+// examples (the Figure 5 dataflow playground and the Figure 6
+// row-stationary mapping) to the implementation.
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dataflow"
+	"repro/internal/reuse"
+	"repro/internal/tensor"
+)
+
+// Range is a half-open index interval.
+type Range struct {
+	Lo, Hi int
+}
+
+func (r Range) String() string {
+	if r.Hi-r.Lo == 1 {
+		return fmt.Sprintf("%d", r.Lo)
+	}
+	return fmt.Sprintf("%d-%d", r.Lo, r.Hi-1)
+}
+
+// PEView is the data one sub-cluster holds at one time step.
+type PEView struct {
+	PE int
+	// Dims holds the per-dimension chunk (input coordinates for Y/X).
+	Dims [tensor.NumDims]Range
+	// OutY/OutX are the derived output coordinate ranges.
+	OutY, OutX Range
+}
+
+// Step is one time step of a level: the active sub-clusters' views.
+type Step struct {
+	Index int
+	PEs   []PEView
+}
+
+// Walker enumerates a level's time steps.
+type Walker struct {
+	layer tensor.Layer
+	lv    *dataflow.Level
+	a     *reuse.Analysis
+	idx   []int
+	done  bool
+	step  int
+}
+
+// NewWalker builds a step enumerator for cluster level `level` of the
+// spec, resolved against the steady tile of its ancestors.
+func NewWalker(spec *dataflow.Spec, level int) (*Walker, error) {
+	sub := spec.Layer.Sizes
+	for i := 0; i < level; i++ {
+		lv, err := spec.Level(i, sub)
+		if err != nil {
+			return nil, err
+		}
+		sub = lv.SubTile()
+	}
+	lv, err := spec.Level(level, sub)
+	if err != nil {
+		return nil, err
+	}
+	return &Walker{
+		layer: spec.Layer,
+		lv:    lv,
+		a:     reuse.New(lv, spec.Layer),
+		idx:   make([]int, len(reuse.New(lv, spec.Layer).Loops)),
+	}, nil
+}
+
+// Level exposes the resolved level being walked.
+func (w *Walker) Level() *dataflow.Level { return w.lv }
+
+// Next returns the next time step, or false when the mapping completes.
+func (w *Walker) Next() (Step, bool) {
+	if w.done {
+		return Step{}, false
+	}
+	st := w.snapshot()
+	st.Index = w.step
+	w.step++
+	// Advance the odometer.
+	advanced := false
+	for i := len(w.idx) - 1; i >= 0; i-- {
+		if w.idx[i]+1 < w.a.Loops[i].Steps {
+			w.idx[i]++
+			for j := i + 1; j < len(w.idx); j++ {
+				w.idx[j] = 0
+			}
+			advanced = true
+			break
+		}
+	}
+	if !advanced {
+		w.done = true
+	}
+	return st, true
+}
+
+func (w *Walker) snapshot() Step {
+	lv := w.lv
+	fold := 0
+	var temporal [tensor.NumDims]Range
+	for _, m := range lv.Maps {
+		if m.Kind == dataflow.Temporal {
+			temporal[m.Dim] = Range{0, m.Size}
+		}
+	}
+	for li, lp := range w.a.Loops {
+		if lp.IsFold {
+			fold = w.idx[li]
+			continue
+		}
+		st, sz := lp.Map.ChunkAt(w.idx[li])
+		temporal[lp.Map.Dim] = Range{st, st + sz}
+	}
+	active := lv.SubClusters
+	if len(lv.Spatial) == 0 {
+		active = 1
+	} else if rem := lv.SpatialChunks - fold*lv.SubClusters; rem < active {
+		active = rem
+	}
+	step := Step{}
+	for p := 0; p < active; p++ {
+		v := PEView{PE: p, Dims: temporal}
+		for _, si := range lv.Spatial {
+			m := lv.Maps[si]
+			st, sz := m.ChunkAt(fold*lv.SubClusters + p)
+			v.Dims[m.Dim] = Range{st, st + sz}
+		}
+		v.OutY = outRange(v.Dims[tensor.Y], v.Dims[tensor.R], lv.Map(tensor.R).DimSize, w.layer.StrideY)
+		v.OutX = outRange(v.Dims[tensor.X], v.Dims[tensor.S], lv.Map(tensor.S).DimSize, w.layer.StrideX)
+		step.PEs = append(step.PEs, v)
+	}
+	return step
+}
+
+// outRange derives the output coordinates computed by an activation
+// chunk against a filter chunk at the given stride; a chunk hosting a
+// complete window anchors the outputs to the chunk itself.
+func outRange(act, filt Range, filtFull, stride int) Range {
+	if act.Hi-act.Lo >= filtFull {
+		lo := (act.Lo + stride - 1) / stride
+		if act.Lo == 0 {
+			lo = 0
+		}
+		hi := (act.Hi - filtFull) / stride
+		if hi < lo-1 {
+			hi = lo - 1
+		}
+		return Range{lo, hi + 1}
+	}
+	lo := act.Lo - filt.Lo
+	if lo < 0 {
+		lo = 0
+	} else {
+		lo = (lo + stride - 1) / stride
+	}
+	hi := (act.Hi - filt.Hi) / stride
+	if hi < lo-1 {
+		hi = lo - 1
+	}
+	return Range{lo, hi + 1}
+}
+
+// TensorRange renders the ranges PE view v holds of tensor k, e.g.
+// "W[K0-1 C0-2 R0-2 S0-2]".
+func TensorRange(layer tensor.Layer, k tensor.Kind, v PEView) string {
+	var b strings.Builder
+	b.WriteByte("IWO"[k])
+	b.WriteByte('[')
+	first := true
+	for _, d := range layer.TensorDims(k).Dims() {
+		if !first {
+			b.WriteByte(' ')
+		}
+		first = false
+		switch {
+		case k == tensor.Output && d == tensor.Y:
+			fmt.Fprintf(&b, "Y'%s", v.OutY)
+		case k == tensor.Output && d == tensor.X:
+			fmt.Fprintf(&b, "X'%s", v.OutX)
+		default:
+			fmt.Fprintf(&b, "%s%s", d, v.Dims[d])
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}

@@ -1,0 +1,363 @@
+// Package maestro is a Go implementation of MAESTRO — the data-centric
+// DNN dataflow cost model of Kwon et al., "Understanding Reuse,
+// Performance, and Hardware Cost of DNN Dataflows: A Data-Centric
+// Approach Using MAESTRO" (MICRO-52, 2019).
+//
+// It provides:
+//
+//   - the data-centric directive representation (SpatialMap, TemporalMap,
+//     Cluster) with a MAESTRO-style DSL and a programmatic builder;
+//   - the five analysis engines (tensor, cluster, reuse, performance,
+//     cost) that estimate runtime, energy, NoC bandwidth requirements and
+//     buffer requirements for a layer + dataflow + hardware configuration;
+//   - a step-accurate reference simulator used to validate the analytical
+//     model (the paper's Figure 9 methodology);
+//   - the Table 3 dataflow library (C-P, X-P, YX-P, YR-P, KC-P) and a
+//     model zoo (VGG16, AlexNet, ResNet50, ResNeXt50, MobileNetV2, UNet,
+//     DCGAN);
+//   - a design-space exploration tool sweeping PEs, buffers and NoC
+//     bandwidth under area/power budgets (Figure 13).
+//
+// Quick start:
+//
+//	layer := maestro.Conv2D("conv", 64, 64, 56, 3, 1)
+//	df := maestro.DataflowByName("KC-P")
+//	result, err := maestro.Analyze(df, layer, maestro.Accel256())
+//	fmt.Println(result)
+package maestro
+
+import (
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/dataflows"
+	"repro/internal/dse"
+	"repro/internal/energy"
+	"repro/internal/hetero"
+	"repro/internal/hw"
+	"repro/internal/mapper"
+	"repro/internal/models"
+	"repro/internal/netsched"
+	"repro/internal/noc"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+	"repro/internal/tuner"
+)
+
+// Core tensor/layer types.
+type (
+	// Dim is one of the seven data dimensions N, K, C, Y, X, R, S.
+	Dim = tensor.Dim
+	// Layer describes one DNN layer shape.
+	Layer = tensor.Layer
+	// Sizes holds one extent per dimension.
+	Sizes = tensor.Sizes
+	// Kind identifies the input, weight, or output tensor.
+	Kind = tensor.Kind
+	// OpType classifies the operator (Conv2D, DepthwiseConv, ...).
+	OpType = tensor.OpType
+)
+
+// Dimension constants.
+const (
+	N = tensor.N
+	K = tensor.K
+	C = tensor.C
+	Y = tensor.Y
+	X = tensor.X
+	R = tensor.R
+	S = tensor.S
+)
+
+// Tensor kinds.
+const (
+	Input  = tensor.Input
+	Weight = tensor.Weight
+	Output = tensor.Output
+)
+
+// Operator types.
+const (
+	OpConv2D         = tensor.Conv2D
+	OpDepthwiseConv  = tensor.DepthwiseConv
+	OpPointwiseConv  = tensor.PointwiseConv
+	OpFullyConnected = tensor.FullyConnected
+	OpTransposedConv = tensor.TransposedConv
+	OpPooling        = tensor.Pooling
+	OpGEMM           = tensor.GEMM
+)
+
+// Dataflow representation.
+type (
+	// Dataflow is an ordered data-centric directive list.
+	Dataflow = dataflow.Dataflow
+	// Directive is one SpatialMap/TemporalMap/Cluster entry.
+	Directive = dataflow.Directive
+	// SizeExpr is a possibly symbolic size (the paper's Sz(d) notation).
+	SizeExpr = dataflow.SizeExpr
+	// Spec is a dataflow bound to a layer and PE count.
+	Spec = dataflow.Spec
+	// Network is a parsed DSL file.
+	Network = dataflow.Network
+)
+
+// Directive builders.
+var (
+	TMap      = dataflow.TMap
+	SMap      = dataflow.SMap
+	ClusterOf = dataflow.ClusterOf
+	Lit       = dataflow.Lit
+	Sz        = dataflow.Sz
+)
+
+// DSL entry points.
+var (
+	ParseNetwork  = dataflow.ParseNetwork
+	ParseDataflow = dataflow.ParseDataflow
+	Resolve       = dataflow.Resolve
+)
+
+// LintWarning is one mapping-inefficiency finding.
+type LintWarning = dataflow.Warning
+
+// Lint reports mapping inefficiencies (idle PEs, under-filled spatial
+// maps, redundant compute, partial-sum spills) the cost model will
+// charge for.
+var Lint = dataflow.Lint
+
+// Hardware and cost models.
+type (
+	// HWConfig is the abstract accelerator of the paper's Figure 2.
+	HWConfig = hw.Config
+	// NoCModel is the analytical pipe model of one NoC level.
+	NoCModel = noc.Model
+	// CostModel prices building-block area and power for the DSE.
+	CostModel = hw.CostModel
+	// EnergyTable holds per-event energies.
+	EnergyTable = energy.Table
+)
+
+// Hardware presets and helpers.
+var (
+	Accel256     = hw.Accel256
+	MAERI64      = hw.MAERI64
+	Eyeriss168   = hw.Eyeriss168
+	Default28nm  = hw.Default28nm
+	Bus          = noc.Bus
+	Crossbar     = noc.Crossbar
+	Mesh         = noc.Mesh
+	SystolicRow  = noc.SystolicRow
+	Tree         = noc.Tree
+	GBpsToElems  = noc.GBpsToElems
+	DefaultTable = energy.DefaultTable
+	// ParseEnergyTable reads a per-event energy table file (the
+	// Accelergy-style substitution point of Section 4.3).
+	ParseEnergyTable = energy.ParseTable
+)
+
+// Analysis results.
+type (
+	// Result is the performance + cost report for one layer.
+	Result = core.Result
+	// SimResult is the reference simulator's measurement.
+	SimResult = sim.Result
+)
+
+// Analyze runs the analytical cost model on a dataflow, layer and
+// hardware configuration.
+func Analyze(df Dataflow, layer Layer, cfg HWConfig) (*Result, error) {
+	return core.AnalyzeDataflow(df, layer, cfg)
+}
+
+// AnalyzeSpec analyzes an already resolved dataflow.
+var AnalyzeSpec = core.Analyze
+
+// AnalyzeAll analyzes many layers concurrently under one dataflow and
+// configuration, preserving order.
+var AnalyzeAll = core.AnalyzeAll
+
+// Simulate runs the step-accurate reference simulator on a resolved
+// dataflow (the Figure 9 validation path).
+var Simulate = sim.Simulate
+
+// Model zoo.
+type (
+	// Model is a named DNN layer list.
+	Model = models.Model
+	// LayerInst is one layer with its repetition count and Table 4 class.
+	LayerInst = models.LayerInst
+	// OperatorClass is the Table 4 taxonomy.
+	OperatorClass = models.Class
+)
+
+// Model constructors.
+var (
+	VGG16            = models.VGG16
+	GoogLeNet        = models.GoogLeNet
+	AlexNet          = models.AlexNet
+	ResNet50         = models.ResNet50
+	ResNeXt50        = models.ResNeXt50
+	MobileNetV2      = models.MobileNetV2
+	UNet             = models.UNet
+	DCGAN            = models.DCGAN
+	LSTM             = models.LSTM
+	EvaluationModels = models.EvaluationModels
+	ClassifyLayer    = models.Classify
+)
+
+// DataflowByName returns one of the paper's Table 3 dataflows:
+// "C-P", "X-P", "YX-P", "YR-P", or "KC-P".
+var DataflowByName = dataflows.Get
+
+// DataflowNames lists the Table 3 dataflow names in plotting order.
+var DataflowNames = dataflows.Names
+
+// AllDataflows returns the five Table 3 dataflows.
+var AllDataflows = dataflows.All
+
+// Parameterized dataflow templates for design-space exploration.
+var (
+	KCPSized = dataflows.KCPSized
+	YRPSized = dataflows.YRPSized
+	YXPSized = dataflows.YXPSized
+)
+
+// Design-space exploration.
+type (
+	// DSESpace is the search space of one DSE run.
+	DSESpace = dse.Space
+	// DSEPoint is one valid design.
+	DSEPoint = dse.Point
+	// DSEStats summarizes an exploration run.
+	DSEStats = dse.Stats
+	// DSETemplate parameterizes a dataflow style with tile-size knobs.
+	DSETemplate = dse.Template
+)
+
+// DSE entry points.
+var (
+	Explore       = dse.Explore
+	ThroughputOpt = dse.ThroughputOpt
+	EnergyOpt     = dse.EnergyOpt
+	EDPOpt        = dse.EDPOpt
+	Pareto        = dse.Pareto
+	DefaultGrid   = dse.DefaultGrid
+)
+
+// Auto-tuner (the paper's Section 7 future work): searches dataflow
+// styles and tile sizes for the best mapping of a layer on a hardware
+// configuration.
+type (
+	// TunerOptions configures the mapping search.
+	TunerOptions = tuner.Options
+	// TunerChoice is one tuned mapping with its analysis.
+	TunerChoice = tuner.Choice
+)
+
+// Tuner objectives.
+const (
+	MinRuntime = tuner.MinRuntime
+	MinEnergy  = tuner.MinEnergy
+	MinEDP     = tuner.MinEDP
+)
+
+// Tuner entry points.
+var (
+	TuneLayer  = tuner.TuneLayer
+	TuneLayers = tuner.TuneLayers
+)
+
+// Mapping-space search (loop orders x tilings x spatial dims; the class
+// of mapper the paper positions MAESTRO to drive).
+type (
+	// MapperCandidate encodes one point of the mapping space.
+	MapperCandidate = mapper.Candidate
+	// MapperOptions configures a mapping search.
+	MapperOptions = mapper.Options
+	// MapperBest is a search's winning mapping.
+	MapperBest = mapper.Best
+	// MapperStats summarizes a search run.
+	MapperStats = mapper.Stats
+)
+
+// Mapper strategies.
+const (
+	MapperExhaustive   = mapper.Exhaustive
+	MapperRandomSample = mapper.RandomSample
+	MapperHillClimb    = mapper.HillClimb
+)
+
+// SearchMappings explores the mapping space of a layer on a
+// configuration.
+var SearchMappings = mapper.Search
+
+// Whole-network scheduling with inter-layer L2 residency and residual
+// pinning (the Table 4 inter-layer effects).
+type (
+	// NetSchedule is an end-to-end network plan.
+	NetSchedule = netsched.Schedule
+	// NetOptions configures network scheduling.
+	NetOptions = netsched.Options
+	// ResidualEdge is a skip connection between layer indices.
+	ResidualEdge = netsched.Edge
+	// LayerPlan is one scheduled layer of a network plan.
+	LayerPlan = netsched.LayerPlan
+)
+
+// ScheduleNetwork plans a model's layers on one accelerator.
+var ScheduleNetwork = netsched.Run
+
+// Heterogeneous chips: several sub-accelerators with different dataflow
+// styles, the design point the paper's Section 5.1 motivates.
+type (
+	// SubAccel is one sub-accelerator of a heterogeneous chip.
+	SubAccel = hetero.SubAccel
+	// HeteroPlan is a model's evaluation on a heterogeneous chip.
+	HeteroPlan = hetero.Plan
+)
+
+// Heterogeneous-chip entry points.
+var (
+	EvaluateHetero = hetero.Evaluate
+	Homogeneous    = hetero.Homogeneous
+)
+
+// Machine-readable exports and roofline analysis.
+type (
+	// ReportRow is the flat per-layer export record.
+	ReportRow = report.Row
+	// Roofline places a mapping against the compute and bandwidth roofs.
+	Roofline = report.Roofline
+)
+
+// Export and roofline helpers.
+var (
+	ReportRowOf         = report.RowOf
+	WriteCSV            = report.WriteCSV
+	WriteJSON           = report.WriteJSON
+	WriteDSECSV         = report.WriteDSECSV
+	RooflineOf          = report.RooflineOf
+	ArithmeticIntensity = report.ArithmeticIntensity
+)
+
+// ParseHWConfig reads a line-oriented accelerator description file.
+var ParseHWConfig = hw.ParseConfig
+
+// Transformer models the GEMM workload of one encoder block; BERTBase is
+// the d=768/12-head/ff=3072 instantiation.
+var (
+	Transformer = models.Transformer
+	BERTBase    = models.BERTBase
+)
+
+// Conv2D builds a dense convolution with k output channels, c input
+// channels, out x out output positions, an r x r filter and the given
+// stride (input extent derives as (out-1)*stride + r).
+func Conv2D(name string, k, c, out, r, stride int) Layer {
+	in := (out-1)*stride + r
+	return Layer{
+		Name: name, Op: OpConv2D,
+		Sizes:   Sizes{N: 1, K: k, C: c, Y: in, X: in, R: r, S: r},
+		StrideY: stride, StrideX: stride,
+	}.Normalize()
+}

@@ -1,0 +1,39 @@
+// A miniature network in the MAESTRO-style DSL, used by cmd/maestro and
+// the parser tests. Dimensions are input coordinates (Y = 34 input rows
+// for 32 output rows with a 3x3 filter at stride 1).
+Network tinynet {
+  Layer CONV1 {
+    Type: CONV2D
+    Stride { Y: 1, X: 1 }
+    Dimensions { N: 1, K: 16, C: 3, Y: 34, X: 34, R: 3, S: 3 }
+    Dataflow {
+      SpatialMap(1,1) K;
+      TemporalMap(Sz(R),1) Y;
+      TemporalMap(Sz(S),1) X;
+      TemporalMap(Sz(R),Sz(R)) R;
+      TemporalMap(Sz(S),Sz(S)) S;
+      Cluster(4, P);
+      SpatialMap(1,1) C;
+    }
+  }
+  Layer CONV2 {
+    Type: CONV2D
+    Stride { Y: 2, X: 2 }
+    Dimensions { N: 1, K: 32, C: 16, Y: 33, X: 33, R: 3, S: 3 }
+    Dataflow {
+      TemporalMap(1,1) K;
+      SpatialMap(Sz(R),1) Y;
+      TemporalMap(Sz(S),1) X;
+      TemporalMap(Sz(R),Sz(R)) R;
+      TemporalMap(Sz(S),Sz(S)) S;
+    }
+  }
+  Layer FC {
+    Type: FC
+    Dimensions { N: 1, K: 10, C: 8192 }
+    Dataflow {
+      SpatialMap(1,1) K;
+      TemporalMap(64,64) C;
+    }
+  }
+}
