@@ -1,0 +1,33 @@
+# Standard developer entry points. Everything is stdlib-only Go; no
+# tools beyond the toolchain are required.
+
+GO ?= go
+
+.PHONY: all build vet test race bench serve clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The serve subsystem is concurrency-heavy; run the whole tree under
+# the race detector before shipping.
+race:
+	$(GO) test -race ./...
+
+# One pass over the figure/table benchmarks plus the service benchmarks.
+bench:
+	$(GO) test -bench . -benchtime 1x -run xxx .
+	$(GO) test -bench . -benchmem -run xxx ./internal/serve
+
+serve:
+	$(GO) run ./cmd/maestro-serve
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,77 @@
+// maestro-serve runs the MAESTRO cost model as a concurrent HTTP
+// analysis service: POST /v1/analyze and /v1/analyze/batch evaluate a
+// layer + dataflow + hardware configuration through a canonical-request
+// result cache and a bounded worker pool, POST /v1/dse sweeps a design
+// space, GET /v1/models lists the model zoo, and GET /metrics exposes
+// Prometheus-format counters (latency, cache hit ratio, queue depth).
+//
+// Usage:
+//
+//	maestro-serve [-addr :8080] [-workers N] [-queue N] [-cache N]
+//	              [-timeout 15s] [-max-batch N]
+//
+// Shutdown is graceful: on SIGINT/SIGTERM the listener stops, in-flight
+// and queued analyses drain, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "analysis worker count")
+	queue := flag.Int("queue", 256, "work queue depth before 429 backpressure")
+	cache := flag.Int("cache", 4096, "result cache entries (negative disables)")
+	timeout := flag.Duration("timeout", 15*time.Second, "default per-request deadline")
+	maxBatch := flag.Int("max-batch", 256, "max requests per batch call")
+	drain := flag.Duration("drain", 30*time.Second, "shutdown drain deadline")
+	flag.Parse()
+
+	s := serve.New(serve.Options{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cache,
+		DefaultTimeout: *timeout,
+		MaxBatch:       *maxBatch,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("maestro-serve listening on %s (%d workers, queue %d, cache %d entries)",
+		*addr, *workers, *queue, *cache)
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutting down: draining connections and queued work (max %s)", *drain)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	s.Close() // drain the worker pool
+	log.Printf("bye")
+}

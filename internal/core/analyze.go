@@ -472,8 +472,8 @@ func Analyze(spec *dataflow.Spec, cfg hw.Config) (*Result, error) {
 		return nil, err
 	}
 	if spec.NumPEs != cfg.NumPEs {
-		return nil, fmt.Errorf("core: spec resolved for %d PEs but hardware has %d",
-			spec.NumPEs, cfg.NumPEs)
+		return nil, fmt.Errorf("%w: core: spec resolved for %d PEs but hardware has %d",
+			hw.ErrInvalidConfig, spec.NumPEs, cfg.NumPEs)
 	}
 	e := &engine{
 		spec:  spec,

@@ -1,0 +1,37 @@
+package dataflow
+
+import "repro/internal/tensor"
+
+// Augment returns the dataflow with the implicit mappings Resolve would
+// add made explicit against a layer: every dimension a cluster level
+// does not mention becomes a single-chunk temporal map covering the full
+// layer extent, appended innermost in canonical dimension order (the
+// same position and semantics the resolver's augmentation uses — the
+// chunk is clipped to the sub-problem at resolution time).
+//
+// The augmented dataflow is the canonical form of the original: it
+// resolves to the same mapping, Augment is idempotent, and the DSL
+// round trip ParseDataflow(name, df.String()) reproduces it exactly.
+// The analysis service hashes this form for its result cache.
+func Augment(df Dataflow, layer tensor.Layer) Dataflow {
+	layer = layer.Normalize()
+	out := Dataflow{Name: df.Name}
+	levels, clusterSizes := df.Levels()
+	for i, dirs := range levels {
+		mentioned := tensor.DimSet(0)
+		for _, d := range dirs {
+			out.Directives = append(out.Directives, d)
+			mentioned = mentioned.Add(d.Dim)
+		}
+		for _, d := range tensor.AllDims() {
+			if !mentioned.Has(d) {
+				sz := Lit(layer.Sizes.Get(d))
+				out.Directives = append(out.Directives, TMap(sz, sz, d))
+			}
+		}
+		if i < len(clusterSizes) {
+			out.Directives = append(out.Directives, ClusterOf(clusterSizes[i]))
+		}
+	}
+	return out
+}

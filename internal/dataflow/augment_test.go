@@ -1,0 +1,104 @@
+package dataflow
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func augLayer() tensor.Layer {
+	return tensor.Layer{
+		Name: "conv", Op: tensor.Conv2D,
+		Sizes: tensor.Sizes{tensor.N: 1, tensor.K: 16, tensor.C: 8,
+			tensor.Y: 18, tensor.X: 18, tensor.R: 3, tensor.S: 3},
+	}.Normalize()
+}
+
+func TestAugmentMentionsEveryDim(t *testing.T) {
+	df := Dataflow{Name: "kcp", Directives: []Directive{
+		SMap(Lit(1), Lit(1), tensor.K),
+		TMap(Lit(4), Lit(4), tensor.C),
+		ClusterOf(Lit(4)),
+		SMap(Lit(1), Lit(1), tensor.C),
+	}}
+	aug := Augment(df, augLayer())
+	levels, _ := aug.Levels()
+	if len(levels) != 2 {
+		t.Fatalf("levels = %d, want 2", len(levels))
+	}
+	for li, dirs := range levels {
+		seen := tensor.DimSet(0)
+		for _, d := range dirs {
+			if seen.Has(d.Dim) {
+				t.Fatalf("level %d maps %s twice", li, d.Dim)
+			}
+			seen = seen.Add(d.Dim)
+		}
+		for _, d := range tensor.AllDims() {
+			if !seen.Has(d) {
+				t.Fatalf("level %d misses dim %s after augmentation", li, d)
+			}
+		}
+	}
+}
+
+func TestAugmentIdempotentAndRoundTrips(t *testing.T) {
+	layer := augLayer()
+	df := Dataflow{Name: "kcp", Directives: []Directive{
+		SMap(Lit(1), Lit(1), tensor.K),
+		TMap(Lit(4), Lit(4), tensor.C),
+		TMap(Sz(tensor.R), Lit(1), tensor.Y),
+		ClusterOf(Lit(4)),
+		SMap(Lit(1), Lit(1), tensor.C),
+	}}
+	aug := Augment(df, layer)
+	if again := Augment(aug, layer); !reflect.DeepEqual(aug, again) {
+		t.Fatalf("Augment not idempotent:\n%s\nvs\n%s", aug, again)
+	}
+	re, err := ParseDataflow(aug.Name, aug.String())
+	if err != nil {
+		t.Fatalf("re-parse of augmented DSL failed: %v\n%s", err, aug)
+	}
+	if !reflect.DeepEqual(aug, re) {
+		t.Fatalf("DSL round trip not a fixed point:\n%s\nvs\n%s", aug, re)
+	}
+}
+
+func TestAugmentResolvesLikeOriginal(t *testing.T) {
+	layer := augLayer()
+	df := Dataflow{Name: "kcp", Directives: []Directive{
+		SMap(Lit(1), Lit(1), tensor.K),
+		TMap(Lit(4), Lit(4), tensor.C),
+		ClusterOf(Lit(4)),
+		SMap(Lit(1), Lit(1), tensor.C),
+	}}
+	orig, err := Resolve(df, layer, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aug, err := Resolve(Augment(df, layer), layer, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < orig.NumLevels(); i++ {
+		lo, err := orig.Level(i, layer.Sizes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		la, err := aug.Level(i, layer.Sizes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(lo.Maps) != len(la.Maps) {
+			t.Fatalf("level %d: %d maps vs %d", i, len(lo.Maps), len(la.Maps))
+		}
+		for j := range lo.Maps {
+			mo, ma := lo.Maps[j], la.Maps[j]
+			if mo.Dim != ma.Dim || mo.Kind != ma.Kind || mo.Size != ma.Size ||
+				mo.Steps != ma.Steps || mo.EdgeSize != ma.EdgeSize {
+				t.Fatalf("level %d map %d: %+v vs %+v", i, j, mo, ma)
+			}
+		}
+	}
+}

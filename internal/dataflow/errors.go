@@ -1,0 +1,18 @@
+package dataflow
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalid tags every validation failure of this package — bad cluster
+// arithmetic, doubly mapped dimensions, non-positive resolved sizes,
+// coverage gaps. Callers distinguish "the dataflow is wrong" from
+// internal faults with errors.Is(err, ErrInvalid); the analysis service
+// maps the former to HTTP 400.
+var ErrInvalid = errors.New("invalid dataflow")
+
+// invalidf builds a validation error wrapping ErrInvalid.
+func invalidf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvalid, fmt.Sprintf(format, args...))
+}

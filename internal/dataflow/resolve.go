@@ -46,7 +46,7 @@ func Resolve(df Dataflow, layer tensor.Layer, numPEs int) (*Spec, error) {
 		return nil, err
 	}
 	if numPEs < 1 {
-		return nil, fmt.Errorf("dataflow %s: PE count %d < 1", df.Name, numPEs)
+		return nil, invalidf("dataflow %s: PE count %d < 1", df.Name, numPEs)
 	}
 	levels, clusterSizes := df.Levels()
 	sub := make([]int, len(levels))
@@ -54,13 +54,13 @@ func Resolve(df Dataflow, layer tensor.Layer, numPEs int) (*Spec, error) {
 	for i, cs := range clusterSizes {
 		n := cs.Eval(layer.Sizes)
 		if n < 1 {
-			return nil, fmt.Errorf("dataflow %s: Cluster(%s) resolves to %d", df.Name, cs, n)
+			return nil, invalidf("dataflow %s: Cluster(%s) resolves to %d", df.Name, cs, n)
 		}
 		sub[i+1] = n
 		prod *= n
 	}
 	if prod > numPEs {
-		return nil, fmt.Errorf("dataflow %s: cluster product %d exceeds %d PEs",
+		return nil, invalidf("dataflow %s: cluster product %d exceeds %d PEs",
 			df.Name, prod, numPEs)
 	}
 	// A PE count that the cluster product does not divide leaves the
@@ -71,7 +71,7 @@ func Resolve(df Dataflow, layer tensor.Layer, numPEs int) (*Spec, error) {
 		seen := tensor.DimSet(0)
 		for _, d := range dirs {
 			if seen.Has(d.Dim) {
-				return nil, fmt.Errorf("dataflow %s: level %d maps %s twice", df.Name, i, d.Dim)
+				return nil, invalidf("dataflow %s: level %d maps %s twice", df.Name, i, d.Dim)
 			}
 			seen = seen.Add(d.Dim)
 		}
@@ -239,7 +239,7 @@ func (sp *Spec) Level(i int, dims tensor.Sizes) (*Level, error) {
 				lv.FoldPos = idx
 				lv.SpatialChunks = m.Steps
 			} else if m.Steps != lv.SpatialChunks {
-				return nil, fmt.Errorf(
+				return nil, invalidf(
 					"level %d: co-mapped spatial dims disagree on chunk count (%s has %d, first has %d)",
 					i, m.Dim, m.Steps, lv.SpatialChunks)
 			}
@@ -263,7 +263,7 @@ func (sp *Spec) Level(i int, dims tensor.Sizes) (*Level, error) {
 // (the CLA engine's "apply stride" step), and clips to the dim extent.
 func resolveMap(dir Directive, dims tensor.Sizes, layer tensor.Layer, coMapped bool) (ResolvedMap, error) {
 	if dir.IsCluster {
-		return ResolvedMap{}, fmt.Errorf("unexpected Cluster directive inside level")
+		return ResolvedMap{}, invalidf("unexpected Cluster directive inside level")
 	}
 	d := dir.Dim
 	dimSize := dims.Get(d)
@@ -285,7 +285,7 @@ func resolveMap(dir Directive, dims tensor.Sizes, layer tensor.Layer, coMapped b
 		}
 	}
 	if size < 1 || offset < 1 {
-		return ResolvedMap{}, fmt.Errorf("%s resolves to size %d offset %d", dir, size, offset)
+		return ResolvedMap{}, invalidf("%s resolves to size %d offset %d", dir, size, offset)
 	}
 	if size > dimSize {
 		size = dimSize
@@ -333,7 +333,7 @@ func (lv *Level) checkCoverage(layer tensor.Layer) error {
 				// the output position per sub-cluster is fixed at
 				// (offY - offR)/stride, which must be integral.
 				if (m.Offset-lv.Map(wd).Offset)%stride != 0 {
-					return fmt.Errorf("level %d: co-mapped %s/%s offsets misalign with stride %d",
+					return invalidf("level %d: co-mapped %s/%s offsets misalign with stride %d",
 						lv.Index, m.Dim, wd, stride)
 				}
 				continue
@@ -345,21 +345,21 @@ func (lv *Level) checkCoverage(layer tensor.Layer) error {
 			// offset <= size-win+stride; the final (possibly edge) chunk
 			// must reach the last output.
 			if m.Steps > 1 && m.Offset > m.Size-win+stride {
-				return fmt.Errorf("level %d: map %s(%d,%d) %s leaves output gaps (window %d, stride %d)",
+				return invalidf("level %d: map %s(%d,%d) %s leaves output gaps (window %d, stride %d)",
 					lv.Index, m.Kind, m.Size, m.Offset, m.Dim, win, stride)
 			}
 			lastStart, lastChunk := m.ChunkAt(m.Steps - 1)
 			lastOut := (lastStart + lastChunk - win) / stride
 			if want := tensor.OutSpan(m.DimSize, win, stride) - 1; lastOut < want {
-				return fmt.Errorf("level %d: map %s(%d,%d) %s covers outputs up to %d of %d",
+				return invalidf("level %d: map %s(%d,%d) %s covers outputs up to %d of %d",
 					lv.Index, m.Kind, m.Size, m.Offset, m.Dim, lastOut, want)
 			}
 			if m.Offset%stride != 0 {
-				return fmt.Errorf("level %d: map on %s has offset %d not a multiple of stride %d",
+				return invalidf("level %d: map on %s has offset %d not a multiple of stride %d",
 					lv.Index, m.Dim, m.Offset, stride)
 			}
 		} else if m.Offset > m.Size {
-			return fmt.Errorf("level %d: map %s(%d,%d) %s leaves index gaps",
+			return invalidf("level %d: map %s(%d,%d) %s leaves index gaps",
 				lv.Index, m.Kind, m.Size, m.Offset, m.Dim)
 		}
 	}

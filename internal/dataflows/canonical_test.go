@@ -1,0 +1,77 @@
+package dataflows
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/hw"
+	"repro/internal/tensor"
+)
+
+func canonLayer(k, c, out, r, stride int) tensor.Layer {
+	in := (out-1)*stride + r
+	return tensor.Layer{
+		Name: "l", Op: tensor.Conv2D,
+		Sizes: tensor.Sizes{tensor.N: 1, tensor.K: k, tensor.C: c,
+			tensor.Y: in, tensor.X: in, tensor.R: r, tensor.S: r},
+		StrideY: stride, StrideX: stride,
+	}.Normalize()
+}
+
+// The serve cache keys on the augmented DSL re-emission, so for every
+// Table 3 dataflow the chain parse -> augment -> String -> parse ->
+// augment must be a fixed point, and the emission deterministic.
+func TestCanonicalFixedPoint(t *testing.T) {
+	layers := []tensor.Layer{
+		canonLayer(16, 8, 14, 3, 1),
+		canonLayer(64, 32, 7, 1, 1),
+		canonLayer(8, 4, 9, 3, 2),
+	}
+	for _, name := range Names {
+		df := Get(name)
+		for _, layer := range layers {
+			aug := dataflow.Augment(df, layer)
+			src := aug.String()
+			if src != dataflow.Augment(df, layer).String() {
+				t.Fatalf("%s: emission not deterministic", name)
+			}
+			re, err := dataflow.ParseDataflow(aug.Name, src)
+			if err != nil {
+				t.Fatalf("%s: re-parse failed: %v\n%s", name, err, src)
+			}
+			if !reflect.DeepEqual(aug, re) {
+				t.Fatalf("%s: parse(emit(aug)) != aug\n%s", name, src)
+			}
+			re2 := dataflow.Augment(re, layer)
+			if !reflect.DeepEqual(re, re2) {
+				t.Fatalf("%s: augment after round trip not identity", name)
+			}
+		}
+	}
+}
+
+// Augmentation must not change the analysis: the canonical form prices
+// identically to the original on every Table 3 dataflow.
+func TestCanonicalAnalysisUnchanged(t *testing.T) {
+	layer := canonLayer(16, 8, 14, 3, 1)
+	cfg := hw.Accel256()
+	for _, name := range Names {
+		df := Get(name)
+		want, err := core.AnalyzeDataflow(df, layer, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := core.AnalyzeDataflow(dataflow.Augment(df, layer), layer, cfg)
+		if err != nil {
+			t.Fatalf("%s (augmented): %v", name, err)
+		}
+		if want.Runtime != got.Runtime || want.MACs != got.MACs ||
+			!reflect.DeepEqual(want.BufRead, got.BufRead) ||
+			!reflect.DeepEqual(want.NoCTraffic, got.NoCTraffic) {
+			t.Fatalf("%s: augmented analysis diverges: runtime %d vs %d",
+				name, want.Runtime, got.Runtime)
+		}
+	}
+}

@@ -11,10 +11,16 @@
 package hw
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/noc"
 )
+
+// ErrInvalidConfig tags hardware-configuration validation failures so
+// callers can tell a malformed configuration apart from an internal
+// fault with errors.Is(err, ErrInvalidConfig).
+var ErrInvalidConfig = errors.New("invalid hardware config")
 
 // Config is the hardware configuration MAESTRO analyzes a dataflow
 // against: the parameters listed in Figure 2.
@@ -69,17 +75,17 @@ func (c Config) Normalize() Config {
 // Validate reports an error for inconsistent parameters.
 func (c Config) Validate() error {
 	if c.NumPEs < 1 {
-		return fmt.Errorf("hw %s: NumPEs %d < 1", c.Name, c.NumPEs)
+		return fmt.Errorf("%w: hw %s: NumPEs %d < 1", ErrInvalidConfig, c.Name, c.NumPEs)
 	}
 	if c.VectorWidth < 1 || c.ElemBytes < 1 {
-		return fmt.Errorf("hw %s: bad vector width or element size", c.Name)
+		return fmt.Errorf("%w: hw %s: bad vector width or element size", ErrInvalidConfig, c.Name)
 	}
 	if len(c.NoCs) == 0 {
-		return fmt.Errorf("hw %s: no NoC model", c.Name)
+		return fmt.Errorf("%w: hw %s: no NoC model", ErrInvalidConfig, c.Name)
 	}
 	for _, m := range c.NoCs {
 		if err := m.Validate(); err != nil {
-			return fmt.Errorf("hw %s: %w", c.Name, err)
+			return fmt.Errorf("%w: hw %s: %v", ErrInvalidConfig, c.Name, err)
 		}
 	}
 	return nil

@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"strings"
+
+	"repro/internal/dataflow"
+	"repro/internal/hw"
+	"repro/internal/tensor"
+)
+
+// The canonicalizer turns a resolved request into a stable cache key:
+// the layer after normalization, the dataflow after augmentation
+// (implicit maps made explicit and re-emitted through the DSL, so any
+// surface spelling of the same mapping — builder vs DSL, whitespace,
+// named vs inline — hashes identically), and the hardware configuration
+// after normalization, rendered field by field in a fixed order and
+// hashed with SHA-256.
+
+func canonicalLayer(b *strings.Builder, l tensor.Layer) {
+	fmt.Fprintf(b, "layer|%s|op=%s|", l.Name, l.Op)
+	for _, d := range tensor.AllDims() {
+		fmt.Fprintf(b, "%s=%d,", d, l.Sizes.Get(d))
+	}
+	fmt.Fprintf(b, "|sy=%d|sx=%d|den=%g,%g,%g\n",
+		l.StrideY, l.StrideX,
+		l.Density[tensor.Input], l.Density[tensor.Weight], l.Density[tensor.Output])
+}
+
+func canonicalHW(b *strings.Builder, cfg hw.Config) {
+	fmt.Fprintf(b, "hw|pes=%d|vw=%d|l1=%d|l2=%d|off=%g|eb=%d|clk=%g|sparse=%t|",
+		cfg.NumPEs, cfg.VectorWidth, cfg.L1Size, cfg.L2Size,
+		cfg.OffchipBandwidth, cfg.ElemBytes, cfg.ClockGHz, cfg.SparseImbalance)
+	for _, m := range cfg.NoCs {
+		fmt.Fprintf(b, "noc:bw=%g,lat=%d,mc=%t,red=%t,ch=%d;",
+			m.Bandwidth, m.AvgLatency, m.Multicast, m.Reduction, m.Channels)
+	}
+	b.WriteByte('\n')
+}
+
+// canonicalKey hashes the canonical encoding of a resolved analysis
+// request. The hardware Name and NoC Names are presentation-only and
+// excluded; the layer and dataflow names are kept because responses
+// echo them.
+func canonicalKey(r resolved) Key {
+	var b strings.Builder
+	canonicalLayer(&b, r.layer)
+	aug := dataflow.Augment(r.df, r.layer)
+	fmt.Fprintf(&b, "dataflow|%s|\n%s", aug.Name, aug.String())
+	canonicalHW(&b, r.cfg)
+	return sha256.Sum256([]byte(b.String()))
+}
+
+// canonicalDSEKey hashes a DSE request's canonical encoding.
+func canonicalDSEKey(layer tensor.Layer, req DSERequest) Key {
+	var b strings.Builder
+	b.WriteString("dse\n")
+	canonicalLayer(&b, layer)
+	fmt.Fprintf(&b, "tmpl=%s|p1=%v|p2=%v|pes=%v|bws=%v|l1=%v|l2=%v|area=%g|power=%g|topk=%d\n",
+		req.Template, req.P1, req.P2, req.PEs, req.BWs,
+		req.L1Grid, req.L2Grid, req.AreaBudgetMM2, req.PowerBudgetMW, req.TopK)
+	return sha256.Sum256([]byte(b.String()))
+}

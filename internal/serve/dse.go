@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"repro/internal/dataflow"
+	"repro/internal/dataflows"
+	"repro/internal/dse"
+	"repro/internal/hw"
+)
+
+// Template builders adapt the dataflows package's parameterized styles
+// to the DSE's two-knob shape (YX-P has a single knob).
+func dseBuildKCP(p1, p2 int) dataflow.Dataflow { return dataflows.KCPSized(p1, p2) }
+func dseBuildYRP(p1, p2 int) dataflow.Dataflow { return dataflows.YRPSized(p1, p2) }
+func dseBuildYXP(p1, _ int) dataflow.Dataflow  { return dataflows.YXPSized(p1) }
+
+// DSERequest is the body of POST /v1/dse: a bounded design-space sweep
+// for one layer under area/power budgets (the paper's Section 5.2
+// workflow as a service call).
+type DSERequest struct {
+	Layer LayerSpec `json:"layer"`
+	// Template is the dataflow style to sweep: KC-P, YR-P, or YX-P.
+	Template string `json:"template"`
+	// P1/P2 are the template's tile-size knobs (P2 ignored by YX-P).
+	P1 []int `json:"p1,omitempty"`
+	P2 []int `json:"p2,omitempty"`
+
+	PEs    []int     `json:"pes,omitempty"`
+	BWs    []float64 `json:"bws,omitempty"` // elements/cycle
+	L1Grid []int64   `json:"l1_grid,omitempty"`
+	L2Grid []int64   `json:"l2_grid,omitempty"`
+
+	AreaBudgetMM2 float64 `json:"area_budget_mm2,omitempty"`
+	PowerBudgetMW float64 `json:"power_budget_mw,omitempty"`
+
+	// TopK caps the Pareto points returned (default 32).
+	TopK      int  `json:"top_k,omitempty"`
+	TimeoutMs int  `json:"timeout_ms,omitempty"`
+	NoCache   bool `json:"no_cache,omitempty"`
+}
+
+// DSEPointJSON is one design point of the response.
+type DSEPointJSON struct {
+	NumPEs     int     `json:"num_pes"`
+	BW         float64 `json:"bw"`
+	P1         int     `json:"p1"`
+	P2         int     `json:"p2"`
+	L1Bytes    int64   `json:"l1_bytes"`
+	L2Bytes    int64   `json:"l2_bytes"`
+	AreaMM2    float64 `json:"area_mm2"`
+	PowerMW    float64 `json:"power_mw"`
+	Runtime    int64   `json:"runtime_cycles"`
+	Throughput float64 `json:"throughput_macs_per_cycle"`
+	EnergyPJ   float64 `json:"energy_pj"`
+	EDP        float64 `json:"edp"`
+}
+
+// DSEResponse is the body of a successful sweep.
+type DSEResponse struct {
+	Key    string `json:"key"`
+	Cached bool   `json:"cached"`
+
+	Raw      int64   `json:"raw_designs"`
+	Explored int64   `json:"explored_designs"`
+	Invoked  int64   `json:"model_invocations"`
+	Valid    int64   `json:"valid_designs"`
+	Micros   int64   `json:"elapsed_micros"`
+	Rate     float64 `json:"designs_per_second"`
+
+	ThroughputOpt *DSEPointJSON  `json:"throughput_opt,omitempty"`
+	EnergyOpt     *DSEPointJSON  `json:"energy_opt,omitempty"`
+	EDPOpt        *DSEPointJSON  `json:"edp_opt,omitempty"`
+	Pareto        []DSEPointJSON `json:"pareto"`
+}
+
+// maxDSEGrid bounds the raw sweep size one request may ask for; larger
+// sweeps belong in the offline tool.
+const maxDSEGrid = 1 << 20
+
+// buildSpace validates a DSE request and assembles the search space,
+// filling the defaults of the examples/dse workflow.
+func buildSpace(req DSERequest) (dse.Space, error) {
+	layer, err := resolveLayer(req.Layer)
+	if err != nil {
+		return dse.Space{}, err
+	}
+	tmpl, err := dseTemplate(req.Template)
+	if err != nil {
+		return dse.Space{}, err
+	}
+	tmpl.P1 = req.P1
+	if len(tmpl.P1) == 0 {
+		tmpl.P1 = []int{16, 64, 256}
+	}
+	tmpl.P2 = req.P2
+	if len(tmpl.P2) == 0 {
+		if req.Template == "YX-P" { // single-knob style: P2 is unused
+			tmpl.P2 = []int{1}
+		} else {
+			tmpl.P2 = []int{8, 32}
+		}
+	}
+	sp := dse.Space{
+		Layer:    layer,
+		Template: tmpl,
+		PEs:      req.PEs,
+		BWs:      req.BWs,
+		L1Grid:   req.L1Grid,
+		L2Grid:   req.L2Grid,
+
+		AreaBudgetMM2: req.AreaBudgetMM2,
+		PowerBudgetMW: req.PowerBudgetMW,
+		Cost:          hw.Default28nm(),
+	}
+	if len(sp.PEs) == 0 {
+		sp.PEs = []int{64, 128, 256, 512}
+	}
+	if len(sp.BWs) == 0 {
+		sp.BWs = []float64{8, 16, 32, 64}
+	}
+	if len(sp.L1Grid) == 0 {
+		sp.L1Grid = dse.DefaultGrid(64, 1<<16, 2)
+	}
+	if len(sp.L2Grid) == 0 {
+		sp.L2Grid = dse.DefaultGrid(1<<12, 1<<22, 2)
+	}
+	if sp.AreaBudgetMM2 == 0 {
+		sp.AreaBudgetMM2 = 16
+	}
+	if sp.PowerBudgetMW == 0 {
+		sp.PowerBudgetMW = 450
+	}
+	raw := int64(len(sp.PEs)) * int64(len(sp.BWs)) *
+		int64(len(tmpl.P1)) * int64(len(tmpl.P2)) *
+		int64(len(sp.L1Grid)) * int64(len(sp.L2Grid))
+	if raw > maxDSEGrid {
+		return dse.Space{}, badRequestf("sweep spans %d raw designs, cap is %d", raw, maxDSEGrid)
+	}
+	// The sweep runs as one pool job; its internal fan-out would
+	// otherwise contend with the pool's own workers.
+	sp.Workers = 2
+	return sp, nil
+}
+
+// dseTemplate maps a style name to its parameterized builder.
+func dseTemplate(name string) (dse.Template, error) {
+	switch name {
+	case "KC-P":
+		return dse.Template{Name: name, Build: dseBuildKCP}, nil
+	case "YR-P":
+		return dse.Template{Name: name, Build: dseBuildYRP}, nil
+	case "YX-P":
+		return dse.Template{Name: name, Build: dseBuildYXP}, nil
+	}
+	return dse.Template{}, badRequestf("unknown dse template %q (have KC-P, YR-P, YX-P)", name)
+}
+
+func pointJSON(p dse.Point) *DSEPointJSON {
+	return &DSEPointJSON{
+		NumPEs: p.NumPEs, BW: p.BW, P1: p.P1, P2: p.P2,
+		L1Bytes: p.L1Bytes, L2Bytes: p.L2Bytes,
+		AreaMM2: p.AreaMM2, PowerMW: p.PowerMW,
+		Runtime: p.Runtime, Throughput: p.Throughput,
+		EnergyPJ: p.EnergyPJ, EDP: p.EDP,
+	}
+}
+
+// runDSE executes the sweep and shapes the response.
+func runDSE(req DSERequest, sp dse.Space) *DSEResponse {
+	points, stats := dse.Explore(sp)
+	resp := &DSEResponse{
+		Raw:      stats.Raw,
+		Explored: stats.Explored,
+		Invoked:  stats.Invoked,
+		Valid:    stats.Valid,
+		Micros:   stats.Elapsed.Microseconds(),
+		Rate:     stats.Rate(),
+		Pareto:   []DSEPointJSON{},
+	}
+	if p, ok := dse.ThroughputOpt(points); ok {
+		resp.ThroughputOpt = pointJSON(p)
+	}
+	if p, ok := dse.EnergyOpt(points); ok {
+		resp.EnergyOpt = pointJSON(p)
+	}
+	if p, ok := dse.EDPOpt(points); ok {
+		resp.EDPOpt = pointJSON(p)
+	}
+	topK := req.TopK
+	if topK <= 0 {
+		topK = 32
+	}
+	for _, p := range dse.Pareto(points) {
+		if len(resp.Pareto) >= topK {
+			break
+		}
+		resp.Pareto = append(resp.Pareto, *pointJSON(p))
+	}
+	return resp
+}

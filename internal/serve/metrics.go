@@ -1,0 +1,230 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is a minimal in-process metrics registry rendering the
+// Prometheus text exposition format, stdlib only. It supports counters,
+// gauges, histograms, labelled counter families, and func-backed
+// metrics that sample a live value (queue depth, cache counters) at
+// scrape time.
+
+// Counter is a monotonically increasing value.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram accumulates observations into cumulative buckets.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; +Inf is implicit
+	counts  []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// ExpBuckets returns n geometric bucket bounds starting at lo.
+func ExpBuckets(lo, factor float64, n int) []float64 {
+	b := make([]float64, n)
+	v := lo
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// CounterVec is a counter family keyed by one label's value; children
+// are created on demand and rendered in sorted label order.
+type CounterVec struct {
+	label string
+	mu    sync.Mutex
+	kids  map[string]*Counter
+}
+
+// With returns the child counter for a label value.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.kids[value]
+	if !ok {
+		c = &Counter{}
+		v.kids[value] = c
+	}
+	return c
+}
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+type family struct {
+	name, help string
+	kind       metricKind
+
+	counter   *Counter
+	counterFn func() int64
+	gauge     *Gauge
+	gaugeFn   func() int64
+	histogram *Histogram
+	vec       *CounterVec
+}
+
+// Registry holds metric families and renders them in registration
+// order, so /metrics output is deterministic.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) add(f *family) {
+	r.mu.Lock()
+	r.families = append(r.families, f)
+	r.mu.Unlock()
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	r.add(&family{name: name, help: help, kind: kindCounter, counter: c})
+	return c
+}
+
+// NewCounterFunc registers a counter whose value is sampled at scrape
+// time (for counts owned by another component, e.g. the cache).
+func (r *Registry) NewCounterFunc(name, help string, fn func() int64) {
+	r.add(&family{name: name, help: help, kind: kindCounter, counterFn: fn})
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.add(&family{name: name, help: help, kind: kindGauge, gauge: g})
+	return g
+}
+
+// NewGaugeFunc registers a gauge sampled at scrape time.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() int64) {
+	r.add(&family{name: name, help: help, kind: kindGauge, gaugeFn: fn})
+}
+
+// NewHistogram registers and returns a histogram with the given bounds.
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	h := &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	r.add(&family{name: name, help: help, kind: kindHistogram, histogram: h})
+	return h
+}
+
+// NewCounterVec registers a counter family split by one label.
+func (r *Registry) NewCounterVec(name, help, label string) *CounterVec {
+	v := &CounterVec{label: label, kids: map[string]*Counter{}}
+	r.add(&family{name: name, help: help, kind: kindCounter, vec: v})
+	return v
+}
+
+// Render writes the Prometheus text exposition of every family.
+func (r *Registry) Render() string {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		typ := "counter"
+		switch f.kind {
+		case kindGauge:
+			typ = "gauge"
+		case kindHistogram:
+			typ = "histogram"
+		}
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, typ)
+		switch {
+		case f.counter != nil:
+			fmt.Fprintf(&b, "%s %d\n", f.name, f.counter.Value())
+		case f.counterFn != nil:
+			fmt.Fprintf(&b, "%s %d\n", f.name, f.counterFn())
+		case f.gauge != nil:
+			fmt.Fprintf(&b, "%s %d\n", f.name, f.gauge.Value())
+		case f.gaugeFn != nil:
+			fmt.Fprintf(&b, "%s %d\n", f.name, f.gaugeFn())
+		case f.vec != nil:
+			f.vec.mu.Lock()
+			vals := make([]string, 0, len(f.vec.kids))
+			for v := range f.vec.kids {
+				vals = append(vals, v)
+			}
+			sort.Strings(vals)
+			for _, v := range vals {
+				fmt.Fprintf(&b, "%s{%s=%q} %d\n", f.name, f.vec.label, v, f.vec.kids[v].Value())
+			}
+			f.vec.mu.Unlock()
+		case f.histogram != nil:
+			h := f.histogram
+			var cum int64
+			for i, bound := range h.bounds {
+				cum += h.counts[i].Load()
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", f.name, formatBound(bound), cum)
+			}
+			cum += h.counts[len(h.bounds)].Load()
+			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", f.name, cum)
+			fmt.Fprintf(&b, "%s_sum %g\n", f.name, h.Sum())
+			fmt.Fprintf(&b, "%s_count %d\n", f.name, h.Count())
+		}
+	}
+	return b.String()
+}
+
+func formatBound(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", v), "0"), ".")
+}

@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Submission errors.
+var (
+	// ErrQueueFull reports queue-depth backpressure; handlers map it to
+	// HTTP 429.
+	ErrQueueFull = errors.New("serve: work queue full")
+	// ErrPoolClosed reports a submission after shutdown began.
+	ErrPoolClosed = errors.New("serve: pool closed")
+)
+
+// Pool is a bounded worker pool: a fixed number of workers drain a
+// fixed-capacity queue, and submissions beyond the queue capacity fail
+// fast with ErrQueueFull instead of blocking the handler.
+type Pool struct {
+	mu      sync.RWMutex
+	closed  bool
+	jobs    chan func()
+	wg      sync.WaitGroup
+	running atomic.Int64
+}
+
+// NewPool starts `workers` workers behind a queue of `queue` slots.
+func NewPool(workers, queue int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	p := &Pool{jobs: make(chan func(), queue)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for f := range p.jobs {
+				p.running.Add(1)
+				f()
+				p.running.Add(-1)
+			}
+		}()
+	}
+	return p
+}
+
+// Submit enqueues f, failing fast when the queue is full or the pool is
+// shutting down.
+func (p *Pool) Submit(f func()) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	select {
+	case p.jobs <- f:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// QueueDepth returns the number of queued (not yet running) jobs.
+func (p *Pool) QueueDepth() int64 { return int64(len(p.jobs)) }
+
+// Running returns the number of jobs currently executing.
+func (p *Pool) Running() int64 { return p.running.Load() }
+
+// Close stops accepting work and blocks until queued and in-flight
+// jobs drain — the graceful-shutdown path.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,544 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/hw"
+	"repro/internal/tensor"
+)
+
+// Options configures a Server. Zero values take the documented
+// defaults.
+type Options struct {
+	// Workers is the analysis worker count (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds queued requests before the server answers 429
+	// (default 256).
+	QueueDepth int
+	// CacheEntries bounds the result cache (default 4096 entries;
+	// negative disables caching).
+	CacheEntries int
+	// DefaultTimeout bounds a request that carries no timeout_ms
+	// (default 15s).
+	DefaultTimeout time.Duration
+	// MaxBatch bounds requests per batch call (default 256).
+	MaxBatch int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 256
+	}
+	if o.CacheEntries == 0 {
+		o.CacheEntries = 4096
+	}
+	if o.DefaultTimeout == 0 {
+		o.DefaultTimeout = 15 * time.Second
+	}
+	if o.MaxBatch == 0 {
+		o.MaxBatch = 256
+	}
+	return o
+}
+
+// Server is the analysis service: handlers, worker pool, result cache,
+// and metrics registry. Create with New, mount Handler, and Close on
+// shutdown to drain in-flight work.
+type Server struct {
+	opts  Options
+	pool  *Pool
+	cache *Cache
+	reg   *Registry
+
+	requests    *CounterVec // by endpoint
+	responses   *CounterVec // by status code
+	evaluations *Counter
+	rejected    *Counter
+	timeouts    *Counter
+	latency     *Histogram
+	batchSize   *Histogram
+}
+
+// New builds a Server and starts its worker pool.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:  opts,
+		pool:  NewPool(opts.Workers, opts.QueueDepth),
+		cache: NewCache(opts.CacheEntries),
+		reg:   NewRegistry(),
+	}
+	s.requests = s.reg.NewCounterVec("maestro_requests_total",
+		"Requests received, by endpoint.", "endpoint")
+	s.responses = s.reg.NewCounterVec("maestro_responses_total",
+		"Responses sent, by HTTP status code.", "code")
+	s.evaluations = s.reg.NewCounter("maestro_evaluations_total",
+		"Cost-model evaluations actually executed (cache misses).")
+	s.rejected = s.reg.NewCounter("maestro_rejected_total",
+		"Requests rejected with 429 by queue-depth backpressure.")
+	s.timeouts = s.reg.NewCounter("maestro_timeouts_total",
+		"Requests that exceeded their deadline while queued or running.")
+	s.latency = s.reg.NewHistogram("maestro_request_seconds",
+		"End-to-end request latency.", ExpBuckets(0.0001, 4, 10))
+	s.batchSize = s.reg.NewHistogram("maestro_batch_size",
+		"Requests per batch call.", ExpBuckets(1, 2, 10))
+	s.reg.NewCounterFunc("maestro_cache_hits_total",
+		"Analyses served from the result cache.", s.cache.Hits)
+	s.reg.NewCounterFunc("maestro_cache_misses_total",
+		"Analyses that had to compute.", s.cache.Misses)
+	s.reg.NewCounterFunc("maestro_cache_coalesced_total",
+		"Requests that joined an identical in-flight computation.", s.cache.Coalesced)
+	s.reg.NewCounterFunc("maestro_cache_evictions_total",
+		"LRU evictions from the result cache.", s.cache.Evictions)
+	s.reg.NewGaugeFunc("maestro_cache_entries",
+		"Entries resident in the result cache.", func() int64 { return int64(s.cache.Len()) })
+	s.reg.NewGaugeFunc("maestro_queue_depth",
+		"Jobs waiting in the worker queue.", s.pool.QueueDepth)
+	s.reg.NewGaugeFunc("maestro_inflight",
+		"Jobs currently executing.", s.pool.Running)
+	return s
+}
+
+// Close drains the worker pool; queued and running jobs complete.
+func (s *Server) Close() { s.pool.Close() }
+
+// Metrics exposes the registry (for embedding into a wider process).
+func (s *Server) Metrics() *Registry { return s.reg }
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/v1/models", s.handleModels)
+	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("/v1/analyze/batch", s.handleBatch)
+	mux.HandleFunc("/v1/dse", s.handleDSE)
+	return mux
+}
+
+// ---- plumbing ----
+
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+// errorStatus maps an error to an HTTP status: typed validation errors
+// (malformed dataflow/layer/config, bad request fields) are the
+// caller's fault; anything else is a server fault.
+func errorStatus(err error) int {
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		return he.status
+	case errors.Is(err, errBadRequest),
+		errors.Is(err, dataflow.ErrInvalid),
+		errors.Is(err, tensor.ErrInvalidLayer),
+		errors.Is(err, hw.ErrInvalidConfig):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrPoolClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	s.responses.With(strconv.Itoa(status)).Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away
+}
+
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status := errorStatus(err)
+	switch status {
+	case http.StatusTooManyRequests:
+		s.rejected.Inc()
+		w.Header().Set("Retry-After", "1")
+	case http.StatusGatewayTimeout:
+		s.timeouts.Inc()
+	}
+	s.writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// decodeJSON parses a request body with a size cap and strict fields.
+func decodeJSON(w http.ResponseWriter, r *http.Request, maxBytes int64, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequestf("decoding body: %v", err)
+	}
+	return nil
+}
+
+func methodPost(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return false
+	}
+	return true
+}
+
+// timeoutFor picks the request deadline.
+func (s *Server) timeoutFor(ms int) time.Duration {
+	if ms > 0 {
+		return time.Duration(ms) * time.Millisecond
+	}
+	return s.opts.DefaultTimeout
+}
+
+// evaluate runs one resolved analysis and shapes the response. This is
+// the single place the cost model is invoked from.
+func (s *Server) evaluate(r resolved, key Key) (*AnalyzeResponse, error) {
+	s.evaluations.Inc()
+	startedAt := time.Now()
+	res, err := core.AnalyzeDataflow(r.df, r.layer, r.cfg)
+	if err != nil {
+		return nil, err
+	}
+	e := res.EnergyDefault()
+	return &AnalyzeResponse{
+		Key:      key.String(),
+		Layer:    res.Layer.Name,
+		Dataflow: res.DataflowName,
+		HW:       res.Cfg.Name,
+
+		Runtime:       res.Runtime,
+		OnChipRuntime: res.OnChipRuntime,
+		MACs:          res.MACs,
+		UsedPEs:       res.UsedPEs,
+		Utilization:   res.Utilization(),
+		Throughput:    res.Throughput(),
+		Bottleneck:    res.Bottleneck,
+
+		L1ReqBytes: res.L1ReqBytes(),
+		L2ReqBytes: res.L2ReqBytes(),
+		DRAMReads:  res.DRAMReads,
+		DRAMWrites: res.DRAMWrites,
+		PeakBWGBps: res.PeakBWGBps(),
+		L2Spill:    res.L2Spill,
+
+		Energy: EnergyJSON{
+			MAC: e.MAC, L1: e.L1Read + e.L1Write, L2: e.L2Read + e.L2Write,
+			NoC: e.NoC, DRAM: e.DRAM, OnChip: e.OnChip(), Total: e.Total(),
+		},
+		Reuse: ReuseJSON{
+			Input:  res.ReuseFactor(tensor.Input),
+			Weight: res.ReuseFactor(tensor.Weight),
+			Output: res.ReuseFactor(tensor.Output),
+		},
+		ComputeMicros: time.Since(startedAt).Microseconds(),
+	}, nil
+}
+
+// analyzeOne resolves, canonicalizes, and executes one request through
+// the cache and pool, honoring ctx. It is shared by the single and
+// batch endpoints.
+func (s *Server) analyzeOne(ctx context.Context, req AnalyzeRequest) (*AnalyzeResponse, error) {
+	r, err := resolveRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	key := canonicalKey(r)
+
+	// Fast path: cache hits bypass the queue entirely.
+	if !req.NoCache {
+		if v, ok := s.cache.Get(key); ok {
+			resp := *(v.(*AnalyzeResponse)) // copy: Cached is per-delivery
+			resp.Cached = true
+			return &resp, nil
+		}
+	}
+
+	type outcome struct {
+		resp   *AnalyzeResponse
+		cached bool
+		err    error
+	}
+	ch := make(chan outcome, 1)
+	job := func() {
+		if ctx.Err() != nil { // caller already gone; don't burn a worker
+			ch <- outcome{err: ctx.Err()}
+			return
+		}
+		if req.NoCache {
+			resp, err := s.evaluate(r, key)
+			ch <- outcome{resp: resp, err: err}
+			return
+		}
+		v, cached, err := s.cache.Do(key, func() (any, error) {
+			return s.evaluate(r, key)
+		})
+		if err != nil {
+			ch <- outcome{err: err}
+			return
+		}
+		ch <- outcome{resp: v.(*AnalyzeResponse), cached: cached}
+	}
+	if err := s.pool.Submit(job); err != nil {
+		return nil, err
+	}
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case o := <-ch:
+		if o.err != nil {
+			return nil, o.err
+		}
+		resp := *o.resp
+		resp.Cached = o.cached
+		return &resp, nil
+	}
+}
+
+// ---- handlers ----
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, s.reg.Render())
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if !methodPost(w, r) {
+		return
+	}
+	s.requests.With("analyze").Inc()
+	start := time.Now()
+	defer func() { s.latency.Observe(time.Since(start).Seconds()) }()
+
+	var req AnalyzeRequest
+	if err := decodeJSON(w, r, 1<<20, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(req.TimeoutMs))
+	defer cancel()
+	resp, err := s.analyzeOne(ctx, req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if !methodPost(w, r) {
+		return
+	}
+	s.requests.With("batch").Inc()
+	start := time.Now()
+	defer func() { s.latency.Observe(time.Since(start).Seconds()) }()
+
+	var req BatchRequest
+	if err := decodeJSON(w, r, 16<<20, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if len(req.Requests) == 0 {
+		s.writeError(w, badRequestf("empty batch"))
+		return
+	}
+	if len(req.Requests) > s.opts.MaxBatch {
+		s.writeError(w, badRequestf("batch of %d exceeds cap %d",
+			len(req.Requests), s.opts.MaxBatch))
+		return
+	}
+	s.batchSize.Observe(float64(len(req.Requests)))
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(req.TimeoutMs))
+	defer cancel()
+
+	// Fan out across the pool; results land at their request's index.
+	items := make([]BatchItem, len(req.Requests))
+	done := make(chan int, len(req.Requests))
+	for i := range req.Requests {
+		i := i
+		go func() {
+			defer func() { done <- i }()
+			resp, err := s.analyzeOne(ctx, req.Requests[i])
+			items[i] = BatchItem{Index: i, Result: resp}
+			if err != nil {
+				items[i].Error = err.Error()
+			}
+		}()
+	}
+	for range req.Requests {
+		<-done
+	}
+	allRejected := true
+	for i := range items {
+		if !errors.Is(errorOf(items[i]), ErrQueueFull) {
+			allRejected = false
+			break
+		}
+	}
+	if allRejected {
+		s.writeError(w, fmt.Errorf("%w: all %d batch items rejected", ErrQueueFull, len(items)))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, BatchResponse{Results: items})
+}
+
+// errorOf recovers the sentinel classification of a batch item error
+// from its message (items keep errors as strings for the JSON shape).
+func errorOf(it BatchItem) error {
+	if it.Error == "" {
+		return nil
+	}
+	if it.Error == ErrQueueFull.Error() {
+		return ErrQueueFull
+	}
+	return errors.New(it.Error)
+}
+
+func (s *Server) handleDSE(w http.ResponseWriter, r *http.Request) {
+	if !methodPost(w, r) {
+		return
+	}
+	s.requests.With("dse").Inc()
+	start := time.Now()
+	defer func() { s.latency.Observe(time.Since(start).Seconds()) }()
+
+	var req DSERequest
+	if err := decodeJSON(w, r, 1<<20, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	sp, err := buildSpace(req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	layer := sp.Layer
+	key := canonicalDSEKey(layer, req)
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(req.TimeoutMs))
+	defer cancel()
+
+	type outcome struct {
+		resp   *DSEResponse
+		cached bool
+		err    error
+	}
+	ch := make(chan outcome, 1)
+	job := func() {
+		if ctx.Err() != nil {
+			ch <- outcome{err: ctx.Err()}
+			return
+		}
+		if req.NoCache {
+			ch <- outcome{resp: runDSE(req, sp)}
+			return
+		}
+		v, cached, err := s.cache.Do(key, func() (any, error) {
+			return runDSE(req, sp), nil
+		})
+		if err != nil {
+			ch <- outcome{err: err}
+			return
+		}
+		ch <- outcome{resp: v.(*DSEResponse), cached: cached}
+	}
+	if err := s.pool.Submit(job); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	select {
+	case <-ctx.Done():
+		s.writeError(w, ctx.Err())
+	case o := <-ch:
+		if o.err != nil {
+			s.writeError(w, o.err)
+			return
+		}
+		resp := *o.resp
+		resp.Key = key.String()
+		resp.Cached = o.cached
+		s.writeJSON(w, http.StatusOK, &resp)
+	}
+}
+
+// ModelsResponse is the body of GET /v1/models.
+type ModelsResponse struct {
+	Models    []ModelJSON `json:"models"`
+	Dataflows []string    `json:"dataflows"`
+	Presets   []string    `json:"hw_presets"`
+}
+
+// ModelJSON summarizes one zoo model.
+type ModelJSON struct {
+	Name   string      `json:"name"`
+	MACs   int64       `json:"macs"`
+	Layers []LayerJSON `json:"layers"`
+}
+
+// LayerJSON summarizes one layer of a zoo model.
+type LayerJSON struct {
+	Name    string `json:"name"`
+	Op      string `json:"op"`
+	Class   string `json:"class"`
+	Count   int    `json:"count"`
+	N       int    `json:"n"`
+	K       int    `json:"k"`
+	C       int    `json:"c"`
+	Y       int    `json:"y"`
+	X       int    `json:"x"`
+	R       int    `json:"r"`
+	S       int    `json:"s"`
+	StrideY int    `json:"stride_y"`
+	StrideX int    `json:"stride_x"`
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.requests.With("models").Inc()
+	resp := ModelsResponse{Dataflows: dataflowNames(), Presets: presetNames()}
+	for _, name := range zooNames() {
+		m := zoo[name]()
+		mj := ModelJSON{Name: m.Name, MACs: m.MACs()}
+		for _, li := range m.Layers {
+			l := li.Layer
+			mj.Layers = append(mj.Layers, LayerJSON{
+				Name: l.Name, Op: l.Op.String(), Class: li.Class.String(),
+				Count: li.Count,
+				N:     l.Sizes.Get(tensor.N), K: l.Sizes.Get(tensor.K),
+				C: l.Sizes.Get(tensor.C), Y: l.Sizes.Get(tensor.Y),
+				X: l.Sizes.Get(tensor.X), R: l.Sizes.Get(tensor.R),
+				S:       l.Sizes.Get(tensor.S),
+				StrideY: l.StrideY, StrideX: l.StrideX,
+			})
+		}
+		resp.Models = append(resp.Models, mj)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}

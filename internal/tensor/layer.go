@@ -1,6 +1,15 @@
 package tensor
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalidLayer tags layer-validation failures (non-positive sizes,
+// filter exceeding the activation, bad strides) so callers can tell a
+// malformed workload apart from an internal fault with
+// errors.Is(err, ErrInvalidLayer).
+var ErrInvalidLayer = errors.New("invalid layer")
 
 // Kind identifies one of the three tensors that participate in a DNN
 // operator: the two operands and the result.
@@ -118,14 +127,14 @@ func (l Layer) Normalize() Layer {
 // (non-positive sizes, window larger than the activation, bad stride).
 func (l Layer) Validate() error {
 	if !l.Sizes.Valid() {
-		return fmt.Errorf("layer %s: non-positive dimension in %v", l.Name, l.Sizes)
+		return fmt.Errorf("%w: layer %s: non-positive dimension in %v", ErrInvalidLayer, l.Name, l.Sizes)
 	}
 	if l.StrideY < 1 || l.StrideX < 1 {
-		return fmt.Errorf("layer %s: strides must be >= 1", l.Name)
+		return fmt.Errorf("%w: layer %s: strides must be >= 1", ErrInvalidLayer, l.Name)
 	}
 	if l.Sizes[R] > l.Sizes[Y] || l.Sizes[S] > l.Sizes[X] {
-		return fmt.Errorf("layer %s: filter %dx%d exceeds activation %dx%d",
-			l.Name, l.Sizes[R], l.Sizes[S], l.Sizes[Y], l.Sizes[X])
+		return fmt.Errorf("%w: layer %s: filter %dx%d exceeds activation %dx%d",
+			ErrInvalidLayer, l.Name, l.Sizes[R], l.Sizes[S], l.Sizes[Y], l.Sizes[X])
 	}
 	return nil
 }

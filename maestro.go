@@ -39,6 +39,7 @@ import (
 	"repro/internal/netsched"
 	"repro/internal/noc"
 	"repro/internal/report"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/tensor"
 	"repro/internal/tuner"
@@ -162,6 +163,24 @@ type (
 	// SimResult is the reference simulator's measurement.
 	SimResult = sim.Result
 )
+
+// Typed validation errors. Analyze and Resolve wrap every
+// validation failure — malformed dataflow, layer, or hardware
+// configuration — with one of these sentinels, so callers (notably the
+// analysis service) can separate caller mistakes from internal faults
+// with errors.Is.
+var (
+	ErrInvalidDataflow = dataflow.ErrInvalid
+	ErrInvalidLayer    = tensor.ErrInvalidLayer
+	ErrInvalidConfig   = hw.ErrInvalidConfig
+)
+
+// Augment returns the dataflow with every implicit mapping made
+// explicit against a layer: unmentioned dimensions become single-chunk
+// temporal maps at each cluster level. The result is the canonical form
+// the analysis service hashes for its result cache; augmenting an
+// already augmented dataflow is the identity.
+var Augment = dataflow.Augment
 
 // Analyze runs the analytical cost model on a dataflow, layer and
 // hardware configuration.
@@ -349,6 +368,28 @@ var (
 	Transformer = models.Transformer
 	BERTBase    = models.BERTBase
 )
+
+// Analysis service (cmd/maestro-serve): the HTTP JSON API over the
+// cost model, with a canonical-request result cache, a bounded worker
+// pool with backpressure, and Prometheus-format metrics.
+type (
+	// ServeOptions configures the analysis service.
+	ServeOptions = serve.Options
+	// ServeRequest is the body of POST /v1/analyze.
+	ServeRequest = serve.AnalyzeRequest
+	// ServeResponse is the body of a successful analysis call.
+	ServeResponse = serve.AnalyzeResponse
+	// ServeLayerSpec selects a zoo layer or describes a shape inline.
+	ServeLayerSpec = serve.LayerSpec
+	// ServeDataflowSpec selects a Table 3 dataflow or carries DSL.
+	ServeDataflowSpec = serve.DataflowSpec
+	// ServeHWSpec selects a hardware preset and/or overrides fields.
+	ServeHWSpec = serve.HWSpec
+)
+
+// NewAnalysisServer builds the analysis service; mount its Handler()
+// and Close() it on shutdown to drain in-flight work.
+var NewAnalysisServer = serve.New
 
 // Conv2D builds a dense convolution with k output channels, c input
 // channels, out x out output positions, an r x r filter and the given
