@@ -74,10 +74,11 @@ func main() {
 		Cost:          hw.Default28nm(),
 	}
 	pts, stats := dse.Explore(space)
-	fmt.Printf("%s on %s/%s: %d designs evaluated, %d valid (raw space %d)\n",
-		tmpl.Name, m.Name, li.Layer.Name, stats.Invoked, stats.Valid, stats.Raw)
-	fmt.Printf("explored %d points in %.2fs: %.3g designs/s\n\n",
-		stats.Explored, stats.Elapsed.Seconds(), stats.Rate())
+	fmt.Printf("%s on %s/%s: %d mappings profiled, %d hardware points priced, %d valid (raw space %d)\n",
+		tmpl.Name, m.Name, li.Layer.Name, stats.Invoked, stats.Priced, stats.Valid, stats.Raw)
+	fmt.Printf("explored %d points in %.2fs: %.3g designs/s (%.1f pricings per profile)\n\n",
+		stats.Explored, stats.Elapsed.Seconds(), stats.Rate(),
+		float64(stats.Priced)/float64(max(stats.Invoked, 1)))
 
 	if len(pts) == 0 {
 		fmt.Println("no valid designs within budget")

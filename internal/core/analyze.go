@@ -28,21 +28,18 @@ type nodeRes struct {
 	counts  *counts
 }
 
+// engine is the fused single-pass analyzer: it enumerates data-iteration
+// cases and prices them under one hardware configuration in the same
+// walk. The decoupled Profile/Price pair (profile.go, price.go) covers
+// the many-configurations workload; this engine stays as the
+// one-shot path and the reference the equivalence tests check the split
+// against.
 type engine struct {
 	spec  *dataflow.Spec
 	cfg   hw.Config
 	layer tensor.Layer
 	nlv   int // cluster levels; buffers are 0..nlv
 	memo  map[memoKey]*nodeRes
-}
-
-// loopClass is one choice for a loop's position within a data-iteration
-// case: whether the loop sits at its first index, at its final index, and
-// how many concrete steps the choice covers.
-type loopClass struct {
-	first bool
-	last  bool
-	count int64
 }
 
 // analyze resolves and prices one (level, dims) node, memoized.
@@ -69,23 +66,38 @@ func (e *engine) analyze(level int, dims tensor.Sizes) (*nodeRes, error) {
 // effective MACs at VectorWidth per cycle, reading both operands and
 // reading+writing the accumulator in its L1 scratchpad.
 func (e *engine) leaf(dims tensor.Sizes) *nodeRes {
-	c := newCounts(e.nlv + 1)
-	psums := psumsFor(e.layer, dims)
+	c := leafCounts(e.layer, dims, e.nlv)
+	psums := c.macs
 	eff := scaleCount(psums, e.layer.Density[tensor.Input]*weightDensity(e.layer))
+	return &nodeRes{runtime: leafRuntime(psums, eff, e.layer, e.cfg), counts: c}
+}
+
+// leafCounts builds the hardware-independent activity of one PE pass
+// over its tile (shared between the fused engine and the profiler).
+func leafCounts(layer tensor.Layer, dims tensor.Sizes, nlv int) *counts {
+	c := newCounts(nlv + 1)
+	psums := psumsFor(layer, dims)
+	eff := scaleCount(psums, layer.Density[tensor.Input]*weightDensity(layer))
 	c.macs = psums
-	c.bufRead[e.nlv][tensor.Input] += eff
-	c.bufRead[e.nlv][tensor.Weight] += eff
-	c.bufRead[e.nlv][tensor.Output] += eff
-	c.bufWrite[e.nlv][tensor.Output] += eff
+	c.bufRead[nlv][tensor.Input] += eff
+	c.bufRead[nlv][tensor.Weight] += eff
+	c.bufRead[nlv][tensor.Output] += eff
+	c.bufWrite[nlv][tensor.Output] += eff
 	for _, k := range tensor.AllKinds() {
-		c.bufReq[e.nlv][k] = 2 * scaleCount(tileForDims(e.layer, dims, k), e.layer.Density[k])
+		c.bufReq[nlv][k] = 2 * scaleCount(tileForDims(layer, dims, k), layer.Density[k])
 	}
-	runtime := (eff + int64(e.cfg.VectorWidth) - 1) / int64(e.cfg.VectorWidth)
-	if e.cfg.SparseImbalance {
-		d := e.layer.Density[tensor.Input] * weightDensity(e.layer)
-		runtime = int64(float64(runtime)*imbalanceFactor(psums, d, e.cfg.NumPEs) + 0.5)
+	return c
+}
+
+// leafRuntime prices the PE pass: effective MACs at VectorWidth per
+// cycle, stretched by the zero-skipping load imbalance when modeled.
+func leafRuntime(psums, eff int64, layer tensor.Layer, cfg hw.Config) int64 {
+	runtime := (eff + int64(cfg.VectorWidth) - 1) / int64(cfg.VectorWidth)
+	if cfg.SparseImbalance {
+		d := layer.Density[tensor.Input] * weightDensity(layer)
+		runtime = int64(float64(runtime)*imbalanceFactor(psums, d, cfg.NumPEs) + 0.5)
 	}
-	return &nodeRes{runtime: runtime, counts: c}
+	return runtime
 }
 
 // weightDensity returns the weight density treating the pooling
@@ -127,17 +139,20 @@ func (e *engine) analyzeLevel(level int, dims tensor.Sizes) (*nodeRes, error) {
 	c := newCounts(e.nlv + 1)
 	res := &nodeRes{counts: c}
 
+	// Scratch chunk-selection masks, reused across every case of this
+	// level (each case fully rewrites them). Child levels recurse with
+	// their own, so reuse is safe.
+	edges := make([]bool, nloops)
+	oldEdges := make([]bool, nloops)
+
 	// process prices one data-iteration case. adv == -1 is the level's
 	// first step; otherwise loop adv advances with the loops inside it
 	// reset and the loops outside it at the classes in cls.
 	process := func(adv int, cls []loopClass, occ int64) error {
 		// Chunk selection on arrival: a loop at its (clipped) final index
 		// uses its edge chunk.
-		edges := make([]bool, nloops)
 		for i, lc := range cls {
-			if lc.last && !loops[i].IsFold && loops[i].Map.HasEdge() {
-				edges[i] = true
-			}
+			edges[i] = lc.last && !loops[i].IsFold && loops[i].Map.HasEdge()
 		}
 		foldLast := foldIdx >= 0 && (loops[foldIdx].Steps == 1 || cls[foldIdx].last)
 		active := lv.SubClusters
@@ -220,7 +235,6 @@ func (e *engine) analyzeLevel(level int, dims tensor.Sizes) (*nodeRes, error) {
 		var egUnion, egPerPE int64
 		final := false
 		if adv >= 0 {
-			oldEdges := make([]bool, nloops)
 			copy(oldEdges, edges)
 			for i := adv + 1; i < nloops; i++ {
 				oldEdges[i] = !loops[i].IsFold && loops[i].Map.HasEdge()
@@ -309,27 +323,23 @@ func (e *engine) analyzeLevel(level int, dims tensor.Sizes) (*nodeRes, error) {
 
 	// Enumerate cases: START, then every advancing loop crossed with the
 	// outer loops' first/steady/edge classes.
-	start := make([]loopClass, nloops)
-	for i := range start {
-		start[i] = loopClass{first: true, last: loops[i].Steps == 1, count: 1}
-	}
-	if err := process(-1, start, 1); err != nil {
+	en := newCaseEnum(a)
+	if err := process(-1, en.start(), 1); err != nil {
 		return nil, err
 	}
 	for adv := 0; adv < nloops; adv++ {
 		if loops[adv].Steps < 2 {
 			continue
 		}
-		if err := e.enumerate(a, loops, adv, process); err != nil {
+		if err := en.enumerate(adv, process); err != nil {
 			return nil, err
 		}
 	}
 
 	// Final flush: the last output tile departs once the nest completes
 	// (every loop at its final index, the last fold active).
-	flushEdges := make([]bool, nloops)
 	for i, lp := range loops {
-		flushEdges[i] = !lp.IsFold && lp.Map.HasEdge()
+		edges[i] = !lp.IsFold && lp.Map.HasEdge()
 	}
 	active := lv.LastFoldActive
 	if len(lv.Spatial) == 0 {
@@ -337,7 +347,7 @@ func (e *engine) analyzeLevel(level int, dims tensor.Sizes) (*nodeRes, error) {
 	}
 	// UnionTile clips the union extent to the dimension, so the spatially
 	// clipped final chunk is already accounted for.
-	chFMain := a.Chunks(flushEdges, false)
+	chFMain := a.Chunks(edges, false)
 	d := e.layer.Density[tensor.Output]
 	egPerPE := scaleCount(a.TileOf(tensor.Output, chFMain), d)
 	egUnion := scaleCount(a.UnionTile(tensor.Output, chFMain, active), d)
@@ -362,106 +372,6 @@ func (e *engine) analyzeLevel(level int, dims tensor.Sizes) (*nodeRes, error) {
 		c.finalOut += egUnion
 	}
 	return res, nil
-}
-
-// enumerate crosses the class choices of the loops outside adv with the
-// arrival classes of adv itself and invokes process for each combination.
-func (e *engine) enumerate(a *reuse.Analysis, loops []reuse.Loop, adv int,
-	process func(adv int, cls []loopClass, occ int64) error) error {
-
-	choices := make([][]loopClass, len(loops))
-	for i, lp := range loops {
-		switch {
-		case i > adv || lp.Steps < 2:
-			// Inner loops reset to their first index; single-step loops
-			// have one position that is both first and last.
-			choices[i] = []loopClass{{first: true, last: lp.Steps == 1, count: 1}}
-		case i == adv:
-			choices[i] = arrivalClasses(lp, e.splitLast(a, loops, i))
-		default:
-			choices[i] = outerClasses(lp, e.splitLast(a, loops, i), !a.Affects(tensor.Output, i))
-		}
-	}
-	cls := make([]loopClass, len(loops))
-	var walk func(i int, occ int64) error
-	walk = func(i int, occ int64) error {
-		if i == len(loops) {
-			return process(adv, cls, occ)
-		}
-		for _, ch := range choices[i] {
-			cls[i] = ch
-			if err := walk(i+1, occ*ch.count); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	return walk(0, 1)
-}
-
-// splitLast reports whether a loop's final index must be distinguished
-// from its steady ones: it carries an edge chunk, changes the active
-// sub-cluster count (final fold), or gates output finality (reduction
-// loop).
-func (e *engine) splitLast(a *reuse.Analysis, loops []reuse.Loop, i int) bool {
-	lp := loops[i]
-	if lp.IsFold {
-		return true
-	}
-	return lp.Map.HasEdge() || !a.Affects(tensor.Output, i)
-}
-
-// arrivalClasses enumerates where an advancing loop lands: indices
-// 1..T-1, with the final index split out when it matters.
-func arrivalClasses(lp reuse.Loop, split bool) []loopClass {
-	t := int64(lp.Steps)
-	if !split {
-		return []loopClass{{count: t - 1}}
-	}
-	cls := []loopClass{{last: true, count: 1}}
-	if t > 2 {
-		cls = append(cls, loopClass{count: t - 2})
-	}
-	return cls
-}
-
-// outerClasses enumerates an outer loop's position: first/steady/final,
-// with first split out only for reduction loops (it gates partial-sum
-// re-reads) and final split out when splitLast says so.
-func outerClasses(lp reuse.Loop, splitLastIdx, splitFirst bool) []loopClass {
-	t := int64(lp.Steps)
-	switch {
-	case splitFirst && splitLastIdx:
-		cls := []loopClass{{first: true, count: 1}, {last: true, count: 1}}
-		if t > 2 {
-			cls = append(cls, loopClass{count: t - 2})
-		}
-		return cls
-	case splitFirst:
-		cls := []loopClass{{first: true, count: 1}}
-		if t > 1 {
-			cls = append(cls, loopClass{count: t - 1})
-		}
-		return cls
-	case splitLastIdx:
-		cls := []loopClass{{last: true, count: 1}}
-		if t > 1 {
-			cls = append(cls, loopClass{count: t - 1})
-		}
-		return cls
-	default:
-		return []loopClass{{count: t}}
-	}
-}
-
-func max3(a, b, c int64) int64 {
-	if b > a {
-		a = b
-	}
-	if c > a {
-		a = c
-	}
-	return a
 }
 
 // Analyze runs the full performance and cost analysis of a resolved

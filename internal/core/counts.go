@@ -50,13 +50,57 @@ type counts struct {
 }
 
 func newCounts(buffers int) *counts {
+	// One backing array serves all three per-buffer tables; the full
+	// slice expressions keep an (impossible) append on one table from
+	// bleeding into the next.
+	tc := make([]TensorCounts, 3*buffers)
 	return &counts{
-		bufRead:  make([]TensorCounts, buffers),
-		bufWrite: make([]TensorCounts, buffers),
+		bufRead:  tc[:buffers:buffers],
+		bufWrite: tc[buffers : 2*buffers : 2*buffers],
+		bufReq:   tc[2*buffers:],
 		noc:      make([]int64, buffers-1),
 		peakBW:   make([]float64, buffers-1),
-		bufReq:   make([]TensorCounts, buffers),
 	}
+}
+
+// countsArena carves all of one Price call's per-node accumulators out of
+// four backing arrays allocated up front. Pricing runs once per hardware
+// point in the DSE inner loop, so per-node newCounts allocations — and the
+// GC pressure they cause — dominate without this.
+type countsArena struct {
+	structs []counts
+	tc      []TensorCounts
+	i64     []int64
+	f64     []float64
+	buffers int
+}
+
+func newCountsArena(levelNodes, buffers int) countsArena {
+	return countsArena{
+		structs: make([]counts, levelNodes),
+		tc:      make([]TensorCounts, 3*buffers*levelNodes),
+		i64:     make([]int64, (buffers-1)*levelNodes),
+		f64:     make([]float64, (buffers-1)*levelNodes),
+		buffers: buffers,
+	}
+}
+
+// next carves the accumulator for one level node. The returned pointer
+// stays valid after the arena advances: only the arena's slice headers
+// move, never the backing arrays.
+func (a *countsArena) next() *counts {
+	b := a.buffers
+	c := &a.structs[0]
+	a.structs = a.structs[1:]
+	c.bufRead = a.tc[:b:b]
+	c.bufWrite = a.tc[b : 2*b : 2*b]
+	c.bufReq = a.tc[2*b : 3*b : 3*b]
+	a.tc = a.tc[3*b:]
+	c.noc = a.i64[: b-1 : b-1]
+	a.i64 = a.i64[b-1:]
+	c.peakBW = a.f64[: b-1 : b-1]
+	a.f64 = a.f64[b-1:]
+	return c
 }
 
 // addScaled accumulates o's additive fields scaled by times and merges
@@ -117,10 +161,15 @@ func log2ceil(n int) int64 {
 }
 
 // tileForDims returns tensor k's footprint for a sub-problem of the given
-// dimension sizes (used for the leaf L1 requirement).
+// dimension sizes (used for the leaf L1 requirement). Iterates the DimSet
+// directly to keep the per-leaf cost allocation-free.
 func tileForDims(layer tensor.Layer, dims tensor.Sizes, k tensor.Kind) int64 {
 	t := int64(1)
-	for _, d := range layer.TensorDims(k).Dims() {
+	set := layer.TensorDims(k)
+	for d := tensor.Dim(0); d < tensor.NumDims; d++ {
+		if !set.Has(d) {
+			continue
+		}
 		switch {
 		case k == tensor.Output && d == tensor.Y:
 			t *= int64(tensor.OutSpan(dims.Get(tensor.Y), dims.Get(tensor.R), layer.StrideY))

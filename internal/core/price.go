@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/tensor"
+)
+
+// Price prices a recorded profile under one hardware configuration. The
+// result is bit-identical to Analyze(profile.Spec(), cfg): pricing
+// replays exactly the hardware-dependent arithmetic of the fused engine
+// — VectorWidth/SparseImbalance at the leaves, Multicast/Reduction
+// capabilities and Delay/DelayPer of the per-level NoC models, and the
+// per-case outstanding-delay max — over the recorded quantities.
+func Price(p *LayerProfile, cfg hw.Config) (*Result, error) {
+	return p.Price(cfg)
+}
+
+// Price prices the profile under cfg. Safe to call concurrently on a
+// shared profile: it only reads the recorded DAG.
+func (p *LayerProfile) Price(cfg hw.Config) (*Result, error) {
+	cfg = cfg.Normalize()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if p.spec.NumPEs != cfg.NumPEs {
+		return nil, fmt.Errorf("%w: core: spec resolved for %d PEs but hardware has %d",
+			hw.ErrInvalidConfig, p.spec.NumPEs, cfg.NumPEs)
+	}
+	priced := make([]nodeRes, len(p.nodes))
+	arena := newCountsArena(p.levelNodes, p.nlv+1)
+	for i := range p.nodes {
+		n := &p.nodes[i]
+		if n.leaf {
+			// Leaf counts are hardware-independent; the shared *counts is
+			// read-only from here on (parents only addScaled it into their
+			// own accumulators, and buildResult reads a level node's counts).
+			priced[i] = nodeRes{
+				runtime: leafRuntime(n.psums, n.eff, p.spec.Layer, cfg),
+				counts:  n.leafCounts,
+			}
+			continue
+		}
+		priced[i] = p.priceLevel(n, cfg, priced, arena.next())
+	}
+	root := priced[len(priced)-1]
+	return buildResult(p.spec, cfg, &root), nil
+}
+
+// priceLevel replays analyzeLevel's hardware-dependent arithmetic over
+// one node's recorded cases. priced holds the already-priced children
+// (the node slice is topological).
+func (p *LayerProfile) priceLevel(n *profNode, cfg hw.Config, priced []nodeRes, c *counts) nodeRes {
+	nocm := cfg.NoCAt(n.level)
+	res := nodeRes{counts: c}
+	level := n.level
+
+	for ci := range n.cases {
+		cs := &n.cases[ci]
+		compute := priced[cs.child].runtime
+		if cs.first && n.outputReduced && nocm.Reduction {
+			compute += log2ceil(int(cs.active))
+		}
+
+		var reads TensorCounts
+		var inTraffic int64
+		for _, k := range tensor.AllKinds() {
+			rd := cs.inUnion[k]
+			if !nocm.Multicast {
+				rd = cs.inPerPE[k] * cs.active
+			}
+			reads[k] = rd
+			inTraffic += rd
+		}
+
+		egWrites, egTraffic, rmwReads := cs.egUnion, cs.egUnion, int64(0)
+		if n.outputReduced && !nocm.Reduction && cs.active > 1 {
+			egWrites = cs.egPerPE * cs.active
+			egTraffic = egWrites
+			rmwReads = cs.egPerPE * (cs.active - 1)
+		}
+
+		inDelay := nocm.DelayPer(reads[tensor.Input], reads[tensor.Weight], reads[tensor.Output])
+		outDelay := nocm.Delay(egTraffic) + 2*rmwReads
+		outstanding := max3(inDelay, compute, outDelay)
+		if cs.first {
+			outstanding = inDelay + compute + outDelay
+		}
+		res.runtime += cs.occ * outstanding
+
+		for _, k := range tensor.AllKinds() {
+			c.bufRead[level][k] += cs.occ * reads[k]
+			c.bufWrite[level+1][k] += cs.occ * cs.inPerPE[k] * cs.active
+		}
+		rmwBuf := level
+		if rmwReads > 0 {
+			rmwBuf = 0
+		}
+		c.bufRead[rmwBuf][tensor.Output] += cs.occ * rmwReads
+		c.bufWrite[rmwBuf][tensor.Output] += cs.occ * (egWrites - cs.egUnion)
+		c.bufWrite[level][tensor.Output] += cs.occ * cs.egUnion
+		c.bufRead[level+1][tensor.Output] += cs.occ * cs.egPerPE * cs.active
+		c.noc[level] += cs.occ * (inTraffic + egTraffic)
+		if compute > 0 {
+			bw := float64(inTraffic+egTraffic) / float64(compute)
+			if bw > c.peakBW[level] {
+				c.peakBW[level] = bw
+			}
+		}
+		if cs.final && level == 0 {
+			c.finalOut += cs.occ * cs.egUnion
+		}
+		mainPEs := cs.active
+		if cs.edgeChild >= 0 {
+			mainPEs--
+			c.addScaled(priced[cs.edgeChild].counts, cs.occ)
+		}
+		c.addScaled(priced[cs.child].counts, cs.occ*mainPEs)
+		for _, k := range tensor.AllKinds() {
+			if cs.bufReq[k] > c.bufReq[level][k] {
+				c.bufReq[level][k] = cs.bufReq[k]
+			}
+		}
+	}
+
+	// Final flush.
+	egWrites, egTraffic := n.flushEgUnion, n.flushEgUnion
+	var rmwReads int64
+	if n.outputReduced && !nocm.Reduction && n.flushActive > 1 {
+		egWrites = n.flushEgPerPE * n.flushActive
+		egTraffic = egWrites
+		rmwReads = n.flushEgPerPE * (n.flushActive - 1)
+	}
+	res.runtime += nocm.Delay(egTraffic) + 2*rmwReads
+	rmwBuf := level
+	if rmwReads > 0 {
+		rmwBuf = 0
+	}
+	c.bufRead[rmwBuf][tensor.Output] += rmwReads
+	c.bufWrite[rmwBuf][tensor.Output] += egWrites - n.flushEgUnion
+	c.bufWrite[level][tensor.Output] += n.flushEgUnion
+	c.bufRead[level+1][tensor.Output] += n.flushEgPerPE * n.flushActive
+	c.noc[level] += egTraffic
+	if level == 0 {
+		c.finalOut += n.flushEgUnion
+	}
+	return res
+}

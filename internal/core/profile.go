@@ -1,0 +1,314 @@
+// Profile/Price split: the expensive recursive cluster walk — resolving
+// levels, enumerating data-iteration cases, and quantifying reuse — is
+// independent of the hardware configuration (only the NoC delay/capability
+// models, the ALU vector width, and the sparsity-imbalance pricing touch
+// hw.Config). Profile runs that walk once per (dataflow, layer, numPEs)
+// and records, per case, the hardware-independent quantities: per-tensor
+// ingress (per-PE and union), egress, occurrence counts, active
+// sub-clusters, and buffer requirements. Price (price.go) then re-prices
+// the recorded DAG under any hardware point in microseconds, which is
+// what lets the DSE sweep the NoC-bandwidth axis without re-running the
+// engine.
+package core
+
+import (
+	"repro/internal/dataflow"
+	"repro/internal/reuse"
+	"repro/internal/tensor"
+)
+
+// LayerProfile is the memoized, hardware-independent analysis of one
+// (dataflow, layer, numPEs) triple: the node DAG of the cluster walk
+// with every data-iteration case's traffic quantities recorded. It is
+// immutable after Profile returns and safe for concurrent Price calls.
+type LayerProfile struct {
+	spec *dataflow.Spec
+	nlv  int
+	// nodes holds the memoized DAG in topological order: every case's
+	// child indices point at earlier entries, so pricing is a single
+	// forward sweep. The root (level 0, full layer) is the last entry.
+	nodes []profNode
+	// levelNodes counts the non-leaf entries, sizing Price's one-shot
+	// counts arena.
+	levelNodes int
+}
+
+// Spec returns the resolved dataflow the profile was built from.
+func (p *LayerProfile) Spec() *dataflow.Spec { return p.spec }
+
+// NumPEs returns the PE count the profile is bound to; Price rejects
+// configurations with a different count.
+func (p *LayerProfile) NumPEs() int { return p.spec.NumPEs }
+
+// Nodes returns the number of memoized (level, sub-problem) nodes.
+func (p *LayerProfile) Nodes() int { return len(p.nodes) }
+
+// Cases returns the total recorded data-iteration cases across nodes.
+func (p *LayerProfile) Cases() int {
+	n := 0
+	for i := range p.nodes {
+		n += len(p.nodes[i].cases)
+	}
+	return n
+}
+
+// profNode is one memoized (level, sub-problem) node. Leaves carry their
+// precomputed activity (fully hardware-independent); cluster levels carry
+// the recorded cases plus the final-flush quantities.
+type profNode struct {
+	level int
+	leaf  bool
+
+	// Leaf fields.
+	psums      int64   // dense MACs of the tile
+	eff        int64   // density-scaled effective MACs
+	leafCounts *counts // activity; shared read-only across Price calls
+
+	// Cluster-level fields.
+	outputReduced bool
+	cases         []profCase
+	flushEgPerPE  int64
+	flushEgUnion  int64
+	flushActive   int64
+}
+
+// profCase records one data-iteration case of a cluster level. All
+// element counts are density-scaled; the Output ingress entries already
+// encode the partial-sum revisit decision (zero when the arriving tile
+// carries no prior partials).
+type profCase struct {
+	occ    int64 // concrete steps this case covers
+	active int64 // active sub-clusters on arrival
+	first  bool  // the level's very first step (serialized, no overlap)
+	final  bool  // departing tile is fully reduced (commits at level 0)
+
+	child     int32 // node index of the steady sub-problem
+	edgeChild int32 // node index of the spatially clipped PE, -1 if none
+
+	inPerPE TensorCounts // per-PE ingress per tensor
+	inUnion TensorCounts // union (deduplicated) ingress per tensor
+	egPerPE int64        // per-PE egress (output slice displaced)
+	egUnion int64        // union egress
+	bufReq  TensorCounts // double-buffered staging requirement at this level
+}
+
+// profiler mirrors engine but records case quantities instead of pricing
+// them.
+type profiler struct {
+	spec  *dataflow.Spec
+	layer tensor.Layer
+	nlv   int
+	memo  map[memoKey]int32
+	nodes []profNode
+}
+
+// Profile runs the hardware-independent phase of the analysis on a
+// resolved dataflow: one recursive cluster walk recording the memoized
+// node DAG with per-case traffic quantities. The result prices against
+// any hardware configuration with the spec's PE count via Price.
+func Profile(spec *dataflow.Spec) (*LayerProfile, error) {
+	p := &profiler{
+		spec:  spec,
+		layer: spec.Layer,
+		nlv:   spec.NumLevels(),
+		memo:  make(map[memoKey]int32),
+	}
+	if _, err := p.profile(0, spec.Layer.Sizes); err != nil {
+		return nil, err
+	}
+	lp := &LayerProfile{spec: spec, nlv: p.nlv, nodes: p.nodes}
+	for i := range lp.nodes {
+		if !lp.nodes[i].leaf {
+			lp.levelNodes++
+		}
+	}
+	return lp, nil
+}
+
+// profile records one (level, dims) node, memoized, and returns its
+// index. Children are recorded before their parent is appended, so
+// p.nodes stays topologically sorted.
+func (p *profiler) profile(level int, dims tensor.Sizes) (int32, error) {
+	key := memoKey{level, dims}
+	if idx, ok := p.memo[key]; ok {
+		return idx, nil
+	}
+	var n profNode
+	var err error
+	if level == p.nlv {
+		n = p.profileLeaf(dims)
+	} else {
+		n, err = p.profileLevel(level, dims)
+	}
+	if err != nil {
+		return 0, err
+	}
+	idx := int32(len(p.nodes))
+	p.nodes = append(p.nodes, n)
+	p.memo[key] = idx
+	return idx, nil
+}
+
+// profileLeaf records one PE tile: its dense and effective MACs plus the
+// (hardware-independent) scratchpad activity.
+func (p *profiler) profileLeaf(dims tensor.Sizes) profNode {
+	c := leafCounts(p.layer, dims, p.nlv)
+	eff := scaleCount(c.macs, p.layer.Density[tensor.Input]*weightDensity(p.layer))
+	return profNode{level: p.nlv, leaf: true, psums: c.macs, eff: eff, leafCounts: c}
+}
+
+// profileLevel mirrors engine.analyzeLevel case for case, recording the
+// raw per-PE/union quantities each case's pricing needs instead of
+// applying a NoC model to them.
+func (p *profiler) profileLevel(level int, dims tensor.Sizes) (profNode, error) {
+	lv, err := p.spec.Level(level, dims)
+	if err != nil {
+		return profNode{}, err
+	}
+	a := reuse.New(lv, p.layer)
+	loops := a.Loops
+	nloops := len(loops)
+
+	foldIdx := -1
+	spatialEdge := false
+	for i, lp := range loops {
+		if lp.IsFold {
+			foldIdx = i
+		}
+	}
+	for _, si := range lv.Spatial {
+		if lv.Maps[si].HasEdge() {
+			spatialEdge = true
+		}
+	}
+
+	n := profNode{level: level, outputReduced: a.OutputReduced()}
+
+	edges := make([]bool, nloops)
+	oldEdges := make([]bool, nloops)
+
+	record := func(adv int, cls []loopClass, occ int64) error {
+		for i, lc := range cls {
+			edges[i] = lc.last && !loops[i].IsFold && loops[i].Map.HasEdge()
+		}
+		foldLast := foldIdx >= 0 && (loops[foldIdx].Steps == 1 || cls[foldIdx].last)
+		active := lv.SubClusters
+		if len(lv.Spatial) == 0 {
+			active = 1
+		} else if foldLast {
+			active = lv.LastFoldActive
+		}
+		redNonFirst, redAllLast := false, true
+		for i := 0; i < nloops; i++ {
+			if i == adv || loops[i].Steps < 2 || a.Affects(tensor.Output, i) {
+				continue
+			}
+			if i < adv || adv == -1 {
+				if !cls[i].first {
+					redNonFirst = true
+				}
+				if !cls[i].last {
+					redAllLast = false
+				}
+			}
+		}
+
+		ch := a.Chunks(edges, false)
+		hasEdgePE := spatialEdge && foldLast && active > 1
+		child, err := p.profile(level+1, a.ChildDims(ch))
+		if err != nil {
+			return err
+		}
+		edgeChild := int32(-1)
+		if hasEdgePE {
+			edgeChild, err = p.profile(level+1, a.ChildDims(a.Chunks(edges, true)))
+			if err != nil {
+				return err
+			}
+		}
+		cs := profCase{
+			occ: occ, active: int64(active), first: adv == -1,
+			child: child, edgeChild: edgeChild,
+		}
+
+		// Ingress quantities, with the partial-sum revisit decision for
+		// outputs resolved here (it depends only on the case structure).
+		for _, k := range tensor.AllKinds() {
+			perPE := a.NewData(k, adv, ch, false, 1)
+			union := a.NewData(k, adv, ch, true, active)
+			if k == tensor.Output {
+				revisit := false
+				if adv >= 0 {
+					if !a.Affects(k, adv) && a.InnerAffecting(k, adv) {
+						revisit = true
+					} else if a.Affects(k, adv) {
+						revisit = redNonFirst
+					}
+				}
+				if !revisit {
+					perPE, union = 0, 0
+				}
+			}
+			d := p.layer.Density[k]
+			cs.inPerPE[k] = scaleCount(perPE, d)
+			cs.inUnion[k] = scaleCount(union, d)
+		}
+
+		// Egress quantities: the output slice the previous tile leaves
+		// behind, under the previous step's chunk selection.
+		if adv >= 0 {
+			copy(oldEdges, edges)
+			for i := adv + 1; i < nloops; i++ {
+				oldEdges[i] = !loops[i].IsFold && loops[i].Map.HasEdge()
+			}
+			oldEdges[adv] = false
+			oldFoldLast := foldIdx >= 0 && (loops[foldIdx].Steps == 1 ||
+				(foldIdx > adv || (foldIdx < adv && cls[foldIdx].last)))
+			oldActive := lv.SubClusters
+			if len(lv.Spatial) == 0 {
+				oldActive = 1
+			} else if oldFoldLast {
+				oldActive = lv.LastFoldActive
+			}
+			chOld := a.Chunks(oldEdges, false)
+			d := p.layer.Density[tensor.Output]
+			cs.egPerPE = scaleCount(a.NewData(tensor.Output, adv, chOld, false, 1), d)
+			cs.egUnion = scaleCount(a.NewData(tensor.Output, adv, chOld, true, oldActive), d)
+			cs.final = a.Affects(tensor.Output, adv) && redAllLast
+		}
+
+		for _, k := range tensor.AllKinds() {
+			cs.bufReq[k] = 2 * scaleCount(a.UnionTile(k, ch, active), p.layer.Density[k])
+		}
+		n.cases = append(n.cases, cs)
+		return nil
+	}
+
+	en := newCaseEnum(a)
+	if err := record(-1, en.start(), 1); err != nil {
+		return profNode{}, err
+	}
+	for adv := 0; adv < nloops; adv++ {
+		if loops[adv].Steps < 2 {
+			continue
+		}
+		if err := en.enumerate(adv, record); err != nil {
+			return profNode{}, err
+		}
+	}
+
+	// Final flush: every loop at its final index, the last fold active.
+	for i, lp := range loops {
+		edges[i] = !lp.IsFold && lp.Map.HasEdge()
+	}
+	active := lv.LastFoldActive
+	if len(lv.Spatial) == 0 {
+		active = 1
+	}
+	chF := a.Chunks(edges, false)
+	d := p.layer.Density[tensor.Output]
+	n.flushEgPerPE = scaleCount(a.TileOf(tensor.Output, chF), d)
+	n.flushEgUnion = scaleCount(a.UnionTile(tensor.Output, chF, active), d)
+	n.flushActive = int64(active)
+	return n, nil
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dataflow"
+	"repro/internal/hw"
+	"repro/internal/tensor"
+)
+
+// ProfileKey identifies one (dataflow, layer, numPEs) profile: the
+// SHA-256 of a canonical encoding that is independent of the dataflow's
+// surface spelling and of everything in hw.Config except the PE count.
+type ProfileKey [32]byte
+
+// profileKey canonicalizes exactly the inputs Profile depends on. The
+// layer name stays in the key because profiles embed the spec whose
+// layer name is echoed in reports; the hardware beyond NumPEs is
+// deliberately absent — that is the point of the split.
+func profileKey(df dataflow.Dataflow, layer tensor.Layer, numPEs int) ProfileKey {
+	var b strings.Builder
+	fmt.Fprintf(&b, "profile|pes=%d\nlayer|%s|op=%s|", numPEs, layer.Name, layer.Op)
+	for _, d := range tensor.AllDims() {
+		fmt.Fprintf(&b, "%s=%d,", d, layer.Sizes.Get(d))
+	}
+	fmt.Fprintf(&b, "|sy=%d|sx=%d|den=%g,%g,%g\n",
+		layer.StrideY, layer.StrideX,
+		layer.Density[tensor.Input], layer.Density[tensor.Weight], layer.Density[tensor.Output])
+	aug := dataflow.Augment(df, layer)
+	fmt.Fprintf(&b, "dataflow|%s|\n%s", aug.Name, aug.String())
+	return sha256.Sum256([]byte(b.String()))
+}
+
+const profileShards = 16
+
+// ProfileCache is a sharded LRU of LayerProfiles with a singleflight
+// layer, mirroring internal/serve's result cache: concurrent requests
+// for the same (dataflow, layer, numPEs) triple profile once and share
+// the immutable result. Profiles are safe to Price concurrently, so one
+// cached entry serves any number of hardware points at once.
+type ProfileCache struct {
+	shards [profileShards]*profileShard
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
+	evictions atomic.Int64
+}
+
+type profileShard struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used
+	items    map[ProfileKey]*list.Element
+	inflight map[ProfileKey]*profileCall
+}
+
+type profileEntry struct {
+	key ProfileKey
+	val *LayerProfile
+}
+
+type profileCall struct {
+	done chan struct{}
+	val  *LayerProfile
+	err  error
+}
+
+// DefaultProfileCache is the package-level cache shared by the tuner and
+// the analysis service, sized for a full model zoo × dataflow × PE-grid
+// sweep.
+var DefaultProfileCache = NewProfileCache(4096)
+
+// NewProfileCache builds a cache holding up to capacity profiles across
+// its shards. A non-positive capacity disables storage (every request
+// profiles; singleflight still coalesces concurrent duplicates).
+func NewProfileCache(capacity int) *ProfileCache {
+	c := &ProfileCache{}
+	per := capacity / profileShards
+	if capacity > 0 && per == 0 {
+		per = 1
+	}
+	for i := range c.shards {
+		c.shards[i] = &profileShard{
+			capacity: per,
+			order:    list.New(),
+			items:    map[ProfileKey]*list.Element{},
+			inflight: map[ProfileKey]*profileCall{},
+		}
+	}
+	return c
+}
+
+func (c *ProfileCache) shardFor(k ProfileKey) *profileShard {
+	return c.shards[k[0]%profileShards]
+}
+
+// ProfileDataflow returns the profile for (df, layer, numPEs), resolving
+// and profiling on a miss with at most one walk across concurrent
+// callers. The second return reports whether the profile came from the
+// LRU (callers that joined an in-flight computation report false, like
+// the serve cache's Do). Errors (e.g. an unresolvable mapping) are not
+// cached.
+func (c *ProfileCache) ProfileDataflow(df dataflow.Dataflow, layer tensor.Layer, numPEs int) (*LayerProfile, bool, error) {
+	k := profileKey(df, layer, numPEs)
+	s := c.shardFor(k)
+	s.mu.Lock()
+	if el, ok := s.items[k]; ok {
+		s.order.MoveToFront(el)
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return el.Value.(*profileEntry).val, true, nil
+	}
+	if cl, ok := s.inflight[k]; ok {
+		s.mu.Unlock()
+		c.coalesced.Add(1)
+		<-cl.done
+		return cl.val, false, cl.err
+	}
+	cl := &profileCall{done: make(chan struct{})}
+	s.inflight[k] = cl
+	s.mu.Unlock()
+	c.misses.Add(1)
+
+	finished := false
+	defer func() {
+		if !finished { // profiling panicked: release waiters before unwinding
+			cl.err = fmt.Errorf("core: profile computation panicked")
+			c.finish(s, k, cl, false)
+		}
+	}()
+	var spec *dataflow.Spec
+	spec, cl.err = dataflow.Resolve(df, layer, numPEs)
+	if cl.err == nil {
+		cl.val, cl.err = Profile(spec)
+	}
+	finished = true
+	c.finish(s, k, cl, cl.err == nil)
+	return cl.val, false, cl.err
+}
+
+func (c *ProfileCache) finish(s *profileShard, k ProfileKey, cl *profileCall, store bool) {
+	s.mu.Lock()
+	delete(s.inflight, k)
+	if store && s.capacity > 0 {
+		s.items[k] = s.order.PushFront(&profileEntry{key: k, val: cl.val})
+		for s.order.Len() > s.capacity {
+			last := s.order.Back()
+			s.order.Remove(last)
+			delete(s.items, last.Value.(*profileEntry).key)
+			c.evictions.Add(1)
+		}
+	}
+	s.mu.Unlock()
+	close(cl.done)
+}
+
+// Len returns the number of cached profiles.
+func (c *ProfileCache) Len() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Hits, Misses, Coalesced and Evictions expose the cache counters.
+func (c *ProfileCache) Hits() int64      { return c.hits.Load() }
+func (c *ProfileCache) Misses() int64    { return c.misses.Load() }
+func (c *ProfileCache) Coalesced() int64 { return c.coalesced.Load() }
+func (c *ProfileCache) Evictions() int64 { return c.evictions.Load() }
+
+// ProfileDataflow resolves and profiles through the package-level cache.
+func ProfileDataflow(df dataflow.Dataflow, layer tensor.Layer, numPEs int) (*LayerProfile, error) {
+	p, _, err := DefaultProfileCache.ProfileDataflow(df, layer, numPEs)
+	return p, err
+}
+
+// AnalyzeDataflowCached is the drop-in cached variant of AnalyzeDataflow:
+// it fetches (or builds) the hardware-independent profile through the
+// package-level cache and prices it under cfg, so callers varying only
+// the hardware configuration share one cluster walk.
+func AnalyzeDataflowCached(df dataflow.Dataflow, layer tensor.Layer, cfg hw.Config) (*Result, error) {
+	cfg = cfg.Normalize()
+	p, err := ProfileDataflow(df, layer, cfg.NumPEs)
+	if err != nil {
+		return nil, err
+	}
+	return p.Price(cfg)
+}

@@ -98,14 +98,20 @@ func (r *Result) applyL2(l2 int64) {
 		r.DRAMWrites = r.BufWrite[0][tensor.Output]
 	} else {
 		r.L2Spill = false
+		// Density-scaled tensor footprints, computed once: this runs per
+		// L2 grid point in the DSE sweep.
+		var sizes TensorCounts
+		for _, k := range tensor.AllKinds() {
+			sizes[k] = scaleCount(layer.TensorSize(k), layer.Density[k])
+		}
 		type cand struct {
 			kind   tensor.Kind
 			bytes  int64
 			saving int64 // DRAM traffic avoided by retaining the tensor
 		}
-		var cands []cand
+		cands := make([]cand, 0, 3)
 		for _, k := range []tensor.Kind{tensor.Input, tensor.Weight, tensor.Output} {
-			size := scaleCount(layer.TensorSize(k), layer.Density[k])
+			size := sizes[k]
 			traffic := r.BufRead[0][k]
 			if k == tensor.Output {
 				traffic = r.BufWrite[0][k] + r.BufRead[0][k]
@@ -122,7 +128,7 @@ func (r *Result) applyL2(l2 int64) {
 			}
 		}
 		spare := l2 - req
-		retained := map[tensor.Kind]bool{}
+		var retained [tensor.NumKinds]bool
 		for _, c := range cands {
 			if c.saving > 0 && c.bytes <= spare {
 				retained[c.kind] = true
@@ -131,13 +137,13 @@ func (r *Result) applyL2(l2 int64) {
 		}
 		r.DRAMReads, r.DRAMWrites = 0, 0
 		for _, k := range []tensor.Kind{tensor.Input, tensor.Weight} {
-			if retained[k] || r.BufRead[0][k] < scaleCount(layer.TensorSize(k), layer.Density[k]) {
-				r.DRAMReads += scaleCount(layer.TensorSize(k), layer.Density[k])
+			if retained[k] || r.BufRead[0][k] < sizes[k] {
+				r.DRAMReads += sizes[k]
 			} else {
 				r.DRAMReads += r.BufRead[0][k]
 			}
 		}
-		outSize := scaleCount(layer.TensorSize(tensor.Output), layer.Density[tensor.Output])
+		outSize := sizes[tensor.Output]
 		if retained[tensor.Output] || r.BufWrite[0][tensor.Output] <= outSize {
 			r.DRAMWrites = outSize
 		} else {

@@ -14,7 +14,9 @@
 package dse
 
 import (
+	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -52,6 +54,12 @@ type Space struct {
 	Cost          hw.CostModel
 	// Workers bounds parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// Profiles, when set, fetches the per-(dataflow, layer, PEs) profiles
+	// through a shared cache so repeated runs over the same mappings
+	// (e.g. the analysis service) skip the cluster walk entirely. When
+	// nil every mapping is profiled fresh, keeping Stats.Invoked
+	// deterministic for benchmarks.
+	Profiles *core.ProfileCache
 }
 
 // Point is one valid design.
@@ -74,7 +82,8 @@ type Point struct {
 type Stats struct {
 	Raw      int64 // full parameter grid including buffer axes
 	Explored int64 // grid points covered (evaluated or bulk-skipped)
-	Invoked  int64 // MAESTRO invocations actually performed
+	Invoked  int64 // cluster walks actually performed (profiles built)
+	Priced   int64 // hardware points priced against those profiles
 	Valid    int64 // valid design points found
 	Elapsed  time.Duration
 }
@@ -88,7 +97,12 @@ func (s Stats) Rate() float64 {
 }
 
 // DefaultGrid builds a geometric capacity grid between lo and hi bytes.
+// Degenerate inputs — a non-positive lower bound, an inverted range, or
+// a ratio <= 1 (which would never advance the loop) — yield nil.
 func DefaultGrid(lo, hi int64, step float64) []int64 {
+	if lo < 1 || hi < lo || step <= 1 {
+		return nil
+	}
 	var g []int64
 	for v := float64(lo); v <= float64(hi); v *= step {
 		g = append(g, int64(v))
@@ -130,6 +144,7 @@ func Explore(sp Space) ([]Point, Stats) {
 			points = append(points, localPts...)
 			stats.Explored += localStats.Explored
 			stats.Invoked += localStats.Invoked
+			stats.Priced += localStats.Priced
 			stats.Valid += localStats.Valid
 			mu.Unlock()
 		}()
@@ -158,10 +173,16 @@ func explorePEs(sp Space, pes int, gridPerMapping int64, out *[]Point, st *Stats
 	for _, p1 := range sp.Template.P1 {
 		for _, p2 := range sp.Template.P2 {
 			df := sp.Template.Build(p1, p2)
-			spec, err := dataflow.Resolve(df, sp.Layer, pes)
+			// Profile once per (pes, p1, p2): the cluster walk is
+			// hardware-independent, so the whole bandwidth axis below
+			// re-prices the same recorded DAG.
+			prof, cached, err := sp.profileMapping(df, pes)
 			if err != nil {
 				st.Explored += int64(len(sp.BWs)) * gridPerMapping
 				continue
+			}
+			if !cached {
+				st.Invoked++
 			}
 			for _, bw := range sp.BWs {
 				st.Explored += gridPerMapping
@@ -171,8 +192,8 @@ func explorePEs(sp Space, pes int, gridPerMapping int64, out *[]Point, st *Stats
 					Name: "dse", NumPEs: pes,
 					NoCs: []noc.Model{m},
 				}.Normalize()
-				st.Invoked++
-				r, err := core.Analyze(spec, cfg)
+				st.Priced++
+				r, err := prof.Price(cfg)
 				if err != nil {
 					continue
 				}
@@ -207,6 +228,21 @@ func explorePEs(sp Space, pes int, gridPerMapping int64, out *[]Point, st *Stats
 			}
 		}
 	}
+}
+
+// profileMapping builds (or fetches) the hardware-independent profile of
+// one mapping. The cached flag is true only when the profile came from
+// the shared cache's LRU.
+func (sp Space) profileMapping(df dataflow.Dataflow, pes int) (*core.LayerProfile, bool, error) {
+	if sp.Profiles != nil {
+		return sp.Profiles.ProfileDataflow(df, sp.Layer, pes)
+	}
+	spec, err := dataflow.Resolve(df, sp.Layer, pes)
+	if err != nil {
+		return nil, false, err
+	}
+	prof, err := core.Profile(spec)
+	return prof, false, err
 }
 
 // l2Candidates returns the shared-scratchpad capacities to evaluate for
@@ -284,22 +320,53 @@ func pick(pts []Point, better func(a, b Point) bool) (Point, bool) {
 
 // Pareto returns the throughput/energy Pareto frontier: points not
 // dominated by any other (higher-or-equal throughput and lower-or-equal
-// energy, strictly better in one).
+// energy, strictly better in one). Survivors keep their input order.
+//
+// Sort-and-scan, O(n log n): visiting throughput groups in descending
+// order, a point survives iff it has the minimum energy of its own
+// throughput group and beats (strictly) the best energy seen in every
+// higher-throughput group — anything else has a dominator either beside
+// it or above it.
 func Pareto(pts []Point) []Point {
-	var front []Point
-	for i, p := range pts {
-		dominated := false
-		for j, q := range pts {
-			if i == j {
-				continue
-			}
-			if q.Throughput >= p.Throughput && q.EnergyPJ <= p.EnergyPJ &&
-				(q.Throughput > p.Throughput || q.EnergyPJ < p.EnergyPJ) {
-				dominated = true
-				break
+	if len(pts) == 0 {
+		return nil
+	}
+	idx := make([]int, len(pts))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := pts[idx[a]], pts[idx[b]]
+		if pa.Throughput != pb.Throughput {
+			return pa.Throughput > pb.Throughput
+		}
+		return pa.EnergyPJ < pb.EnergyPJ
+	})
+	keep := make([]bool, len(pts))
+	bestE := math.Inf(1)
+	for i := 0; i < len(idx); {
+		j := i
+		groupMin := math.Inf(1)
+		for ; j < len(idx) && pts[idx[j]].Throughput == pts[idx[i]].Throughput; j++ {
+			if e := pts[idx[j]].EnergyPJ; e < groupMin {
+				groupMin = e
 			}
 		}
-		if !dominated {
+		if groupMin < bestE {
+			// Every copy of the group minimum survives: equal points do
+			// not dominate each other.
+			for k := i; k < j; k++ {
+				if pts[idx[k]].EnergyPJ == groupMin {
+					keep[idx[k]] = true
+				}
+			}
+			bestE = groupMin
+		}
+		i = j
+	}
+	var front []Point
+	for i, p := range pts {
+		if keep[i] {
 			front = append(front, p)
 		}
 	}

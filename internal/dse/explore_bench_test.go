@@ -1,0 +1,180 @@
+package dse
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/energy"
+	"repro/internal/hw"
+	"repro/internal/noc"
+)
+
+// TestExploreProfileOncePerMapping checks the profile/price accounting:
+// every resolvable mapping is profiled exactly once and priced once per
+// bandwidth point.
+func TestExploreProfileOncePerMapping(t *testing.T) {
+	sp := smallSpace()
+	_, stats := Explore(sp)
+	if stats.Invoked == 0 {
+		t.Fatal("no mappings profiled")
+	}
+	wantPriced := stats.Invoked * int64(len(sp.BWs))
+	if stats.Priced != wantPriced {
+		t.Errorf("Priced = %d, want Invoked(%d) × BWs(%d) = %d",
+			stats.Priced, stats.Invoked, len(sp.BWs), wantPriced)
+	}
+}
+
+// TestExploreSharedProfileCache runs the same space twice through one
+// cache: the second run must find every profile resident and perform no
+// walks, while producing identical design points.
+func TestExploreSharedProfileCache(t *testing.T) {
+	sp := smallSpace()
+	sp.Workers = 1 // deterministic point order, so the float energy sum is exact
+	sp.Profiles = core.NewProfileCache(256)
+	pts1, stats1 := Explore(sp)
+	pts2, stats2 := Explore(sp)
+	if stats1.Invoked == 0 {
+		t.Fatal("first run profiled nothing")
+	}
+	if stats2.Invoked != 0 {
+		t.Errorf("second run re-profiled %d mappings despite warm cache", stats2.Invoked)
+	}
+	if stats2.Priced != stats1.Priced {
+		t.Errorf("pricing count changed across runs: %d vs %d", stats1.Priced, stats2.Priced)
+	}
+	if len(pts1) != len(pts2) {
+		t.Fatalf("point count changed across runs: %d vs %d", len(pts1), len(pts2))
+	}
+	sum := func(pts []Point) (r int64, e float64) {
+		for _, p := range pts {
+			r += p.Runtime
+			e += p.EnergyPJ
+		}
+		return
+	}
+	r1, e1 := sum(pts1)
+	r2, e2 := sum(pts2)
+	if r1 != r2 || e1 != e2 {
+		t.Errorf("cached run produced different designs: runtime %d/%d energy %g/%g", r1, r2, e1, e2)
+	}
+}
+
+// naiveExplorePEs is the pre-refactor inner loop, kept as the benchmark
+// baseline: one full core.Analyze per bandwidth point instead of one
+// profile re-priced across the axis.
+func naiveExplorePEs(sp Space, pes int, gridPerMapping int64, out *[]Point, st *Stats) {
+	innerRaw := int64(len(sp.BWs)) * int64(len(sp.Template.P1)) *
+		int64(len(sp.Template.P2)) * gridPerMapping
+	minArea := sp.Cost.Area(pes, 0, 0, sp.BWs[0])
+	minPower := sp.Cost.Power(pes, 0, 0, sp.BWs[0])
+	if minArea > sp.AreaBudgetMM2 || minPower > sp.PowerBudgetMW {
+		st.Explored += innerRaw
+		return
+	}
+	for _, p1 := range sp.Template.P1 {
+		for _, p2 := range sp.Template.P2 {
+			df := sp.Template.Build(p1, p2)
+			spec, err := dataflow.Resolve(df, sp.Layer, pes)
+			if err != nil {
+				st.Explored += int64(len(sp.BWs)) * gridPerMapping
+				continue
+			}
+			for _, bw := range sp.BWs {
+				st.Explored += gridPerMapping
+				m := noc.Bus(bw)
+				m.Reduction = true
+				cfg := hw.Config{Name: "dse", NumPEs: pes, NoCs: []noc.Model{m}}.Normalize()
+				st.Invoked++
+				r, err := core.Analyze(spec, cfg)
+				if err != nil {
+					continue
+				}
+				l1 := r.L1ReqBytes()
+				for _, l2 := range sp.l2Candidates(r.L2ReqBytes()) {
+					r2 := r.WithL2(l2)
+					area := sp.Cost.Area(pes, l1*int64(pes), l2, bw)
+					power := sp.Cost.Power(pes, l1*int64(pes), l2, bw)
+					if area > sp.AreaBudgetMM2 || power > sp.PowerBudgetMW {
+						continue
+					}
+					eb := r2.Energy(energy.TableFor(l1, l2, pes))
+					pt := Point{
+						NumPEs: pes, BW: bw, P1: p1, P2: p2,
+						L1Bytes: l1, L2Bytes: l2,
+						AreaMM2: area, PowerMW: power,
+						Runtime:    r2.Runtime,
+						Throughput: r2.Throughput(),
+						EnergyPJ:   eb.Total() + sp.Cost.StaticEnergyPJ(area, r2.Runtime),
+					}
+					pt.EDP = pt.EnergyPJ * float64(pt.Runtime)
+					*out = append(*out, pt)
+					st.Valid += 1 + sp.l1Headroom(pes, bw, l1, l2)
+				}
+			}
+		}
+	}
+}
+
+// benchSpace is a single-threaded space with a wide bandwidth axis (16
+// points), the workload the profile/price split targets.
+func benchSpace() Space {
+	sp := smallSpace()
+	sp.Workers = 1
+	sp.PEs = []int{64, 256}
+	sp.BWs = []float64{1, 1.5, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192}
+	return sp
+}
+
+// TestNaiveExploreAgrees pins the baseline to the optimized path: same
+// points, same explored count, so the benchmark compares equal work.
+func TestNaiveExploreAgrees(t *testing.T) {
+	sp := benchSpace()
+	gridPerMapping := int64(len(sp.L1Grid)) * int64(len(sp.L2Grid))
+	var naivePts []Point
+	var naiveStats Stats
+	for _, pes := range sp.PEs {
+		naiveExplorePEs(sp, pes, gridPerMapping, &naivePts, &naiveStats)
+	}
+	pts, stats := Explore(sp)
+	if len(pts) != len(naivePts) {
+		t.Fatalf("point count: optimized %d, naive %d", len(pts), len(naivePts))
+	}
+	if stats.Explored != naiveStats.Explored || stats.Valid != naiveStats.Valid {
+		t.Fatalf("stats diverge: optimized %+v, naive %+v", stats, naiveStats)
+	}
+	for i := range pts {
+		if pts[i] != naivePts[i] {
+			t.Fatalf("point %d diverges:\noptimized %+v\nnaive     %+v", i, pts[i], naivePts[i])
+		}
+	}
+}
+
+// BenchmarkExplore measures explored designs/sec with the profile/price
+// split (ProfileOnce) against the pre-refactor analyze-per-BW-point loop
+// (AnalyzePerPoint) on a 16-point bandwidth axis.
+func BenchmarkExplore(b *testing.B) {
+	sp := benchSpace()
+	b.Run("ProfileOnce", func(b *testing.B) {
+		var explored int64
+		for i := 0; i < b.N; i++ {
+			_, stats := Explore(sp)
+			explored += stats.Explored
+		}
+		b.ReportMetric(float64(explored)/b.Elapsed().Seconds(), "designs/sec")
+	})
+	b.Run("AnalyzePerPoint", func(b *testing.B) {
+		gridPerMapping := int64(len(sp.L1Grid)) * int64(len(sp.L2Grid))
+		var explored int64
+		for i := 0; i < b.N; i++ {
+			var pts []Point
+			var stats Stats
+			for _, pes := range sp.PEs {
+				naiveExplorePEs(sp, pes, gridPerMapping, &pts, &stats)
+			}
+			explored += stats.Explored
+		}
+		b.ReportMetric(float64(explored)/b.Elapsed().Seconds(), "designs/sec")
+	})
+}

@@ -1,0 +1,102 @@
+package dse
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// naivePareto is the pre-optimization O(n²) implementation, kept as the
+// property-test oracle for the sort-and-scan version.
+func naivePareto(pts []Point) []Point {
+	var front []Point
+	for i, p := range pts {
+		dominated := false
+		for j, q := range pts {
+			if i == j {
+				continue
+			}
+			if q.Throughput >= p.Throughput && q.EnergyPJ <= p.EnergyPJ &&
+				(q.Throughput > p.Throughput || q.EnergyPJ < p.EnergyPJ) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, p)
+		}
+	}
+	return front
+}
+
+// TestParetoMatchesNaive compares the O(n log n) frontier against the
+// naive oracle on random point sets. Small discrete coordinate ranges
+// force heavy ties and exact duplicates — the cases where domination
+// strictness matters — and exact slice equality also checks that input
+// order is preserved.
+func TestParetoMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(64)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{
+				NumPEs:     i, // distinguishes duplicates in failure output
+				Throughput: float64(rng.Intn(8)),
+				EnergyPJ:   float64(rng.Intn(8)),
+			}
+		}
+		got := Pareto(pts)
+		want := naivePareto(pts)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: frontier mismatch\npoints: %+v\ngot:  %+v\nwant: %+v",
+				trial, pts, got, want)
+		}
+	}
+}
+
+// TestParetoContinuous repeats the property test with continuous
+// coordinates (ties essentially impossible) and larger sets.
+func TestParetoContinuous(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(400)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{Throughput: rng.Float64() * 100, EnergyPJ: rng.Float64() * 1e6}
+		}
+		got := Pareto(pts)
+		want := naivePareto(pts)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (n=%d): frontier mismatch", trial, n)
+		}
+	}
+}
+
+// TestDefaultGridDegenerate is the regression test for the infinite loop
+// DefaultGrid used to enter when step <= 1 (v *= step never advances) or
+// lo <= 0 (0 * step == 0 forever).
+func TestDefaultGridDegenerate(t *testing.T) {
+	cases := []struct {
+		lo, hi int64
+		step   float64
+	}{
+		{64, 1 << 14, 1},   // step == 1: v never grows
+		{64, 1 << 14, 0.5}, // step < 1: v shrinks forever
+		{64, 1 << 14, -2},  // negative step
+		{0, 1 << 14, 2},    // lo == 0: 0*2 == 0 forever
+		{-8, 1 << 14, 2},   // negative lo
+		{1 << 14, 64, 2},   // inverted range
+	}
+	for _, c := range cases {
+		if g := DefaultGrid(c.lo, c.hi, c.step); g != nil {
+			t.Errorf("DefaultGrid(%d, %d, %g) = %v, want nil", c.lo, c.hi, c.step, g)
+		}
+	}
+	if got := DefaultGrid(64, 256, 2); !reflect.DeepEqual(got, []int64{64, 128, 256}) {
+		t.Errorf("DefaultGrid(64, 256, 2) = %v", got)
+	}
+	if got := DefaultGrid(100, 100, 2); !reflect.DeepEqual(got, []int64{100}) {
+		t.Errorf("DefaultGrid(100, 100, 2) = %v", got)
+	}
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"repro/internal/core"
 	"repro/internal/dataflow"
 	"repro/internal/dataflows"
 	"repro/internal/dse"
@@ -62,6 +63,7 @@ type DSEResponse struct {
 	Raw      int64   `json:"raw_designs"`
 	Explored int64   `json:"explored_designs"`
 	Invoked  int64   `json:"model_invocations"`
+	Pricings int64   `json:"model_pricings"`
 	Valid    int64   `json:"valid_designs"`
 	Micros   int64   `json:"elapsed_micros"`
 	Rate     float64 `json:"designs_per_second"`
@@ -138,6 +140,9 @@ func buildSpace(req DSERequest) (dse.Space, error) {
 	// The sweep runs as one pool job; its internal fan-out would
 	// otherwise contend with the pool's own workers.
 	sp.Workers = 2
+	// Profiles are keyed by (dataflow, layer, PEs) only, so sweeps (and
+	// analyze requests) that differ just in hardware knobs share them.
+	sp.Profiles = core.DefaultProfileCache
 	return sp, nil
 }
 
@@ -171,6 +176,7 @@ func runDSE(req DSERequest, sp dse.Space) *DSEResponse {
 		Raw:      stats.Raw,
 		Explored: stats.Explored,
 		Invoked:  stats.Invoked,
+		Pricings: stats.Priced,
 		Valid:    stats.Valid,
 		Micros:   stats.Elapsed.Microseconds(),
 		Rate:     stats.Rate(),

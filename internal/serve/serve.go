@@ -104,6 +104,17 @@ func New(opts Options) *Server {
 		"LRU evictions from the result cache.", s.cache.Evictions)
 	s.reg.NewGaugeFunc("maestro_cache_entries",
 		"Entries resident in the result cache.", func() int64 { return int64(s.cache.Len()) })
+	profiles := core.DefaultProfileCache
+	s.reg.NewCounterFunc("maestro_profile_cache_hits_total",
+		"Layer profiles served from the shared profile cache.", profiles.Hits)
+	s.reg.NewCounterFunc("maestro_profile_cache_misses_total",
+		"Layer profiles that had to run the cluster walk.", profiles.Misses)
+	s.reg.NewCounterFunc("maestro_profile_cache_coalesced_total",
+		"Profile requests that joined an identical in-flight walk.", profiles.Coalesced)
+	s.reg.NewCounterFunc("maestro_profile_cache_evictions_total",
+		"LRU evictions from the shared profile cache.", profiles.Evictions)
+	s.reg.NewGaugeFunc("maestro_profile_cache_entries",
+		"Profiles resident in the shared profile cache.", func() int64 { return int64(profiles.Len()) })
 	s.reg.NewGaugeFunc("maestro_queue_depth",
 		"Jobs waiting in the worker queue.", s.pool.QueueDepth)
 	s.reg.NewGaugeFunc("maestro_inflight",
@@ -215,7 +226,10 @@ func (s *Server) timeoutFor(ms int) time.Duration {
 func (s *Server) evaluate(r resolved, key Key) (*AnalyzeResponse, error) {
 	s.evaluations.Inc()
 	startedAt := time.Now()
-	res, err := core.AnalyzeDataflow(r.df, r.layer, r.cfg)
+	// The cached variant shares the hardware-independent profile across
+	// requests that differ only in hardware configuration (and with the
+	// DSE endpoint, which prices the same profiles).
+	res, err := core.AnalyzeDataflowCached(r.df, r.layer, r.cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -217,10 +217,16 @@ func (l Layer) TensorDims(k Kind) DimSet {
 }
 
 // TensorSize returns the number of elements of tensor kind k for this
-// layer (output uses output coordinates).
+// layer (output uses output coordinates). Iterates the DimSet directly —
+// this sits inside the DSE's per-design L2 re-pricing loop, where a
+// Dims() slice allocation per call is measurable.
 func (l Layer) TensorSize(k Kind) int64 {
 	v := int64(1)
-	for _, d := range l.TensorDims(k).Dims() {
+	set := l.TensorDims(k)
+	for d := Dim(0); d < NumDims; d++ {
+		if !set.Has(d) {
+			continue
+		}
 		switch {
 		case d == Y && k == Output:
 			v *= int64(l.OutY())

@@ -135,7 +135,10 @@ func TuneLayer(layer tensor.Layer, cfg hw.Config, opt Options) (Choice, error) {
 		if opt.MaxCandidates > 0 && evaluated >= opt.MaxCandidates {
 			break
 		}
-		r, err := core.AnalyzeDataflow(df, layer, cfg)
+		// The profile cache persists across layers and hardware variants:
+		// re-tuning the same layer under a different NoC or vector width
+		// re-prices cached profiles instead of re-running the walk.
+		r, err := core.AnalyzeDataflowCached(df, layer, cfg)
 		if err != nil {
 			continue
 		}

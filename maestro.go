@@ -191,6 +191,42 @@ func Analyze(df Dataflow, layer Layer, cfg HWConfig) (*Result, error) {
 // AnalyzeSpec analyzes an already resolved dataflow.
 var AnalyzeSpec = core.Analyze
 
+// AnalyzeCached is Analyze through the shared profile cache: the
+// hardware-independent cluster walk is fetched (or built once) per
+// (dataflow, layer, PE count) and re-priced under cfg, so sweeps that
+// vary only hardware knobs skip the walk entirely.
+func AnalyzeCached(df Dataflow, layer Layer, cfg HWConfig) (*Result, error) {
+	return core.AnalyzeDataflowCached(df, layer, cfg)
+}
+
+// Profile/Price split the cost model into its hardware-independent and
+// hardware-dependent phases.
+type (
+	// LayerProfile is the memoized hardware-independent analysis of one
+	// (dataflow, layer, PE count) triple; Price it under any hardware
+	// configuration with that PE count.
+	LayerProfile = core.LayerProfile
+	// ProfileCache is a sharded LRU + singleflight cache of LayerProfiles.
+	ProfileCache = core.ProfileCache
+)
+
+// Profile/Price entry points.
+var (
+	// Profile runs the recursive cluster walk once on a resolved dataflow
+	// and records the hardware-independent case quantities.
+	Profile = core.Profile
+	// Price re-prices a profile under a hardware configuration; the
+	// result is bit-identical to AnalyzeSpec on the same inputs.
+	Price = core.Price
+	// ProfileDataflow resolves and profiles through the shared cache.
+	ProfileDataflow = core.ProfileDataflow
+	// NewProfileCache builds a private profile cache.
+	NewProfileCache = core.NewProfileCache
+	// SharedProfileCache is the package-level cache the tuner, the DSE
+	// endpoint, and AnalyzeCached share.
+	SharedProfileCache = core.DefaultProfileCache
+)
+
 // AnalyzeAll analyzes many layers concurrently under one dataflow and
 // configuration, preserving order.
 var AnalyzeAll = core.AnalyzeAll
