@@ -5,15 +5,18 @@
 //
 //	maestro-dse [-model VGG16] [-layer CONV2] [-dataflow KC-P|YR-P|YX-P]
 //	            [-area 16] [-power 450] [-quick] [-csv out.csv]
+//	            [-progress] [-trace out.json]
 //
 // It sweeps PEs, NoC bandwidth, tile sizes and L2 capacity under the
 // area/power budget, then prints the throughput-, energy- and
 // EDP-optimized design points, the Pareto frontier, and the exploration
 // statistics (Figure 13). With -csv the full design space is dumped for
-// plotting.
+// plotting; -progress reports live designs/sec during the sweep; -trace
+// records the sweep as Chrome trace_event JSON for chrome://tracing.
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -25,6 +28,7 @@ import (
 	"repro/internal/dse"
 	"repro/internal/hw"
 	"repro/internal/models"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -35,6 +39,8 @@ func main() {
 	power := flag.Float64("power", 450, "power budget in mW")
 	quick := flag.Bool("quick", false, "coarse grids for a fast run")
 	csvPath := flag.String("csv", "", "dump all valid designs to a CSV file")
+	progress := flag.Bool("progress", false, "report live exploration progress on stderr")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the sweep to this file")
 	flag.Parse()
 
 	m, ok := modelByName(*modelName)
@@ -73,7 +79,27 @@ func main() {
 		PowerBudgetMW: *power,
 		Cost:          hw.Default28nm(),
 	}
+	var rec *obs.Recorder
+	if *tracePath != "" {
+		rec = obs.NewRecorder()
+		space.Ctx = obs.WithRecorder(context.Background(), rec)
+	}
+	if *progress {
+		space.Progress = func(p dse.Progress) {
+			fmt.Fprintf(os.Stderr, "\r%d explored, %d priced, %d valid — %.3g designs/s ",
+				p.Explored, p.Priced, p.Valid, p.Rate())
+		}
+	}
 	pts, stats := dse.Explore(space)
+	if *progress {
+		fmt.Fprintln(os.Stderr)
+	}
+	if rec != nil {
+		if err := writeTrace(*tracePath, rec); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d spans to %s\n", rec.Len(), *tracePath)
+	}
 	fmt.Printf("%s on %s/%s: %d mappings profiled, %d hardware points priced, %d valid (raw space %d)\n",
 		tmpl.Name, m.Name, li.Layer.Name, stats.Invoked, stats.Priced, stats.Valid, stats.Raw)
 	fmt.Printf("explored %d points in %.2fs: %.3g designs/s (%.1f pricings per profile)\n\n",
@@ -170,6 +196,18 @@ func dumpCSV(path string, pts []dse.Point) error {
 		}
 	}
 	return nil
+}
+
+func writeTrace(path string, rec *obs.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -2,24 +2,32 @@
 // analysis service: POST /v1/analyze and /v1/analyze/batch evaluate a
 // layer + dataflow + hardware configuration through a canonical-request
 // result cache and a bounded worker pool, POST /v1/dse sweeps a design
-// space, GET /v1/models lists the model zoo, and GET /metrics exposes
-// Prometheus-format counters (latency, cache hit ratio, queue depth).
+// space, GET /v1/models lists the model zoo, GET /metrics exposes
+// Prometheus-format counters (latency, cache hit ratio, queue depth),
+// and GET /debug/trace captures a window of live traffic as Chrome
+// trace_event JSON.
 //
 // Usage:
 //
 //	maestro-serve [-addr :8080] [-workers N] [-queue N] [-cache N]
 //	              [-timeout 15s] [-max-batch N]
+//	              [-log-format text|json] [-log-level info]
+//	              [-pprof :6060]
 //
-// Shutdown is graceful: on SIGINT/SIGTERM the listener stops, in-flight
-// and queued analyses drain, then the process exits.
+// Every response carries an X-Request-ID header (echoing the client's,
+// if supplied) that also tags the access-log line and every span of the
+// request's trace. Shutdown is graceful: on SIGINT/SIGTERM the listener
+// stops, in-flight and queued analyses drain, then the process exits.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -37,7 +45,16 @@ func main() {
 	timeout := flag.Duration("timeout", 15*time.Second, "default per-request deadline")
 	maxBatch := flag.Int("max-batch", 256, "max requests per batch call")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain deadline")
+	logFormat := flag.String("log-format", "text", "access-log encoding: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty disables)")
 	flag.Parse()
+
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "maestro-serve:", err)
+		os.Exit(2)
+	}
 
 	s := serve.New(serve.Options{
 		Workers:        *workers,
@@ -45,6 +62,7 @@ func main() {
 		CacheEntries:   *cache,
 		DefaultTimeout: *timeout,
 		MaxBatch:       *maxBatch,
+		Logger:         logger,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
@@ -55,23 +73,72 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *pprofAddr != "" {
+		go servePprof(logger, *pprofAddr)
+	}
+
+	// The listener goroutine reports only *real* failures: ErrServerClosed
+	// is the normal result of Shutdown and must never race the signal
+	// path into a fatal exit.
 	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("maestro-serve listening on %s (%d workers, queue %d, cache %d entries)",
-		*addr, *workers, *queue, *cache)
+	go func() {
+		err := srv.ListenAndServe()
+		if errors.Is(err, http.ErrServerClosed) {
+			err = nil
+		}
+		errCh <- err
+	}()
+	logger.Info("listening", "addr", *addr, "workers", *workers,
+		"queue", *queue, "cache_entries", *cache)
 
 	select {
 	case err := <-errCh:
-		log.Fatalf("serve: %v", err)
+		if err != nil {
+			logger.Error("listen failed", "error", err)
+			os.Exit(1)
+		}
+		return // listener closed without a signal; nothing left to drain
 	case <-ctx.Done():
 	}
 
-	log.Printf("shutting down: draining connections and queued work (max %s)", *drain)
+	logger.Info("shutting down: draining connections and queued work", "max", *drain)
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("http shutdown: %v", err)
+		logger.Warn("http shutdown", "error", err)
 	}
 	s.Close() // drain the worker pool
-	log.Printf("bye")
+	logger.Info("bye")
+}
+
+// buildLogger assembles the process logger from the -log-format and
+// -log-level flags.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf("bad -log-format %q (have text, json)", format)
+}
+
+// servePprof mounts the net/http/pprof handlers on a dedicated mux so
+// the profiling surface never shares a listener with the service API.
+func servePprof(logger *slog.Logger, addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	logger.Info("pprof listening", "addr", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		logger.Error("pprof listener failed", "error", err)
+	}
 }

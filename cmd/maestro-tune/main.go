@@ -4,10 +4,15 @@
 //
 //	maestro-tune -model MobileNetV2 -pes 256 -o mobilenet_tuned.m
 //	maestro -pes 256 mobilenet_tuned.m
+//
+// With -trace the whole search is recorded as Chrome trace_event JSON:
+// one tuner.layer span per layer, with the profile walks and pricings
+// of its candidate mappings as children.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +21,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/models"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 	"repro/internal/tuner"
 )
@@ -27,6 +33,7 @@ func main() {
 	objective := flag.String("objective", "runtime", "runtime, energy, or edp")
 	out := flag.String("o", "", "output network file (default stdout)")
 	hwFile := flag.String("hw", "", "accelerator description file")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the search to this file")
 	flag.Parse()
 
 	var m models.Model
@@ -69,12 +76,19 @@ func main() {
 	}
 	defer w.Flush()
 
+	ctx := context.Background()
+	var rec *obs.Recorder
+	if *tracePath != "" {
+		rec = obs.NewRecorder()
+		ctx = obs.WithRecorder(ctx, rec)
+	}
+
 	fmt.Fprintf(w, "// %s tuned for %s on %d PEs (objective: %s)\n",
 		m.Name, cfg.Name, cfg.NumPEs, *objective)
 	fmt.Fprintf(w, "Network %s {\n", sanitize(m.Name))
 	var total int64
 	for _, li := range m.Layers {
-		ch, err := tuner.TuneLayer(li.Layer, cfg, opt)
+		ch, err := tuner.TuneLayerCtx(ctx, li.Layer, cfg, opt)
 		if err != nil {
 			fatal(fmt.Errorf("layer %s: %w", li.Layer.Name, err))
 		}
@@ -83,6 +97,24 @@ func main() {
 	}
 	fmt.Fprintln(w, "}")
 	fmt.Fprintf(os.Stderr, "tuned %d layer shapes; total runtime %d cycles\n", len(m.Layers), total)
+	if rec != nil {
+		if err := writeTrace(*tracePath, rec); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d spans to %s\n", rec.Len(), *tracePath)
+	}
+}
+
+func writeTrace(path string, rec *obs.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeLayer(w *bufio.Writer, l tensor.Layer, ch tuner.Choice) {

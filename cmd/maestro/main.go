@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/hw"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/tuner"
 )
@@ -36,6 +38,7 @@ func main() {
 	csvPath := flag.String("csv", "", "export per-layer results as CSV")
 	energyFile := flag.String("energy", "", "per-event energy table file (pJ)")
 	dfName := flag.String("dataflow", "", "apply a built-in dataflow (C-P, X-P, YX-P, YR-P, KC-P) to all layers, or 'auto' to tune per layer")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the analysis to this file")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: maestro [flags] network.m")
@@ -80,6 +83,12 @@ func main() {
 		}
 		etbl = &tb
 	}
+	ctx := context.Background()
+	var rec *obs.Recorder
+	if *tracePath != "" {
+		rec = obs.NewRecorder()
+		ctx = obs.WithRecorder(ctx, rec)
+	}
 	var rows []report.Row
 	var totalCycles, totalMACs int64
 	var totalEnergy float64
@@ -87,7 +96,7 @@ func main() {
 		var r *core.Result
 		switch {
 		case *dfName == "auto":
-			ch, err := tuner.TuneLayer(ls.Layer, cfg, tuner.Options{})
+			ch, err := tuner.TuneLayerCtx(ctx, ls.Layer, cfg, tuner.Options{})
 			if err != nil {
 				fatal(fmt.Errorf("layer %s: %w", ls.Layer.Name, err))
 			}
@@ -102,7 +111,7 @@ func main() {
 				fatal(fmt.Errorf("layer %s has no dataflow; use -dataflow or add a Dataflow block", ls.Layer.Name))
 			}
 			var err error
-			r, err = core.AnalyzeDataflow(df, ls.Layer, cfg)
+			r, err = core.AnalyzeDataflowCtx(ctx, df, ls.Layer, cfg)
 			if err != nil {
 				fatal(fmt.Errorf("layer %s: %w", ls.Layer.Name, err))
 			}
@@ -142,6 +151,20 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %d rows to %s\n", len(rows), *csvPath)
+	}
+	if rec != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteTrace(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d spans to %s\n", rec.Len(), *tracePath)
 	}
 }
 

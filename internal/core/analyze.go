@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 
 	"repro/internal/dataflow"
 	"repro/internal/hw"
+	"repro/internal/obs"
 	"repro/internal/reuse"
 	"repro/internal/tensor"
 )
@@ -407,6 +409,19 @@ func AnalyzeDataflow(df dataflow.Dataflow, layer tensor.Layer, cfg hw.Config) (*
 		return nil, err
 	}
 	return Analyze(spec, cfg)
+}
+
+// AnalyzeDataflowCtx is AnalyzeDataflow wrapped in a "core.analyze"
+// span when ctx carries an obs recorder (the fused engine has no
+// internal phases to attribute; cached analyses go through
+// AnalyzeDataflowCachedCtx instead for profile/price attribution).
+func AnalyzeDataflowCtx(ctx context.Context, df dataflow.Dataflow, layer tensor.Layer, cfg hw.Config) (*Result, error) {
+	_, span := obs.Start(ctx, "core.analyze",
+		obs.String("dataflow", df.Name),
+		obs.String("layer", layer.Name))
+	r, err := AnalyzeDataflow(df, layer, cfg)
+	span.End()
+	return r, err
 }
 
 // AnalyzeSub exposes one (level, dims) node's outstanding delay for

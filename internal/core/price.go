@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/hw"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -15,6 +17,19 @@ import (
 // per-case outstanding-delay max — over the recorded quantities.
 func Price(p *LayerProfile, cfg hw.Config) (*Result, error) {
 	return p.Price(cfg)
+}
+
+// PriceCtx is Price wrapped in a "core.price" span when ctx carries an
+// obs recorder; with tracing off it costs two context lookups over
+// Price, which keeps the DSE's bandwidth-axis inner loop within the
+// benchmark budget.
+func (p *LayerProfile) PriceCtx(ctx context.Context, cfg hw.Config) (*Result, error) {
+	_, span := obs.Start(ctx, "core.price",
+		obs.String("layer", p.spec.Layer.Name),
+		obs.Int("pes", p.spec.NumPEs))
+	r, err := p.Price(cfg)
+	span.End()
+	return r, err
 }
 
 // Price prices the profile under cfg. Safe to call concurrently on a

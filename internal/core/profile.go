@@ -12,7 +12,10 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/dataflow"
+	"repro/internal/obs"
 	"repro/internal/reuse"
 	"repro/internal/tensor"
 )
@@ -123,6 +126,22 @@ func Profile(spec *dataflow.Spec) (*LayerProfile, error) {
 		}
 	}
 	return lp, nil
+}
+
+// ProfileCtx is Profile wrapped in a "core.profile" span when ctx
+// carries an obs recorder; with tracing off it costs two context
+// lookups over Profile.
+func ProfileCtx(ctx context.Context, spec *dataflow.Spec) (*LayerProfile, error) {
+	_, span := obs.Start(ctx, "core.profile",
+		obs.String("dataflow", spec.Dataflow.Name),
+		obs.String("layer", spec.Layer.Name),
+		obs.Int("pes", spec.NumPEs))
+	lp, err := Profile(spec)
+	if err == nil {
+		span.SetAttr(obs.Int("nodes", lp.Nodes()), obs.Int("cases", lp.Cases()))
+	}
+	span.End()
+	return lp, err
 }
 
 // profile records one (level, dims) node, memoized, and returns its

@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/list"
+	"context"
 	"crypto/sha256"
 	"fmt"
 	"strings"
@@ -10,6 +11,7 @@ import (
 
 	"repro/internal/dataflow"
 	"repro/internal/hw"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -107,6 +109,15 @@ func (c *ProfileCache) shardFor(k ProfileKey) *profileShard {
 // the serve cache's Do). Errors (e.g. an unresolvable mapping) are not
 // cached.
 func (c *ProfileCache) ProfileDataflow(df dataflow.Dataflow, layer tensor.Layer, numPEs int) (*LayerProfile, bool, error) {
+	return c.ProfileDataflowCtx(context.Background(), df, layer, numPEs)
+}
+
+// ProfileDataflowCtx is ProfileDataflow with observability: cache hits,
+// misses, and singleflight waits are recorded as events on the current
+// obs span, and a miss runs the cluster walk under a "core.profile"
+// span, so a trace shows exactly which requests paid for profiling and
+// which rode the cache.
+func (c *ProfileCache) ProfileDataflowCtx(ctx context.Context, df dataflow.Dataflow, layer tensor.Layer, numPEs int) (*LayerProfile, bool, error) {
 	k := profileKey(df, layer, numPEs)
 	s := c.shardFor(k)
 	s.mu.Lock()
@@ -114,18 +125,23 @@ func (c *ProfileCache) ProfileDataflow(df dataflow.Dataflow, layer tensor.Layer,
 		s.order.MoveToFront(el)
 		s.mu.Unlock()
 		c.hits.Add(1)
+		obs.SpanFrom(ctx).Event("profile_cache.hit")
 		return el.Value.(*profileEntry).val, true, nil
 	}
 	if cl, ok := s.inflight[k]; ok {
 		s.mu.Unlock()
 		c.coalesced.Add(1)
+		_, wait := obs.Start(ctx, "core.profilecache.wait")
 		<-cl.done
+		wait.End()
+		obs.SpanFrom(ctx).Event("profile_cache.coalesced")
 		return cl.val, false, cl.err
 	}
 	cl := &profileCall{done: make(chan struct{})}
 	s.inflight[k] = cl
 	s.mu.Unlock()
 	c.misses.Add(1)
+	obs.SpanFrom(ctx).Event("profile_cache.miss")
 
 	finished := false
 	defer func() {
@@ -137,7 +153,7 @@ func (c *ProfileCache) ProfileDataflow(df dataflow.Dataflow, layer tensor.Layer,
 	var spec *dataflow.Spec
 	spec, cl.err = dataflow.Resolve(df, layer, numPEs)
 	if cl.err == nil {
-		cl.val, cl.err = Profile(spec)
+		cl.val, cl.err = ProfileCtx(ctx, spec)
 	}
 	finished = true
 	c.finish(s, k, cl, cl.err == nil)
@@ -188,10 +204,16 @@ func ProfileDataflow(df dataflow.Dataflow, layer tensor.Layer, numPEs int) (*Lay
 // package-level cache and prices it under cfg, so callers varying only
 // the hardware configuration share one cluster walk.
 func AnalyzeDataflowCached(df dataflow.Dataflow, layer tensor.Layer, cfg hw.Config) (*Result, error) {
+	return AnalyzeDataflowCachedCtx(context.Background(), df, layer, cfg)
+}
+
+// AnalyzeDataflowCachedCtx is AnalyzeDataflowCached with the profile
+// fetch and the pricing traced under ctx's obs recorder.
+func AnalyzeDataflowCachedCtx(ctx context.Context, df dataflow.Dataflow, layer tensor.Layer, cfg hw.Config) (*Result, error) {
 	cfg = cfg.Normalize()
-	p, err := ProfileDataflow(df, layer, cfg.NumPEs)
+	p, _, err := DefaultProfileCache.ProfileDataflowCtx(ctx, df, layer, cfg.NumPEs)
 	if err != nil {
 		return nil, err
 	}
-	return p.Price(cfg)
+	return p.PriceCtx(ctx, cfg)
 }

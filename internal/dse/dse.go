@@ -14,10 +14,12 @@
 package dse
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -25,6 +27,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/hw"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -60,6 +63,34 @@ type Space struct {
 	// nil every mapping is profiled fresh, keeping Stats.Invoked
 	// deterministic for benchmarks.
 	Profiles *core.ProfileCache
+	// Ctx carries observability: when an obs recorder is attached
+	// (obs.WithRecorder) Explore emits a "dse.explore" span with one
+	// "dse.mapping" child per (PEs, P1, P2) point, each containing its
+	// profile and per-bandwidth pricing spans. Nil means Background.
+	Ctx context.Context
+	// Progress, when non-nil, receives periodic exploration updates from
+	// a single reporter goroutine (so the callback never runs
+	// concurrently with itself), plus one final update on completion.
+	Progress func(Progress)
+	// ProgressEvery is the reporting interval (default 1s).
+	ProgressEvery time.Duration
+}
+
+// Progress is one live exploration update.
+type Progress struct {
+	Explored int64 // grid points covered so far
+	Invoked  int64 // cluster walks performed
+	Priced   int64 // hardware points priced
+	Valid    int64 // valid designs found
+	Elapsed  time.Duration
+}
+
+// Rate returns explored designs per second so far.
+func (p Progress) Rate() float64 {
+	if p.Elapsed <= 0 {
+		return 0
+	}
+	return float64(p.Explored) / p.Elapsed.Seconds()
 }
 
 // Point is one valid design.
@@ -110,6 +141,26 @@ func DefaultGrid(lo, hi int64, step float64) []int64 {
 	return g
 }
 
+// exploreCounters are the live run counters: workers update them as
+// they go so the progress reporter can snapshot a consistent-enough
+// view mid-flight, and the final Stats reads them after the barrier.
+type exploreCounters struct {
+	explored atomic.Int64
+	invoked  atomic.Int64
+	priced   atomic.Int64
+	valid    atomic.Int64
+}
+
+func (c *exploreCounters) progress(start time.Time) Progress {
+	return Progress{
+		Explored: c.explored.Load(),
+		Invoked:  c.invoked.Load(),
+		Priced:   c.priced.Load(),
+		Valid:    c.valid.Load(),
+		Elapsed:  time.Since(start),
+	}
+}
+
 // Explore sweeps the space and returns all valid design points.
 func Explore(sp Space) ([]Point, Stats) {
 	start := time.Now()
@@ -121,10 +172,44 @@ func Explore(sp Space) ([]Point, Stats) {
 	stats.Raw = int64(len(sp.PEs)) * int64(len(sp.BWs)) *
 		int64(len(sp.Template.P1)) * int64(len(sp.Template.P2)) * gridPerMapping
 
+	ctx := sp.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, span := obs.Start(ctx, "dse.explore",
+		obs.String("template", sp.Template.Name),
+		obs.String("layer", sp.Layer.Name),
+		obs.Int64("raw_designs", stats.Raw))
+
 	workers := sp.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	var c exploreCounters
+	var reporterDone chan struct{}
+	stopReporter := make(chan struct{})
+	if sp.Progress != nil {
+		every := sp.ProgressEvery
+		if every <= 0 {
+			every = time.Second
+		}
+		reporterDone = make(chan struct{})
+		go func() {
+			defer close(reporterDone)
+			t := time.NewTicker(every)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					sp.Progress(c.progress(start))
+				case <-stopReporter:
+					sp.Progress(c.progress(start))
+					return
+				}
+			}
+		}()
+	}
+
 	type job struct{ pes int }
 	jobs := make(chan job)
 	var mu sync.Mutex
@@ -136,16 +221,11 @@ func Explore(sp Space) ([]Point, Stats) {
 		go func() {
 			defer wg.Done()
 			var localPts []Point
-			var localStats Stats
 			for j := range jobs {
-				explorePEs(sp, j.pes, gridPerMapping, &localPts, &localStats)
+				explorePEs(ctx, sp, j.pes, gridPerMapping, &localPts, &c)
 			}
 			mu.Lock()
 			points = append(points, localPts...)
-			stats.Explored += localStats.Explored
-			stats.Invoked += localStats.Invoked
-			stats.Priced += localStats.Priced
-			stats.Valid += localStats.Valid
 			mu.Unlock()
 		}()
 	}
@@ -154,12 +234,26 @@ func Explore(sp Space) ([]Point, Stats) {
 	}
 	close(jobs)
 	wg.Wait()
+	close(stopReporter)
+	if reporterDone != nil {
+		<-reporterDone
+	}
+	stats.Explored = c.explored.Load()
+	stats.Invoked = c.invoked.Load()
+	stats.Priced = c.priced.Load()
+	stats.Valid = c.valid.Load()
 	stats.Elapsed = time.Since(start)
+	span.SetAttr(
+		obs.Int64("explored", stats.Explored),
+		obs.Int64("invoked", stats.Invoked),
+		obs.Int64("priced", stats.Priced),
+		obs.Int64("valid", stats.Valid))
+	span.End()
 	return points, stats
 }
 
 // explorePEs evaluates the sub-space of one PE count.
-func explorePEs(sp Space, pes int, gridPerMapping int64, out *[]Point, st *Stats) {
+func explorePEs(ctx context.Context, sp Space, pes int, gridPerMapping int64, out *[]Point, st *exploreCounters) {
 	innerRaw := int64(len(sp.BWs)) * int64(len(sp.Template.P1)) *
 		int64(len(sp.Template.P2)) * gridPerMapping
 	// Skip-invalid bound: even with the smallest buffers and narrowest
@@ -167,33 +261,37 @@ func explorePEs(sp Space, pes int, gridPerMapping int64, out *[]Point, st *Stats
 	minArea := sp.Cost.Area(pes, 0, 0, sp.BWs[0])
 	minPower := sp.Cost.Power(pes, 0, 0, sp.BWs[0])
 	if minArea > sp.AreaBudgetMM2 || minPower > sp.PowerBudgetMW {
-		st.Explored += innerRaw
+		st.explored.Add(innerRaw)
 		return
 	}
 	for _, p1 := range sp.Template.P1 {
 		for _, p2 := range sp.Template.P2 {
 			df := sp.Template.Build(p1, p2)
+			mctx, mspan := obs.Start(ctx, "dse.mapping",
+				obs.Int("pes", pes), obs.Int("p1", p1), obs.Int("p2", p2))
 			// Profile once per (pes, p1, p2): the cluster walk is
 			// hardware-independent, so the whole bandwidth axis below
 			// re-prices the same recorded DAG.
-			prof, cached, err := sp.profileMapping(df, pes)
+			prof, cached, err := sp.profileMapping(mctx, df, pes)
 			if err != nil {
-				st.Explored += int64(len(sp.BWs)) * gridPerMapping
+				st.explored.Add(int64(len(sp.BWs)) * gridPerMapping)
+				mspan.SetAttr(obs.String("error", err.Error()))
+				mspan.End()
 				continue
 			}
 			if !cached {
-				st.Invoked++
+				st.invoked.Add(1)
 			}
 			for _, bw := range sp.BWs {
-				st.Explored += gridPerMapping
+				st.explored.Add(gridPerMapping)
 				m := noc.Bus(bw)
 				m.Reduction = true
 				cfg := hw.Config{
 					Name: "dse", NumPEs: pes,
 					NoCs: []noc.Model{m},
 				}.Normalize()
-				st.Priced++
-				r, err := prof.Price(cfg)
+				st.priced.Add(1)
+				r, err := prof.PriceCtx(mctx, cfg)
 				if err != nil {
 					continue
 				}
@@ -223,9 +321,10 @@ func explorePEs(sp Space, pes int, gridPerMapping int64, out *[]Point, st *Stats
 					*out = append(*out, pt)
 					// L1 capacities above the per-PE requirement are
 					// valid by dominance; count them arithmetically.
-					st.Valid += 1 + sp.l1Headroom(pes, bw, l1, l2)
+					st.valid.Add(1 + sp.l1Headroom(pes, bw, l1, l2))
 				}
 			}
+			mspan.End()
 		}
 	}
 }
@@ -233,15 +332,15 @@ func explorePEs(sp Space, pes int, gridPerMapping int64, out *[]Point, st *Stats
 // profileMapping builds (or fetches) the hardware-independent profile of
 // one mapping. The cached flag is true only when the profile came from
 // the shared cache's LRU.
-func (sp Space) profileMapping(df dataflow.Dataflow, pes int) (*core.LayerProfile, bool, error) {
+func (sp Space) profileMapping(ctx context.Context, df dataflow.Dataflow, pes int) (*core.LayerProfile, bool, error) {
 	if sp.Profiles != nil {
-		return sp.Profiles.ProfileDataflow(df, sp.Layer, pes)
+		return sp.Profiles.ProfileDataflowCtx(ctx, df, sp.Layer, pes)
 	}
 	spec, err := dataflow.Resolve(df, sp.Layer, pes)
 	if err != nil {
 		return nil, false, err
 	}
-	prof, err := core.Profile(spec)
+	prof, err := core.ProfileCtx(ctx, spec)
 	return prof, false, err
 }
 

@@ -1,11 +1,16 @@
 package dse
 
 import (
+	"context"
+	"fmt"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/dataflows"
 	"repro/internal/hw"
 	"repro/internal/models"
+	"repro/internal/obs"
 )
 
 func smallSpace() Space {
@@ -150,5 +155,77 @@ func TestL2AxisTradesEnergy(t *testing.T) {
 	}
 	if multi == 0 {
 		t.Fatal("no mapping explored multiple L2 capacities")
+	}
+}
+
+// TestExploreProgress checks that the live reporter fires and that its
+// final update matches the returned stats.
+func TestExploreProgress(t *testing.T) {
+	sp := smallSpace()
+	var mu sync.Mutex
+	var last Progress
+	calls := 0
+	sp.ProgressEvery = time.Millisecond
+	sp.Progress = func(p Progress) {
+		mu.Lock()
+		last, calls = p, calls+1
+		mu.Unlock()
+	}
+	_, stats := Explore(sp)
+	mu.Lock()
+	defer mu.Unlock()
+	if calls == 0 {
+		t.Fatal("progress reporter never fired")
+	}
+	// The reporter always delivers one final update after the workers
+	// finish, so the last snapshot equals the settled totals.
+	if last.Explored != stats.Explored || last.Priced != stats.Priced ||
+		last.Valid != stats.Valid || last.Invoked != stats.Invoked {
+		t.Errorf("final progress %+v != stats %+v", last, stats)
+	}
+	if last.Rate() <= 0 {
+		t.Errorf("final rate %v, want > 0", last.Rate())
+	}
+}
+
+// TestExploreTraced runs a sweep under an obs recorder and checks the
+// span tree: one dse.explore root with per-mapping children that carry
+// the worker's knob attributes.
+func TestExploreTraced(t *testing.T) {
+	sp := smallSpace()
+	rec := obs.NewRecorder()
+	sp.Ctx = obs.WithRecorder(context.Background(), rec)
+	_, stats := Explore(sp)
+
+	spans := rec.Snapshot()
+	var root *obs.SpanRecord
+	mappings := 0
+	for i := range spans {
+		switch spans[i].Name {
+		case "dse.explore":
+			root = &spans[i]
+		case "dse.mapping":
+			mappings++
+		}
+	}
+	if root == nil {
+		t.Fatal("no dse.explore span recorded")
+	}
+	if got, ok := root.Attr("explored"); !ok || got != fmt.Sprint(stats.Explored) {
+		t.Errorf("dse.explore explored attr = %q (ok=%v), want %d", got, ok, stats.Explored)
+	}
+	if int64(mappings) != stats.Invoked {
+		t.Errorf("%d dse.mapping spans, want one per invocation (%d)", mappings, stats.Invoked)
+	}
+	for _, s := range spans {
+		if s.Name != "dse.mapping" {
+			continue
+		}
+		if s.Parent != root.ID || s.Track != root.Track {
+			t.Fatalf("mapping span not parented to explore root: %+v", s)
+		}
+		if _, ok := s.Attr("pes"); !ok {
+			t.Fatalf("mapping span missing pes attr: %+v", s)
+		}
 	}
 }

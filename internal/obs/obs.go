@@ -1,0 +1,335 @@
+// Package obs is the stdlib-only observability layer of the
+// reproduction: context-propagated spans with a recorder that is a
+// strict no-op when no recorder is attached to the context, so the hot
+// paths of the cost engine (Profile, Price, the DSE inner loops) pay
+// only two context lookups when tracing is off.
+//
+// A span tree is started with Start and finished with End:
+//
+//	ctx, span := obs.Start(ctx, "core.profile", obs.Int("pes", 256))
+//	defer span.End()
+//
+// Completed spans land in the Recorder attached via WithRecorder and
+// can be exported as Chrome trace_event JSON (WriteTrace, loadable in
+// chrome://tracing or Perfetto) or emitted as log/slog structured logs
+// (WithLogger). Attrs attached with ContextWithAttrs (e.g. a request
+// ID) are stamped onto every span started under that context, which is
+// how a request's spans stay correlated across the worker pool and the
+// DSE fan-out.
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value annotation on a span or span event. Values are
+// stored unboxed so constructing an attr never allocates.
+type Attr struct {
+	Key  string
+	kind uint8
+	str  string
+	num  int64
+	f    float64
+}
+
+const (
+	kindString uint8 = iota
+	kindInt
+	kindFloat
+	kindBool
+)
+
+// String builds a string-valued attr.
+func String(k, v string) Attr { return Attr{Key: k, kind: kindString, str: v} }
+
+// Int builds an int-valued attr.
+func Int(k string, v int) Attr { return Attr{Key: k, kind: kindInt, num: int64(v)} }
+
+// Int64 builds an int64-valued attr.
+func Int64(k string, v int64) Attr { return Attr{Key: k, kind: kindInt, num: v} }
+
+// Float builds a float-valued attr.
+func Float(k string, v float64) Attr { return Attr{Key: k, kind: kindFloat, f: v} }
+
+// Bool builds a bool-valued attr.
+func Bool(k string, v bool) Attr {
+	a := Attr{Key: k, kind: kindBool}
+	if v {
+		a.num = 1
+	}
+	return a
+}
+
+// Value returns the attr's value boxed for JSON encoding.
+func (a Attr) Value() any {
+	switch a.kind {
+	case kindInt:
+		return a.num
+	case kindFloat:
+		return a.f
+	case kindBool:
+		return a.num != 0
+	default:
+		return a.str
+	}
+}
+
+// ValueString renders the attr's value as text (for logs).
+func (a Attr) ValueString() string {
+	switch a.kind {
+	case kindInt:
+		return strconv.FormatInt(a.num, 10)
+	case kindFloat:
+		return strconv.FormatFloat(a.f, 'g', -1, 64)
+	case kindBool:
+		return strconv.FormatBool(a.num != 0)
+	default:
+		return a.str
+	}
+}
+
+func (a Attr) slogAttr() slog.Attr {
+	switch a.kind {
+	case kindInt:
+		return slog.Int64(a.Key, a.num)
+	case kindFloat:
+		return slog.Float64(a.Key, a.f)
+	case kindBool:
+		return slog.Bool(a.Key, a.num != 0)
+	default:
+		return slog.String(a.Key, a.str)
+	}
+}
+
+// Event is one instant annotation inside a span.
+type Event struct {
+	Name  string
+	Time  time.Time
+	Attrs []Attr
+}
+
+// SpanRecord is one completed span as stored in the recorder.
+type SpanRecord struct {
+	ID     uint64
+	Parent uint64 // 0 for root spans
+	Track  uint64 // root span's ID, inherited by descendants
+	Name   string
+	Start  time.Time
+	End    time.Time
+	Attrs  []Attr
+	Events []Event
+}
+
+// Duration returns the span's wall time.
+func (s SpanRecord) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// Attr returns the named attr's value as text, and whether it exists.
+func (s SpanRecord) Attr(key string) (string, bool) {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.ValueString(), true
+		}
+	}
+	return "", false
+}
+
+// DefaultSpanLimit bounds a recorder that was not given an explicit
+// limit; spans beyond it are counted as dropped instead of stored.
+const DefaultSpanLimit = 1 << 16
+
+// Recorder collects completed spans. All methods are safe for
+// concurrent use; End appends one record under a short mutex hold.
+type Recorder struct {
+	mu      sync.Mutex
+	spans   []SpanRecord
+	dropped int64
+
+	limit  int
+	nextID atomic.Uint64
+	logger *slog.Logger
+	epoch  time.Time
+}
+
+// Option configures a Recorder.
+type Option func(*Recorder)
+
+// WithLimit caps stored spans (excess spans are dropped and counted).
+func WithLimit(n int) Option { return func(r *Recorder) { r.limit = n } }
+
+// WithLogger emits every completed span as a Debug-level structured log
+// line in addition to storing it.
+func WithLogger(l *slog.Logger) Option { return func(r *Recorder) { r.logger = l } }
+
+// NewRecorder builds an empty recorder.
+func NewRecorder(opts ...Option) *Recorder {
+	r := &Recorder{limit: DefaultSpanLimit, epoch: time.Now()}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+func (r *Recorder) record(rec SpanRecord) {
+	r.mu.Lock()
+	if r.limit > 0 && len(r.spans) >= r.limit {
+		r.dropped++
+		r.mu.Unlock()
+		return
+	}
+	r.spans = append(r.spans, rec)
+	r.mu.Unlock()
+	if r.logger != nil {
+		attrs := make([]slog.Attr, 0, len(rec.Attrs)+2)
+		attrs = append(attrs,
+			slog.String("span", rec.Name),
+			slog.Duration("dur", rec.Duration()))
+		for _, a := range rec.Attrs {
+			attrs = append(attrs, a.slogAttr())
+		}
+		r.logger.LogAttrs(context.Background(), slog.LevelDebug, "span", attrs...)
+	}
+}
+
+// Snapshot copies out the recorded spans.
+func (r *Recorder) Snapshot() []SpanRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]SpanRecord(nil), r.spans...)
+}
+
+// Len returns the number of stored spans.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.spans)
+}
+
+// Dropped returns how many spans were discarded by the limit.
+func (r *Recorder) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Span is one in-flight span. A nil *Span (tracing disabled) is valid:
+// every method is a no-op. A span is owned by the goroutine that
+// advances it — Event/SetAttr/End must not race each other — but child
+// spans may be started from other goroutines.
+type Span struct {
+	rec    *Recorder
+	name   string
+	id     uint64
+	parent uint64
+	track  uint64
+	start  time.Time
+	attrs  []Attr
+	events []Event
+}
+
+type (
+	spanKey     struct{}
+	recorderKey struct{}
+	baggageKey  struct{}
+)
+
+// WithRecorder attaches a recorder: spans started under the returned
+// context are recorded into it.
+func WithRecorder(ctx context.Context, r *Recorder) context.Context {
+	return context.WithValue(ctx, recorderKey{}, r)
+}
+
+// RecorderFrom returns the recorder attached to ctx, or nil.
+func RecorderFrom(ctx context.Context) *Recorder {
+	r, _ := ctx.Value(recorderKey{}).(*Recorder)
+	return r
+}
+
+// SpanFrom returns the current span, or nil when tracing is off (the
+// nil span's methods are no-ops, so callers never need to check).
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// ContextWithAttrs attaches baggage attrs (e.g. a request ID) stamped
+// onto every span subsequently started under the returned context.
+func ContextWithAttrs(ctx context.Context, attrs ...Attr) context.Context {
+	if prev, _ := ctx.Value(baggageKey{}).([]Attr); len(prev) > 0 {
+		attrs = append(append([]Attr(nil), prev...), attrs...)
+	}
+	return context.WithValue(ctx, baggageKey{}, attrs)
+}
+
+// Start begins a span under ctx's recorder. When no recorder is
+// attached it returns ctx unchanged and a nil span, costing only the
+// context lookups. The returned context carries the span so children
+// nest under it.
+func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	parent, _ := ctx.Value(spanKey{}).(*Span)
+	var rec *Recorder
+	if parent != nil {
+		rec = parent.rec
+	} else {
+		rec = RecorderFrom(ctx)
+	}
+	if rec == nil {
+		return ctx, nil
+	}
+	s := &Span{rec: rec, name: name, id: rec.nextID.Add(1), start: time.Now()}
+	if parent != nil {
+		s.parent, s.track = parent.id, parent.track
+	} else {
+		s.track = s.id
+	}
+	if bg, _ := ctx.Value(baggageKey{}).([]Attr); len(bg) > 0 {
+		s.attrs = append(s.attrs, bg...)
+	}
+	s.attrs = append(s.attrs, attrs...)
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// SetAttr appends attrs to the span.
+func (s *Span) SetAttr(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, attrs...)
+}
+
+// Event records an instant annotation (e.g. a cache hit) on the span.
+func (s *Span) Event(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.events = append(s.events, Event{Name: name, Time: time.Now(), Attrs: attrs})
+}
+
+// End completes the span and stores it in the recorder.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.rec.record(SpanRecord{
+		ID: s.id, Parent: s.parent, Track: s.track,
+		Name: s.name, Start: s.start, End: time.Now(),
+		Attrs: s.attrs, Events: s.events,
+	})
+}
+
+// discardHandler drops every record (slog.DiscardHandler arrived in a
+// later Go release than go.mod targets).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+// DiscardLogger returns a logger that drops everything; it is the
+// default for components whose caller supplied no logger.
+func DiscardLogger() *slog.Logger { return slog.New(discardHandler{}) }

@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestDisabledIsNoop(t *testing.T) {
+	ctx := context.Background()
+	ctx2, span := Start(ctx, "x", Int("n", 1))
+	if span != nil {
+		t.Fatal("Start without a recorder must return a nil span")
+	}
+	if ctx2 != ctx {
+		t.Fatal("Start without a recorder must return the context unchanged")
+	}
+	// All nil-span methods must be safe.
+	span.SetAttr(String("k", "v"))
+	span.Event("e")
+	span.End()
+	if SpanFrom(ctx2) != nil {
+		t.Fatal("no span expected in context")
+	}
+}
+
+func TestSpanTreeAndBaggage(t *testing.T) {
+	rec := NewRecorder()
+	ctx := WithRecorder(context.Background(), rec)
+	ctx = ContextWithAttrs(ctx, String("request_id", "r1"))
+
+	ctx, root := Start(ctx, "root", String("kind", "test"))
+	cctx, child := Start(ctx, "child")
+	_, grand := Start(cctx, "grandchild")
+	grand.Event("hit", Int("n", 3))
+	grand.End()
+	child.End()
+	root.SetAttr(Int("status", 200))
+	root.End()
+
+	spans := rec.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("recorded %d spans, want 3", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	r, c, g := byName["root"], byName["child"], byName["grandchild"]
+	if c.Parent != r.ID || g.Parent != c.ID {
+		t.Errorf("parent links wrong: root=%d child.parent=%d child=%d grand.parent=%d",
+			r.ID, c.Parent, c.ID, g.Parent)
+	}
+	if r.Track != r.ID || c.Track != r.ID || g.Track != r.ID {
+		t.Errorf("all spans must share the root's track: %d/%d/%d", r.Track, c.Track, g.Track)
+	}
+	for _, s := range spans {
+		if v, ok := s.Attr("request_id"); !ok || v != "r1" {
+			t.Errorf("span %s missing baggage request_id, got %q", s.Name, v)
+		}
+	}
+	if v, _ := r.Attr("status"); v != "200" {
+		t.Errorf("root status attr = %q, want 200", v)
+	}
+	if len(g.Events) != 1 || g.Events[0].Name != "hit" {
+		t.Errorf("grandchild events = %+v", g.Events)
+	}
+}
+
+func TestCrossGoroutineChildren(t *testing.T) {
+	rec := NewRecorder()
+	ctx := WithRecorder(context.Background(), rec)
+	ctx, root := Start(ctx, "root")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, s := Start(ctx, "worker", Int("i", i))
+			s.End()
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	spans := rec.Snapshot()
+	if len(spans) != 9 {
+		t.Fatalf("recorded %d spans, want 9", len(spans))
+	}
+	for _, s := range spans {
+		if s.Name == "worker" && s.Parent == 0 {
+			t.Error("worker span lost its parent")
+		}
+	}
+}
+
+func TestRecorderLimit(t *testing.T) {
+	rec := NewRecorder(WithLimit(2))
+	ctx := WithRecorder(context.Background(), rec)
+	for i := 0; i < 5; i++ {
+		_, s := Start(ctx, "s")
+		s.End()
+	}
+	if rec.Len() != 2 {
+		t.Errorf("stored %d spans, want 2", rec.Len())
+	}
+	if rec.Dropped() != 3 {
+		t.Errorf("dropped %d spans, want 3", rec.Dropped())
+	}
+}
+
+func TestWriteTrace(t *testing.T) {
+	rec := NewRecorder()
+	ctx := WithRecorder(context.Background(), rec)
+	ctx = ContextWithAttrs(ctx, String("request_id", "abc"))
+	ctx, root := Start(ctx, "req", Bool("ok", true), Float("f", 1.5))
+	_, child := Start(ctx, "work")
+	child.Event("cache.miss")
+	child.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := rec.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TID   uint64         `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("trace output is not JSON: %v\n%s", err, buf.String())
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", f.DisplayTimeUnit)
+	}
+	var phases = map[string]string{}
+	var tids = map[string]uint64{}
+	for _, e := range f.TraceEvents {
+		phases[e.Name] = e.Phase
+		tids[e.Name] = e.TID
+		if e.Phase == "X" {
+			if e.Args["request_id"] != "abc" {
+				t.Errorf("span %s args = %v, want request_id abc", e.Name, e.Args)
+			}
+		}
+	}
+	if phases["req"] != "X" || phases["work"] != "X" || phases["cache.miss"] != "i" {
+		t.Errorf("phases = %v", phases)
+	}
+	if tids["req"] != tids["work"] {
+		t.Errorf("req and work on different tracks: %d vs %d", tids["req"], tids["work"])
+	}
+}
+
+func TestSlogExport(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	rec := NewRecorder(WithLogger(logger))
+	ctx := WithRecorder(context.Background(), rec)
+	_, s := Start(ctx, "core.profile", Int("pes", 64))
+	s.End()
+	out := buf.String()
+	if !strings.Contains(out, "span=core.profile") || !strings.Contains(out, "pes=64") {
+		t.Errorf("slog export missing fields: %s", out)
+	}
+}
+
+func TestConcurrentRecordRace(t *testing.T) {
+	rec := NewRecorder(WithLimit(1000))
+	ctx := WithRecorder(context.Background(), rec)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c, s := Start(ctx, "spin")
+				_, in := Start(c, "inner")
+				in.End()
+				s.End()
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				rec.Snapshot()
+				rec.Len()
+				rec.Dropped()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	if got := rec.Len() + int(rec.Dropped()); got != 8*200*2 {
+		t.Errorf("stored+dropped = %d, want %d", got, 8*200*2)
+	}
+}
+
+func BenchmarkStartDisabled(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, s := Start(ctx, "x")
+		s.End()
+	}
+}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// traceEvent is one entry of the Chrome trace_event format. Spans are
+// complete events (ph "X"), span events are thread-scoped instants
+// (ph "i"). ts/dur are microseconds relative to the recorder's epoch.
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   uint64         `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+func attrArgs(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value()
+	}
+	return m
+}
+
+// TraceEvents converts the recorded spans into Chrome trace_event
+// entries, ordered by start time. Each root span opens its own track
+// (tid), and its descendants — including ones recorded from other
+// goroutines, like DSE workers — render nested under it.
+func (r *Recorder) TraceEvents() []traceEvent {
+	spans := r.Snapshot()
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+	evs := make([]traceEvent, 0, len(spans))
+	for _, s := range spans {
+		ts := float64(s.Start.Sub(r.epoch).Nanoseconds()) / 1e3
+		dur := float64(s.End.Sub(s.Start).Nanoseconds()) / 1e3
+		if dur <= 0 {
+			dur = 0.001 // keep zero-length spans visible
+		}
+		evs = append(evs, traceEvent{
+			Name: s.Name, Phase: "X", TS: ts, Dur: dur,
+			PID: 1, TID: s.Track, Args: attrArgs(s.Attrs),
+		})
+		for _, e := range s.Events {
+			evs = append(evs, traceEvent{
+				Name: e.Name, Phase: "i", Scope: "t",
+				TS:  float64(e.Time.Sub(r.epoch).Nanoseconds()) / 1e3,
+				PID: 1, TID: s.Track, Args: attrArgs(e.Attrs),
+			})
+		}
+	}
+	return evs
+}
+
+// WriteTrace writes the recorded spans as Chrome trace_event JSON,
+// loadable in chrome://tracing or https://ui.perfetto.dev.
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(traceFile{TraceEvents: r.TraceEvents(), DisplayTimeUnit: "ms"})
+}

@@ -98,6 +98,27 @@ func (v *CounterVec) With(value string) *Counter {
 	return c
 }
 
+// HistogramVec is a histogram family keyed by one label's value;
+// children are created on demand and rendered in sorted label order.
+type HistogramVec struct {
+	label  string
+	bounds []float64
+	mu     sync.Mutex
+	kids   map[string]*Histogram
+}
+
+// With returns the child histogram for a label value.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.kids[value]
+	if !ok {
+		h = &Histogram{bounds: v.bounds, counts: make([]atomic.Int64, len(v.bounds)+1)}
+		v.kids[value] = h
+	}
+	return h
+}
+
 type metricKind uint8
 
 const (
@@ -116,6 +137,7 @@ type family struct {
 	gaugeFn   func() int64
 	histogram *Histogram
 	vec       *CounterVec
+	histVec   *HistogramVec
 }
 
 // Registry holds metric families and renders them in registration
@@ -173,6 +195,13 @@ func (r *Registry) NewCounterVec(name, help, label string) *CounterVec {
 	return v
 }
 
+// NewHistogramVec registers a histogram family split by one label.
+func (r *Registry) NewHistogramVec(name, help, label string, bounds []float64) *HistogramVec {
+	v := &HistogramVec{label: label, bounds: bounds, kids: map[string]*Histogram{}}
+	r.add(&family{name: name, help: help, kind: kindHistogram, histVec: v})
+	return v
+}
+
 // Render writes the Prometheus text exposition of every family.
 func (r *Registry) Render() string {
 	r.mu.Lock()
@@ -210,19 +239,48 @@ func (r *Registry) Render() string {
 			}
 			f.vec.mu.Unlock()
 		case f.histogram != nil:
-			h := f.histogram
-			var cum int64
-			for i, bound := range h.bounds {
-				cum += h.counts[i].Load()
-				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", f.name, formatBound(bound), cum)
+			renderHistogram(&b, f.name, "", f.histogram)
+		case f.histVec != nil:
+			f.histVec.mu.Lock()
+			vals := make([]string, 0, len(f.histVec.kids))
+			for v := range f.histVec.kids {
+				vals = append(vals, v)
 			}
-			cum += h.counts[len(h.bounds)].Load()
-			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", f.name, cum)
-			fmt.Fprintf(&b, "%s_sum %g\n", f.name, h.Sum())
-			fmt.Fprintf(&b, "%s_count %d\n", f.name, h.Count())
+			sort.Strings(vals)
+			for _, v := range vals {
+				renderHistogram(&b, f.name,
+					fmt.Sprintf("%s=%q", f.histVec.label, v), f.histVec.kids[v])
+			}
+			f.histVec.mu.Unlock()
 		}
 	}
 	return b.String()
+}
+
+// renderHistogram writes one histogram's exposition lines; label is an
+// optional preformatted `key="value"` pair merged into every line.
+func renderHistogram(b *strings.Builder, name, label string, h *Histogram) {
+	brace := func(extra string) string {
+		switch {
+		case label == "" && extra == "":
+			return ""
+		case label == "":
+			return "{" + extra + "}"
+		case extra == "":
+			return "{" + label + "}"
+		default:
+			return "{" + label + "," + extra + "}"
+		}
+	}
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, brace(fmt.Sprintf("le=%q", formatBound(bound))), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, brace(`le="+Inf"`), cum)
+	fmt.Fprintf(b, "%s_sum%s %g\n", name, brace(""), h.Sum())
+	fmt.Fprintf(b, "%s_count%s %d\n", name, brace(""), h.Count())
 }
 
 func formatBound(v float64) string {

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRenderGolden pins the exact Prometheus text exposition: families
+// in registration order, vec children in sorted label order, histogram
+// buckets cumulative with a trailing +Inf. Observations use values
+// exactly representable in binary so sums print without float noise.
+func TestRenderGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("t_requests_total", "Requests received.")
+	r.NewCounterFunc("t_evals_total", "Evaluations sampled at scrape time.", func() int64 { return 42 })
+	g := r.NewGauge("t_depth", "Queue depth.")
+	r.NewGaugeFunc("t_live", "Live value.", func() int64 { return 7 })
+	vec := r.NewCounterVec("t_codes_total", "Responses by code.", "code")
+	h := r.NewHistogram("t_seconds", "Latency.", []float64{0.25, 1})
+	hv := r.NewHistogramVec("t_stage_seconds", "Stage latency.", "stage", []float64{0.25, 1})
+
+	c.Inc()
+	c.Add(2)
+	g.Set(5)
+	vec.With("404").Inc() // registered before 200: rendering must re-sort
+	vec.With("200").Add(2)
+	h.Observe(0.25) // bucket bounds are inclusive upper limits
+	h.Observe(0.5)
+	h.Observe(4)
+	hv.With("queue").Observe(0.125)
+	hv.With("compute").Observe(2)
+
+	want := `# HELP t_requests_total Requests received.
+# TYPE t_requests_total counter
+t_requests_total 3
+# HELP t_evals_total Evaluations sampled at scrape time.
+# TYPE t_evals_total counter
+t_evals_total 42
+# HELP t_depth Queue depth.
+# TYPE t_depth gauge
+t_depth 5
+# HELP t_live Live value.
+# TYPE t_live gauge
+t_live 7
+# HELP t_codes_total Responses by code.
+# TYPE t_codes_total counter
+t_codes_total{code="200"} 2
+t_codes_total{code="404"} 1
+# HELP t_seconds Latency.
+# TYPE t_seconds histogram
+t_seconds_bucket{le="0.25"} 1
+t_seconds_bucket{le="1"} 2
+t_seconds_bucket{le="+Inf"} 3
+t_seconds_sum 4.75
+t_seconds_count 3
+# HELP t_stage_seconds Stage latency.
+# TYPE t_stage_seconds histogram
+t_stage_seconds_bucket{stage="compute",le="0.25"} 0
+t_stage_seconds_bucket{stage="compute",le="1"} 0
+t_stage_seconds_bucket{stage="compute",le="+Inf"} 1
+t_stage_seconds_sum{stage="compute"} 2
+t_stage_seconds_count{stage="compute"} 1
+t_stage_seconds_bucket{stage="queue",le="0.25"} 1
+t_stage_seconds_bucket{stage="queue",le="1"} 1
+t_stage_seconds_bucket{stage="queue",le="+Inf"} 1
+t_stage_seconds_sum{stage="queue"} 0.125
+t_stage_seconds_count{stage="queue"} 1
+`
+	got := r.Render()
+	if got != want {
+		t.Errorf("Render mismatch.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	// Deterministic across scrapes.
+	if again := r.Render(); again != got {
+		t.Errorf("Render not deterministic:\n%s\nvs\n%s", got, again)
+	}
+}
+
+// TestMetricsConcurrentRender hammers every metric type from many
+// goroutines while rendering concurrently. Run with -race; the
+// assertions only check the final totals.
+func TestMetricsConcurrentRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("h_total", "c")
+	g := r.NewGauge("h_gauge", "g")
+	vec := r.NewCounterVec("h_vec_total", "v", "k")
+	h := r.NewHistogram("h_seconds", "h", ExpBuckets(0.001, 4, 6))
+	hv := r.NewHistogramVec("h_stage_seconds", "hv", "stage", ExpBuckets(0.001, 4, 6))
+
+	const workers = 8
+	const iters = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			label := fmt.Sprintf("w%d", w%4)
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				vec.With(label).Inc()
+				h.Observe(float64(i) / 100)
+				hv.With(label).Observe(float64(i) / 100)
+				if i%50 == 0 {
+					_ = r.Render()
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				_ = r.Render()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+
+	const total = workers * iters
+	if got := c.Value(); got != total {
+		t.Errorf("counter = %d, want %d", got, total)
+	}
+	if got := h.Count(); got != total {
+		t.Errorf("histogram count = %d, want %d", got, total)
+	}
+	out := r.Render()
+	if !strings.Contains(out, fmt.Sprintf("h_total %d", total)) {
+		t.Errorf("final render missing settled counter:\n%s", out)
+	}
+	if !strings.Contains(out, fmt.Sprintf("h_seconds_count %d", total)) {
+		t.Errorf("final render missing settled histogram count:\n%s", out)
+	}
+}

@@ -5,14 +5,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataflow"
 	"repro/internal/hw"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -32,6 +35,9 @@ type Options struct {
 	DefaultTimeout time.Duration
 	// MaxBatch bounds requests per batch call (default 256).
 	MaxBatch int
+	// Logger receives structured access logs (one line per request,
+	// request-ID-correlated). Nil discards them.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -61,14 +67,20 @@ type Server struct {
 	pool  *Pool
 	cache *Cache
 	reg   *Registry
+	log   *slog.Logger
+	// capture holds the live /debug/trace recorder; the middleware
+	// attaches it to every request context while a window is open.
+	capture atomic.Pointer[obs.Recorder]
 
-	requests    *CounterVec // by endpoint
-	responses   *CounterVec // by status code
-	evaluations *Counter
-	rejected    *Counter
-	timeouts    *Counter
-	latency     *Histogram
-	batchSize   *Histogram
+	requests        *CounterVec // by endpoint
+	responses       *CounterVec // by status code
+	evaluations     *Counter
+	rejected        *Counter
+	timeouts        *Counter
+	latency         *Histogram
+	batchSize       *Histogram
+	stageSeconds    *HistogramVec // queue wait / cache lookup / compute
+	endpointSeconds *HistogramVec // end-to-end, by endpoint
 }
 
 // New builds a Server and starts its worker pool.
@@ -79,6 +91,10 @@ func New(opts Options) *Server {
 		pool:  NewPool(opts.Workers, opts.QueueDepth),
 		cache: NewCache(opts.CacheEntries),
 		reg:   NewRegistry(),
+		log:   opts.Logger,
+	}
+	if s.log == nil {
+		s.log = obs.DiscardLogger()
 	}
 	s.requests = s.reg.NewCounterVec("maestro_requests_total",
 		"Requests received, by endpoint.", "endpoint")
@@ -94,6 +110,12 @@ func New(opts Options) *Server {
 		"End-to-end request latency.", ExpBuckets(0.0001, 4, 10))
 	s.batchSize = s.reg.NewHistogram("maestro_batch_size",
 		"Requests per batch call.", ExpBuckets(1, 2, 10))
+	s.stageSeconds = s.reg.NewHistogramVec("maestro_stage_seconds",
+		"Per-stage request latency: queue wait, result-cache lookup, compute.",
+		"stage", ExpBuckets(0.00001, 4, 10))
+	s.endpointSeconds = s.reg.NewHistogramVec("maestro_endpoint_seconds",
+		"End-to-end request latency by endpoint.",
+		"endpoint", ExpBuckets(0.0001, 4, 10))
 	s.reg.NewCounterFunc("maestro_cache_hits_total",
 		"Analyses served from the result cache.", s.cache.Hits)
 	s.reg.NewCounterFunc("maestro_cache_misses_total",
@@ -128,16 +150,18 @@ func (s *Server) Close() { s.pool.Close() }
 // Metrics exposes the registry (for embedding into a wider process).
 func (s *Server) Metrics() *Registry { return s.reg }
 
-// Handler returns the service's HTTP routes.
+// Handler returns the service's HTTP routes, wrapped in the
+// observability middleware (request IDs, access logs, span trees).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/trace", s.handleDebugTrace)
 	mux.HandleFunc("/v1/models", s.handleModels)
 	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("/v1/analyze/batch", s.handleBatch)
 	mux.HandleFunc("/v1/dse", s.handleDSE)
-	return mux
+	return s.instrument(mux)
 }
 
 // ---- plumbing ----
@@ -182,7 +206,7 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v) //nolint:errcheck // client went away
 }
 
-func (s *Server) writeError(w http.ResponseWriter, err error) {
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 	status := errorStatus(err)
 	switch status {
 	case http.StatusTooManyRequests:
@@ -191,7 +215,13 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	case http.StatusGatewayTimeout:
 		s.timeouts.Inc()
 	}
-	s.writeJSON(w, status, map[string]string{"error": err.Error()})
+	id := RequestIDFrom(r.Context())
+	s.log.LogAttrs(r.Context(), slog.LevelWarn, "request_error",
+		slog.String("request_id", id),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", status),
+		slog.String("error", err.Error()))
+	s.writeJSON(w, status, map[string]string{"error": err.Error(), "request_id": id})
 }
 
 // decodeJSON parses a request body with a size cap and strict fields.
@@ -223,13 +253,18 @@ func (s *Server) timeoutFor(ms int) time.Duration {
 
 // evaluate runs one resolved analysis and shapes the response. This is
 // the single place the cost model is invoked from.
-func (s *Server) evaluate(r resolved, key Key) (*AnalyzeResponse, error) {
+func (s *Server) evaluate(ctx context.Context, r resolved, key Key) (*AnalyzeResponse, error) {
 	s.evaluations.Inc()
 	startedAt := time.Now()
+	ctx, span := obs.Start(ctx, "serve.compute",
+		obs.String("layer", r.layer.Name), obs.String("dataflow", r.df.Name))
 	// The cached variant shares the hardware-independent profile across
 	// requests that differ only in hardware configuration (and with the
-	// DSE endpoint, which prices the same profiles).
-	res, err := core.AnalyzeDataflowCached(r.df, r.layer, r.cfg)
+	// DSE endpoint, which prices the same profiles). Its profile fetch
+	// and pricing appear as child spans / cache events under this span.
+	res, err := core.AnalyzeDataflowCachedCtx(ctx, r.df, r.layer, r.cfg)
+	span.End()
+	s.stageSeconds.With("compute").Observe(time.Since(startedAt).Seconds())
 	if err != nil {
 		return nil, err
 	}
@@ -280,7 +315,11 @@ func (s *Server) analyzeOne(ctx context.Context, req AnalyzeRequest) (*AnalyzeRe
 
 	// Fast path: cache hits bypass the queue entirely.
 	if !req.NoCache {
-		if v, ok := s.cache.Get(key); ok {
+		lookup := time.Now()
+		v, ok := s.cache.Get(key)
+		s.stageSeconds.With("cache").Observe(time.Since(lookup).Seconds())
+		if ok {
+			obs.SpanFrom(ctx).Event("result_cache.hit")
 			resp := *(v.(*AnalyzeResponse)) // copy: Cached is per-delivery
 			resp.Cached = true
 			return &resp, nil
@@ -293,19 +332,28 @@ func (s *Server) analyzeOne(ctx context.Context, req AnalyzeRequest) (*AnalyzeRe
 		err    error
 	}
 	ch := make(chan outcome, 1)
+	// The queue span covers submit-to-dequeue: under load it is the
+	// backpressure wait, distinct from the compute span inside the job.
+	_, qspan := obs.Start(ctx, "serve.queue")
+	submitted := time.Now()
 	job := func() {
+		qspan.End()
+		s.stageSeconds.With("queue").Observe(time.Since(submitted).Seconds())
 		if ctx.Err() != nil { // caller already gone; don't burn a worker
 			ch <- outcome{err: ctx.Err()}
 			return
 		}
 		if req.NoCache {
-			resp, err := s.evaluate(r, key)
+			resp, err := s.evaluate(ctx, r, key)
 			ch <- outcome{resp: resp, err: err}
 			return
 		}
+		cctx, cspan := obs.Start(ctx, "serve.cache")
 		v, cached, err := s.cache.Do(key, func() (any, error) {
-			return s.evaluate(r, key)
+			return s.evaluate(cctx, r, key)
 		})
+		cspan.SetAttr(obs.Bool("hit", cached))
+		cspan.End()
 		if err != nil {
 			ch <- outcome{err: err}
 			return
@@ -313,6 +361,8 @@ func (s *Server) analyzeOne(ctx context.Context, req AnalyzeRequest) (*AnalyzeRe
 		ch <- outcome{resp: v.(*AnalyzeResponse), cached: cached}
 	}
 	if err := s.pool.Submit(job); err != nil {
+		qspan.SetAttr(obs.String("error", err.Error()))
+		qspan.End()
 		return nil, err
 	}
 	select {
@@ -350,14 +400,14 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 	var req AnalyzeRequest
 	if err := decodeJSON(w, r, 1<<20, &req); err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(req.TimeoutMs))
 	defer cancel()
 	resp, err := s.analyzeOne(ctx, req)
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, resp)
@@ -373,15 +423,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	var req BatchRequest
 	if err := decodeJSON(w, r, 16<<20, &req); err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	if len(req.Requests) == 0 {
-		s.writeError(w, badRequestf("empty batch"))
+		s.writeError(w, r, badRequestf("empty batch"))
 		return
 	}
 	if len(req.Requests) > s.opts.MaxBatch {
-		s.writeError(w, badRequestf("batch of %d exceeds cap %d",
+		s.writeError(w, r, badRequestf("batch of %d exceeds cap %d",
 			len(req.Requests), s.opts.MaxBatch))
 		return
 	}
@@ -414,7 +464,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if allRejected {
-		s.writeError(w, fmt.Errorf("%w: all %d batch items rejected", ErrQueueFull, len(items)))
+		s.writeError(w, r, fmt.Errorf("%w: all %d batch items rejected", ErrQueueFull, len(items)))
 		return
 	}
 	s.writeJSON(w, http.StatusOK, BatchResponse{Results: items})
@@ -442,12 +492,12 @@ func (s *Server) handleDSE(w http.ResponseWriter, r *http.Request) {
 
 	var req DSERequest
 	if err := decodeJSON(w, r, 1<<20, &req); err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	sp, err := buildSpace(req)
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	layer := sp.Layer
@@ -461,18 +511,25 @@ func (s *Server) handleDSE(w http.ResponseWriter, r *http.Request) {
 		err    error
 	}
 	ch := make(chan outcome, 1)
+	_, qspan := obs.Start(ctx, "serve.queue")
+	submitted := time.Now()
 	job := func() {
+		qspan.End()
+		s.stageSeconds.With("queue").Observe(time.Since(submitted).Seconds())
 		if ctx.Err() != nil {
 			ch <- outcome{err: ctx.Err()}
 			return
 		}
 		if req.NoCache {
-			ch <- outcome{resp: runDSE(req, sp)}
+			ch <- outcome{resp: s.runDSETraced(ctx, req, sp)}
 			return
 		}
+		cctx, cspan := obs.Start(ctx, "serve.cache")
 		v, cached, err := s.cache.Do(key, func() (any, error) {
-			return runDSE(req, sp), nil
+			return s.runDSETraced(cctx, req, sp), nil
 		})
+		cspan.SetAttr(obs.Bool("hit", cached))
+		cspan.End()
 		if err != nil {
 			ch <- outcome{err: err}
 			return
@@ -480,15 +537,17 @@ func (s *Server) handleDSE(w http.ResponseWriter, r *http.Request) {
 		ch <- outcome{resp: v.(*DSEResponse), cached: cached}
 	}
 	if err := s.pool.Submit(job); err != nil {
-		s.writeError(w, err)
+		qspan.SetAttr(obs.String("error", err.Error()))
+		qspan.End()
+		s.writeError(w, r, err)
 		return
 	}
 	select {
 	case <-ctx.Done():
-		s.writeError(w, ctx.Err())
+		s.writeError(w, r, ctx.Err())
 	case o := <-ch:
 		if o.err != nil {
-			s.writeError(w, o.err)
+			s.writeError(w, r, o.err)
 			return
 		}
 		resp := *o.resp

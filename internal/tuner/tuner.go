@@ -8,12 +8,14 @@
 package tuner
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/dataflow"
 	"repro/internal/dataflows"
 	"repro/internal/hw"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -127,7 +129,19 @@ func min(a, b int) int {
 // layer. Candidates that cannot map the layer are skipped; an error is
 // returned only if none can.
 func TuneLayer(layer tensor.Layer, cfg hw.Config, opt Options) (Choice, error) {
+	return TuneLayerCtx(context.Background(), layer, cfg, opt)
+}
+
+// TuneLayerCtx is TuneLayer traced under ctx's obs recorder: the whole
+// search runs in a "tuner.layer" span, with each candidate's profile
+// fetch and pricing visible as child spans (profiles that ride the
+// shared cache appear as hit events instead of walks).
+func TuneLayerCtx(ctx context.Context, layer tensor.Layer, cfg hw.Config, opt Options) (Choice, error) {
 	cfg = cfg.Normalize()
+	ctx, span := obs.Start(ctx, "tuner.layer",
+		obs.String("layer", layer.Name),
+		obs.String("objective", opt.Objective.String()),
+		obs.Int("pes", cfg.NumPEs))
 	var best Choice
 	found := false
 	evaluated := 0
@@ -138,7 +152,7 @@ func TuneLayer(layer tensor.Layer, cfg hw.Config, opt Options) (Choice, error) {
 		// The profile cache persists across layers and hardware variants:
 		// re-tuning the same layer under a different NoC or vector width
 		// re-prices cached profiles instead of re-running the walk.
-		r, err := core.AnalyzeDataflowCached(df, layer, cfg)
+		r, err := core.AnalyzeDataflowCachedCtx(ctx, df, layer, cfg)
 		if err != nil {
 			continue
 		}
@@ -149,9 +163,13 @@ func TuneLayer(layer tensor.Layer, cfg hw.Config, opt Options) (Choice, error) {
 			found = true
 		}
 	}
+	span.SetAttr(obs.Int("evaluated", evaluated))
 	if !found {
+		span.End()
 		return Choice{}, fmt.Errorf("tuner: no candidate dataflow maps layer %s", layer.Name)
 	}
+	span.SetAttr(obs.String("best", best.Dataflow.Name))
+	span.End()
 	return best, nil
 }
 
@@ -166,9 +184,14 @@ type ModelResult struct {
 
 // TuneLayers tunes a list of (layer, count) pairs and accumulates totals.
 func TuneLayers(layers []tensor.Layer, counts []int, cfg hw.Config, opt Options) (ModelResult, error) {
+	return TuneLayersCtx(context.Background(), layers, counts, cfg, opt)
+}
+
+// TuneLayersCtx is TuneLayers with per-layer tracing under ctx.
+func TuneLayersCtx(ctx context.Context, layers []tensor.Layer, counts []int, cfg hw.Config, opt Options) (ModelResult, error) {
 	var mr ModelResult
 	for i, l := range layers {
-		ch, err := TuneLayer(l, cfg, opt)
+		ch, err := TuneLayerCtx(ctx, l, cfg, opt)
 		if err != nil {
 			return mr, err
 		}
