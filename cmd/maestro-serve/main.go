@@ -4,20 +4,23 @@
 // result cache and a bounded worker pool, POST /v1/dse sweeps a design
 // space, GET /v1/models lists the model zoo, GET /metrics exposes
 // Prometheus-format counters (latency, cache hit ratio, queue depth),
-// and GET /debug/trace captures a window of live traffic as Chrome
-// trace_event JSON.
+// and GET /debug/trace — served from the private -pprof listener —
+// captures a window of live traffic as Chrome trace_event JSON.
 //
 // Usage:
 //
 //	maestro-serve [-addr :8080] [-workers N] [-queue N] [-cache N]
 //	              [-timeout 15s] [-max-batch N]
 //	              [-log-format text|json] [-log-level info]
-//	              [-pprof :6060]
+//	              [-pprof :6060] [-debug-trace]
 //
-// Every response carries an X-Request-ID header (echoing the client's,
-// if supplied) that also tags the access-log line and every span of the
-// request's trace. Shutdown is graceful: on SIGINT/SIGTERM the listener
-// stops, in-flight and queued analyses drain, then the process exits.
+// The trace-capture endpoint lives on the private -pprof listener
+// alongside net/http/pprof; -debug-trace opts in to also exposing it on
+// the public API address. Every response carries an X-Request-ID header
+// (echoing the client's, if supplied) that also tags the access-log
+// line and every span of the request's trace. Shutdown is graceful: on
+// SIGINT/SIGTERM both listeners stop, in-flight and queued analyses
+// drain, then the process exits.
 package main
 
 import (
@@ -47,7 +50,10 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain deadline")
 	logFormat := flag.String("log-format", "text", "access-log encoding: text or json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty disables)")
+	pprofAddr := flag.String("pprof", "",
+		"serve net/http/pprof and /debug/trace on this private address (empty disables)")
+	debugTrace := flag.Bool("debug-trace", false,
+		"also expose GET /debug/trace on the public API address")
 	flag.Parse()
 
 	logger, err := buildLogger(*logFormat, *logLevel)
@@ -63,6 +69,7 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxBatch:       *maxBatch,
 		Logger:         logger,
+		DebugTrace:     *debugTrace,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
@@ -73,8 +80,15 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var pprofSrv *http.Server
 	if *pprofAddr != "" {
-		go servePprof(logger, *pprofAddr)
+		pprofSrv = newPprofServer(*pprofAddr, s)
+		go func() {
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof listener failed", "error", err)
+			}
+		}()
 	}
 
 	// The listener goroutine reports only *real* failures: ErrServerClosed
@@ -107,6 +121,11 @@ func main() {
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		logger.Warn("http shutdown", "error", err)
 	}
+	if pprofSrv != nil {
+		if err := pprofSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			logger.Warn("pprof shutdown", "error", err)
+		}
+	}
 	s.Close() // drain the worker pool
 	logger.Info("bye")
 }
@@ -128,17 +147,21 @@ func buildLogger(format, level string) (*slog.Logger, error) {
 	return nil, fmt.Errorf("bad -log-format %q (have text, json)", format)
 }
 
-// servePprof mounts the net/http/pprof handlers on a dedicated mux so
-// the profiling surface never shares a listener with the service API.
-func servePprof(logger *slog.Logger, addr string) {
+// newPprofServer builds the private debug server: the net/http/pprof
+// handlers plus the span-capture endpoint, on a dedicated mux so the
+// profiling surface never shares a listener with the service API. It is
+// a real http.Server so shutdown drains it alongside the main listener.
+func newPprofServer(addr string, s *serve.Server) *http.Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	logger.Info("pprof listening", "addr", addr)
-	if err := http.ListenAndServe(addr, mux); err != nil {
-		logger.Error("pprof listener failed", "error", err)
+	mux.Handle("/debug/trace", s.DebugTraceHandler())
+	return &http.Server{
+		Addr:              addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
 	}
 }

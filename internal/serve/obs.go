@@ -121,6 +121,15 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 // maxCaptureSeconds caps one /debug/trace window.
 const maxCaptureSeconds = 60
 
+// DebugTraceHandler returns the trace-capture endpoint as a standalone
+// handler, for mounting on a private debug listener (maestro-serve puts
+// it on the -pprof address). The endpoint captures traffic from the
+// main API regardless of which listener serves it; Options.DebugTrace
+// additionally exposes it on the API handler itself.
+func (s *Server) DebugTraceHandler() http.Handler {
+	return http.HandlerFunc(s.handleDebugTrace)
+}
+
 // handleDebugTrace records spans from every request for ?sec=N seconds
 // (default 1, cap 60) and responds with the Chrome trace_event JSON,
 // loadable in chrome://tracing or Perfetto. One capture runs at a time;

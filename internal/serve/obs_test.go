@@ -126,7 +126,7 @@ type chromeTrace struct {
 // Chrome trace whose queue, cache, profile, and price spans all carry
 // the request's ID.
 func TestDebugTraceCapturesDSERequest(t *testing.T) {
-	s, ts := newTestServer(t, Options{Workers: 2})
+	s, ts := newTestServer(t, Options{Workers: 2, DebugTrace: true})
 
 	type captured struct {
 		code int
@@ -228,8 +228,86 @@ func TestDebugTraceCapturesDSERequest(t *testing.T) {
 	}
 }
 
+// TestBatchCacheHitDuringCaptureRace regression-tests the data race
+// where concurrent batch items recorded result_cache.hit directly on
+// the shared request root span: with a warm cache and an open capture
+// window, a batch of identical requests must be clean under -race.
+func TestBatchCacheHitDuringCaptureRace(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 2, DebugTrace: true})
+
+	req := AnalyzeRequest{
+		Layer:    LayerSpec{Name: "race-hit", K: 32, C: 16, Y: 16, X: 16, R: 3, S: 3},
+		Dataflow: DataflowSpec{Name: "KC-P"},
+		HW:       HWSpec{Preset: "Accel256"},
+	}
+	// Warm the result cache so every batch item takes the hit fast path.
+	resp, err := http.Post(ts.URL+"/v1/analyze", "application/json",
+		strings.NewReader(marshal(t, req)))
+	if err != nil {
+		t.Fatalf("warm analyze: %v", err)
+	}
+	resp.Body.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := http.Get(ts.URL + "/debug/trace?sec=1")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+		}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.capture.Load() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("capture window never opened")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	batch := BatchRequest{Requests: make([]AnalyzeRequest, 32)}
+	for i := range batch.Requests {
+		batch.Requests[i] = req
+	}
+	resp, err = http.Post(ts.URL+"/v1/analyze/batch", "application/json",
+		strings.NewReader(marshal(t, batch)))
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: status %d: %s", resp.StatusCode, body)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatalf("unmarshal batch: %v", err)
+	}
+	for _, it := range br.Results {
+		if it.Error != "" {
+			t.Errorf("item %d: %s", it.Index, it.Error)
+		}
+	}
+	<-done
+}
+
+func TestDebugTraceDisabledByDefault(t *testing.T) {
+	// The capture endpoint exposes other tenants' span metadata, so the
+	// API handler only mounts it when Options.DebugTrace opts in; it is
+	// otherwise reachable only via DebugTraceHandler (the -pprof mux).
+	_, ts := newTestServer(t, Options{Workers: 1})
+	resp, err := http.Get(ts.URL + "/debug/trace?sec=1")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("default /debug/trace: status %d, want 404", resp.StatusCode)
+	}
+}
+
 func TestDebugTraceValidation(t *testing.T) {
-	s, ts := newTestServer(t, Options{Workers: 1})
+	s, ts := newTestServer(t, Options{Workers: 1, DebugTrace: true})
 
 	if resp, err := http.Get(ts.URL + "/debug/trace?sec=nope"); err != nil {
 		t.Fatalf("GET: %v", err)

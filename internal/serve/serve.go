@@ -38,6 +38,12 @@ type Options struct {
 	// Logger receives structured access logs (one line per request,
 	// request-ID-correlated). Nil discards them.
 	Logger *slog.Logger
+	// DebugTrace mounts GET /debug/trace on the main API handler. It is
+	// off by default: the capture endpoint holds a handler goroutine for
+	// the window and exposes other tenants' span metadata (layer names,
+	// request IDs), so it belongs on a private debug listener — see
+	// DebugTraceHandler — unless the deployment opts in.
+	DebugTrace bool
 }
 
 func (o Options) withDefaults() Options {
@@ -156,7 +162,9 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/debug/trace", s.handleDebugTrace)
+	if s.opts.DebugTrace {
+		mux.HandleFunc("/debug/trace", s.handleDebugTrace)
+	}
 	mux.HandleFunc("/v1/models", s.handleModels)
 	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("/v1/analyze/batch", s.handleBatch)
@@ -319,7 +327,12 @@ func (s *Server) analyzeOne(ctx context.Context, req AnalyzeRequest) (*AnalyzeRe
 		v, ok := s.cache.Get(key)
 		s.stageSeconds.With("cache").Observe(time.Since(lookup).Seconds())
 		if ok {
-			obs.SpanFrom(ctx).Event("result_cache.hit")
+			// The hit is recorded on a per-item child span: the batch
+			// handler runs analyzeOne on many goroutines under one shared
+			// request span, and a span does not take concurrent Events.
+			_, hspan := obs.Start(ctx, "serve.cache", obs.Bool("hit", true))
+			hspan.Event("result_cache.hit")
+			hspan.End()
 			resp := *(v.(*AnalyzeResponse)) // copy: Cached is per-delivery
 			resp.Cached = true
 			return &resp, nil
@@ -361,6 +374,9 @@ func (s *Server) analyzeOne(ctx context.Context, req AnalyzeRequest) (*AnalyzeRe
 		ch <- outcome{resp: v.(*AnalyzeResponse), cached: cached}
 	}
 	if err := s.pool.Submit(job); err != nil {
+		// Rejected submissions still count toward the queue stage —
+		// saturation is exactly when the queue histogram matters.
+		s.stageSeconds.With("queue").Observe(time.Since(submitted).Seconds())
 		qspan.SetAttr(obs.String("error", err.Error()))
 		qspan.End()
 		return nil, err
@@ -537,6 +553,7 @@ func (s *Server) handleDSE(w http.ResponseWriter, r *http.Request) {
 		ch <- outcome{resp: v.(*DSEResponse), cached: cached}
 	}
 	if err := s.pool.Submit(job); err != nil {
+		s.stageSeconds.With("queue").Observe(time.Since(submitted).Seconds())
 		qspan.SetAttr(obs.String("error", err.Error()))
 		qspan.End()
 		s.writeError(w, r, err)
