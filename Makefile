@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench serve clean
+.PHONY: all build vet test race fuzz bench serve clean
 
 all: vet build test
 
@@ -20,6 +20,13 @@ test:
 # the race detector before shipping.
 race:
 	$(GO) test -race ./...
+
+# Short fuzz smoke over every parser target (one -fuzz per invocation,
+# a Go toolchain constraint).
+fuzz:
+	$(GO) test -fuzz=FuzzParseDataflow -fuzztime=10s -run xxx ./internal/dataflow/
+	$(GO) test -fuzz=FuzzParseNetwork -fuzztime=10s -run xxx ./internal/dataflow/
+	$(GO) test -fuzz=FuzzParseHW -fuzztime=10s -run xxx ./internal/hw/
 
 # One pass over the figure/table benchmarks plus the service benchmarks.
 bench:

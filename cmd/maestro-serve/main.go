@@ -54,6 +54,16 @@ func main() {
 		"serve net/http/pprof and /debug/trace on this private address (empty disables)")
 	debugTrace := flag.Bool("debug-trace", false,
 		"also expose GET /debug/trace on the public API address")
+	chaosErrRate := flag.Float64("chaos-error-rate", 0,
+		"fault injection: probability in [0,1] of answering a /v1/* request with -chaos-error-code")
+	chaosErrCode := flag.Int("chaos-error-code", 500,
+		"fault injection: HTTP status of injected errors")
+	chaosLatency := flag.Duration("chaos-latency", 0,
+		"fault injection: base added latency per /v1/* request")
+	chaosJitter := flag.Duration("chaos-latency-jitter", 0,
+		"fault injection: extra uniform random latency in [0, jitter)")
+	chaosSeed := flag.Int64("chaos-seed", 0,
+		"fault injection: RNG seed for reproducible runs (0 = random)")
 	flag.Parse()
 
 	logger, err := buildLogger(*logFormat, *logLevel)
@@ -62,6 +72,13 @@ func main() {
 		os.Exit(2)
 	}
 
+	chaos := serve.Chaos{
+		ErrorRate:     *chaosErrRate,
+		ErrorCode:     *chaosErrCode,
+		Latency:       *chaosLatency,
+		LatencyJitter: *chaosJitter,
+		Seed:          *chaosSeed,
+	}
 	s := serve.New(serve.Options{
 		Workers:        *workers,
 		QueueDepth:     *queue,
@@ -70,7 +87,13 @@ func main() {
 		MaxBatch:       *maxBatch,
 		Logger:         logger,
 		DebugTrace:     *debugTrace,
+		Chaos:          chaos,
 	})
+	if *chaosErrRate > 0 || *chaosLatency > 0 || *chaosJitter > 0 {
+		logger.Warn("chaos fault injection enabled",
+			"error_rate", *chaosErrRate, "error_code", *chaosErrCode,
+			"latency", *chaosLatency, "jitter", *chaosJitter, "seed", *chaosSeed)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.Handler(),

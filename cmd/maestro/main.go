@@ -12,8 +12,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/core"
@@ -27,59 +29,80 @@ import (
 	"repro/internal/tuner"
 )
 
+// errUsage marks bad invocations; main maps it to exit status 2.
+var errUsage = errors.New("usage: maestro [flags] network.m")
+
 func main() {
-	pes := flag.Int("pes", 256, "number of processing elements")
-	bw := flag.Float64("bw", 32, "NoC bandwidth in GB/s at 1 GHz, 1-byte elements")
-	l1 := flag.Int64("l1", 0, "per-PE L1 bytes (0 = size to requirement)")
-	l2 := flag.Int64("l2", 0, "shared L2 bytes (0 = size to requirement)")
-	nocKind := flag.String("noc", "bus", "NoC topology: bus, mesh, tree, systolic, crossbar")
-	hwFile := flag.String("hw", "", "accelerator description file (overrides -pes/-bw/-l1/-l2/-noc)")
-	lint := flag.Bool("lint", false, "report mapping inefficiencies per layer")
-	csvPath := flag.String("csv", "", "export per-layer results as CSV")
-	energyFile := flag.String("energy", "", "per-event energy table file (pJ)")
-	dfName := flag.String("dataflow", "", "apply a built-in dataflow (C-P, X-P, YX-P, YR-P, KC-P) to all layers, or 'auto' to tune per layer")
-	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the analysis to this file")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: maestro [flags] network.m")
-		flag.Usage()
+	err := run(os.Args[1:], os.Stdout)
+	if err == nil {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "maestro:", err)
+	if errors.Is(err, errUsage) {
 		os.Exit(2)
 	}
-	src, err := os.ReadFile(flag.Arg(0))
+	os.Exit(1)
+}
+
+// run is the whole tool behind a testable seam: flags in, report out.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("maestro", flag.ContinueOnError)
+	pes := fs.Int("pes", 256, "number of processing elements")
+	bw := fs.Float64("bw", 32, "NoC bandwidth in GB/s at 1 GHz, 1-byte elements")
+	l1 := fs.Int64("l1", 0, "per-PE L1 bytes (0 = size to requirement)")
+	l2 := fs.Int64("l2", 0, "shared L2 bytes (0 = size to requirement)")
+	nocKind := fs.String("noc", "bus", "NoC topology: bus, mesh, tree, systolic, crossbar")
+	hwFile := fs.String("hw", "", "accelerator description file (overrides -pes/-bw/-l1/-l2/-noc)")
+	lint := fs.Bool("lint", false, "report mapping inefficiencies per layer")
+	csvPath := fs.String("csv", "", "export per-layer results as CSV")
+	energyFile := fs.String("energy", "", "per-event energy table file (pJ)")
+	dfName := fs.String("dataflow", "", "apply a built-in dataflow (C-P, X-P, YX-P, YR-P, KC-P) to all layers, or 'auto' to tune per layer")
+	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON of the analysis to this file")
+	if err := fs.Parse(args); err != nil {
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
+	if fs.NArg() != 1 {
+		return errUsage
+	}
+	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	net, err := dataflow.ParseNetwork(string(src))
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	var cfg hw.Config
 	if *hwFile != "" {
 		hsrc, err := os.ReadFile(*hwFile)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		cfg, err = hw.ParseConfig(string(hsrc))
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("network %s on accelerator %s (%d PEs)\n\n", net.Name, cfg.Name, cfg.NumPEs)
+		fmt.Fprintf(stdout, "network %s on accelerator %s (%d PEs)\n\n", net.Name, cfg.Name, cfg.NumPEs)
 	} else {
+		m, err := nocModel(*nocKind, *pes, *bw)
+		if err != nil {
+			return err
+		}
 		cfg = hw.Config{
 			Name: "cli", NumPEs: *pes, L1Size: *l1, L2Size: *l2,
-			NoCs: []noc.Model{nocModel(*nocKind, *pes, *bw)},
+			NoCs: []noc.Model{m},
 		}.Normalize()
-		fmt.Printf("network %s on %d PEs, %s NoC at %.0f GB/s\n\n", net.Name, *pes, *nocKind, *bw)
+		fmt.Fprintf(stdout, "network %s on %d PEs, %s NoC at %.0f GB/s\n\n", net.Name, *pes, *nocKind, *bw)
 	}
 	var etbl *energy.Table
 	if *energyFile != "" {
 		esrc, err := os.ReadFile(*energyFile)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		tb, err := energy.ParseTable(string(esrc))
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		etbl = &tb
 	}
@@ -98,9 +121,9 @@ func main() {
 		case *dfName == "auto":
 			ch, err := tuner.TuneLayerCtx(ctx, ls.Layer, cfg, tuner.Options{})
 			if err != nil {
-				fatal(fmt.Errorf("layer %s: %w", ls.Layer.Name, err))
+				return fmt.Errorf("layer %s: %w", ls.Layer.Name, err)
 			}
-			fmt.Printf("auto-tuned mapping: %s\n", ch.Dataflow.Name)
+			fmt.Fprintf(stdout, "auto-tuned mapping: %s\n", ch.Dataflow.Name)
 			r = ch.Result
 		default:
 			df := ls.Dataflow
@@ -108,15 +131,15 @@ func main() {
 				df = dataflows.Get(*dfName)
 			}
 			if len(df.Directives) == 0 {
-				fatal(fmt.Errorf("layer %s has no dataflow; use -dataflow or add a Dataflow block", ls.Layer.Name))
+				return fmt.Errorf("layer %s has no dataflow; use -dataflow or add a Dataflow block", ls.Layer.Name)
 			}
 			var err error
 			r, err = core.AnalyzeDataflowCtx(ctx, df, ls.Layer, cfg)
 			if err != nil {
-				fatal(fmt.Errorf("layer %s: %w", ls.Layer.Name, err))
+				return fmt.Errorf("layer %s: %w", ls.Layer.Name, err)
 			}
 		}
-		fmt.Print(r)
+		fmt.Fprint(stdout, r)
 		if *lint {
 			df := ls.Dataflow
 			if *dfName != "" && *dfName != "auto" {
@@ -124,11 +147,11 @@ func main() {
 			}
 			if warns, err := dataflow.Lint(df, ls.Layer, cfg.NumPEs); err == nil {
 				for _, w := range warns {
-					fmt.Println("  lint:", w)
+					fmt.Fprintln(stdout, "  lint:", w)
 				}
 			}
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 		rows = append(rows, report.RowOf(r))
 		totalCycles += r.Runtime
 		totalMACs += r.MACs
@@ -138,37 +161,38 @@ func main() {
 			totalEnergy += r.EnergyDefault().OnChip()
 		}
 	}
-	fmt.Printf("network total: %d cycles, %d MACs, %.3e pJ on-chip (%.2f MACs/cycle)\n",
+	fmt.Fprintf(stdout, "network total: %d cycles, %d MACs, %.3e pJ on-chip (%.2f MACs/cycle)\n",
 		totalCycles, totalMACs, totalEnergy, float64(totalMACs)/float64(totalCycles))
 
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		if err := report.WriteCSV(f, rows); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("wrote %d rows to %s\n", len(rows), *csvPath)
+		fmt.Fprintf(stdout, "wrote %d rows to %s\n", len(rows), *csvPath)
 	}
 	if rec != nil {
 		f, err := os.Create(*tracePath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if err := rec.WriteTrace(f); err != nil {
 			f.Close()
-			fatal(err)
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("wrote %d spans to %s\n", rec.Len(), *tracePath)
+		fmt.Fprintf(stdout, "wrote %d spans to %s\n", rec.Len(), *tracePath)
 	}
+	return nil
 }
 
-func nocModel(kind string, pes int, gbps float64) noc.Model {
+func nocModel(kind string, pes int, gbps float64) (noc.Model, error) {
 	bwElems := noc.GBpsToElems(gbps, 1, 1)
 	var m noc.Model
 	switch kind {
@@ -188,12 +212,7 @@ func nocModel(kind string, pes int, gbps float64) noc.Model {
 	case "crossbar":
 		m = noc.Crossbar(int(bwElems))
 	default:
-		fatal(fmt.Errorf("unknown NoC kind %q", kind))
+		return noc.Model{}, fmt.Errorf("unknown NoC kind %q", kind)
 	}
-	return m
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "maestro:", err)
-	os.Exit(1)
+	return m, nil
 }

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// -update regenerates the golden files instead of comparing.
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestRunGolden pins the full CLI report for the checked-in tiny
+// network on the checked-in edge accelerator: the cost model is
+// deterministic, so any diff is a behaviour change someone must own.
+func TestRunGolden(t *testing.T) {
+	var buf bytes.Buffer
+	args := []string{
+		"-hw", filepath.Join("..", "..", "testdata", "edge.hw"),
+		filepath.Join("..", "..", "testdata", "tinynet.m"),
+	}
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	golden := filepath.Join("testdata", "tinynet_edge.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/maestro -run TestRunGolden -update` to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("CLI output diverged from %s.\n--- got ---\n%s\n--- want ---\n%s\n(regenerate with -update if the change is intentional)",
+			golden, buf.Bytes(), want)
+	}
+}
+
+// TestRunUsageErrors pins the error seams main() maps to exit codes.
+func TestRunUsageErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); !errors.Is(err, errUsage) {
+		t.Fatalf("run with no args = %v, want errUsage", err)
+	}
+	if err := run([]string{"-pes", "not-a-number", "x.m"}, &buf); !errors.Is(err, errUsage) {
+		t.Fatalf("run with bad flag = %v, want errUsage", err)
+	}
+	if err := run([]string{"does-not-exist.m"}, &buf); err == nil || errors.Is(err, errUsage) {
+		t.Fatalf("run on missing file = %v, want a non-usage error", err)
+	}
+	if err := run([]string{"-noc", "warp", filepath.Join("..", "..", "testdata", "tinynet.m")}, &buf); err == nil {
+		t.Fatal("run with unknown NoC kind succeeded, want error")
+	}
+}

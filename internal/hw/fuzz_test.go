@@ -1,0 +1,86 @@
+package hw
+
+import (
+	"math"
+	"os"
+	"testing"
+)
+
+// FuzzParseHW drives the accelerator-description parser with arbitrary
+// input, mirroring FuzzParseDataflow: it must never panic or hang, and
+// any configuration it accepts must be internally consistent — it
+// re-validates, and no derived quantity is NaN or infinite.
+func FuzzParseHW(f *testing.F) {
+	if src, err := os.ReadFile("../../testdata/edge.hw"); err == nil {
+		f.Add(string(src))
+	}
+	seeds := []string{
+		"name: npu\npes: 256\nnoc: bus bandwidth=32 latency=2 multicast=true reduction=true",
+		"pes: 64\nvector_width: 4\nl1_bytes: 2048\nl2_bytes: 1048576",
+		"pes: 16\nelem_bytes: 2\nclock_ghz: 1.5\noffchip_gbps: 16\nnoc: tree",
+		"pes: 100\nnoc: mesh\nnoc: bus bandwidth=64",
+		"pes: 9\nnoc: crossbar channels=3\nnoc: systolic",
+		"# comment only\n// and another\n",
+		// Malformed variants: bad keys, bad values, non-physical numbers.
+		"pes: 64\nnoc: bus bandwidth=NaN",
+		"clock_ghz: NaN\npes: 8",
+		"clock_ghz: +Inf\npes: 8",
+		"pes: 9223372036854775807\nnoc: mesh",
+		"pes: -5\nnoc: tree",
+		"l1_bytes: -1\npes: 4",
+		"pes 64",
+		"mystery: 3",
+		"noc: warp bandwidth=1",
+		"noc: bus bandwidth",
+		"pes: 0x10",
+		"offchip_gbps: 1e308\npes: 2\nclock_ghz: 1e-308",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		cfg, err := ParseConfig(src)
+		if err != nil {
+			return
+		}
+		if verr := cfg.Validate(); verr != nil {
+			t.Fatalf("ParseConfig accepted a config its own Validate rejects: %v\ninput: %q", verr, src)
+		}
+		peak := cfg.PeakMACsPerCycle()
+		if math.IsNaN(peak) || math.IsInf(peak, 0) || peak <= 0 {
+			t.Fatalf("accepted config has non-physical peak %v MACs/cycle\ninput: %q", peak, src)
+		}
+		if math.IsNaN(cfg.OffchipBandwidth) || math.IsInf(cfg.OffchipBandwidth, 0) {
+			t.Fatalf("accepted config has off-chip bandwidth %v\ninput: %q", cfg.OffchipBandwidth, src)
+		}
+		for i, m := range cfg.NoCs {
+			if math.IsNaN(m.Bandwidth) || math.IsInf(m.Bandwidth, 0) {
+				t.Fatalf("accepted config NoC %d has bandwidth %v\ninput: %q", i, m.Bandwidth, src)
+			}
+		}
+	})
+}
+
+// TestCeilSqrt pins the mesh-sizing helper, including the giant inputs
+// that used to spin the old linear search.
+func TestCeilSqrt(t *testing.T) {
+	cases := []struct{ v, want int }{
+		{-3, 1}, {0, 1}, {1, 1}, {2, 2}, {4, 2}, {5, 3},
+		{9, 3}, {10, 4}, {64, 8}, {100, 10}, {101, 11},
+	}
+	for _, c := range cases {
+		if got := ceilSqrt(c.v); got != c.want {
+			t.Errorf("ceilSqrt(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Huge values terminate quickly and satisfy the contract n² >= v.
+	for _, v := range []int{1 << 40, 1<<62 + 12345, math.MaxInt64} {
+		n := ceilSqrt(v)
+		if uint64(n)*uint64(n) < uint64(v) {
+			t.Errorf("ceilSqrt(%d) = %d: n*n < v", v, n)
+		}
+		if n > 1 && uint64(n-1)*uint64(n-1) >= uint64(v) {
+			t.Errorf("ceilSqrt(%d) = %d not minimal", v, n)
+		}
+	}
+}

@@ -13,6 +13,7 @@ package hw
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/noc"
 )
@@ -79,6 +80,16 @@ func (c Config) Validate() error {
 	}
 	if c.VectorWidth < 1 || c.ElemBytes < 1 {
 		return fmt.Errorf("%w: hw %s: bad vector width or element size", ErrInvalidConfig, c.Name)
+	}
+	if c.L1Size < 0 || c.L2Size < 0 {
+		return fmt.Errorf("%w: hw %s: negative scratchpad size", ErrInvalidConfig, c.Name)
+	}
+	// !(x > 0) rejects NaN too; ordered comparisons are always false on it.
+	if !(c.ClockGHz > 0) || math.IsInf(c.ClockGHz, 0) {
+		return fmt.Errorf("%w: hw %s: clock %v GHz must be positive and finite", ErrInvalidConfig, c.Name, c.ClockGHz)
+	}
+	if !(c.OffchipBandwidth > 0) || math.IsInf(c.OffchipBandwidth, 0) {
+		return fmt.Errorf("%w: hw %s: off-chip bandwidth %v must be positive and finite", ErrInvalidConfig, c.Name, c.OffchipBandwidth)
 	}
 	if len(c.NoCs) == 0 {
 		return fmt.Errorf("%w: hw %s: no NoC model", ErrInvalidConfig, c.Name)

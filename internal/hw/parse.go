@@ -2,6 +2,7 @@ package hw
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -109,11 +110,7 @@ func parseNoCLine(val string, pes int) (noc.Model, error) {
 	case "crossbar":
 		m = noc.Crossbar(16)
 	case "mesh":
-		n := 1
-		for n*n < max(pes, 1) {
-			n++
-		}
-		m = noc.Mesh(n)
+		m = noc.Mesh(ceilSqrt(max(pes, 1)))
 	case "tree":
 		m = noc.Tree(max(pes, 2))
 	case "systolic":
@@ -146,6 +143,27 @@ func parseNoCLine(val string, pes int) (noc.Model, error) {
 		}
 	}
 	return m, nil
+}
+
+// ceilSqrt returns the smallest n with n*n >= v. A float estimate is
+// corrected by a step or two in uint64 space, so a pathological PE
+// count (e.g. from a fuzzer) can neither spin for billions of
+// iterations nor overflow the n*n comparison.
+func ceilSqrt(v int) int {
+	if v <= 1 {
+		return 1
+	}
+	n := int(math.Sqrt(float64(v)))
+	if n < 1 {
+		n = 1
+	}
+	for n > 1 && uint64(n-1)*uint64(n-1) >= uint64(v) {
+		n--
+	}
+	for uint64(n)*uint64(n) < uint64(v) {
+		n++
+	}
+	return n
 }
 
 func max(a, b int) int {

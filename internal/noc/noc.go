@@ -9,7 +9,10 @@
 // systolic store-and-forward).
 package noc
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Model is one NoC link: the connection between a buffer level and the
 // sub-clusters below it.
@@ -40,8 +43,10 @@ type Model struct {
 
 // Validate reports an error for non-physical parameters.
 func (m Model) Validate() error {
-	if m.Bandwidth <= 0 {
-		return fmt.Errorf("noc %s: bandwidth %v must be positive", m.Name, m.Bandwidth)
+	if !(m.Bandwidth > 0) || math.IsInf(m.Bandwidth, 0) {
+		// !(x > 0) also rejects NaN, which every ordered comparison
+		// would otherwise wave through.
+		return fmt.Errorf("noc %s: bandwidth %v must be positive and finite", m.Name, m.Bandwidth)
 	}
 	if m.AvgLatency < 0 {
 		return fmt.Errorf("noc %s: negative latency", m.Name)

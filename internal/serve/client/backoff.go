@@ -1,0 +1,99 @@
+package client
+
+import (
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// backoff computes per-retry sleep intervals: full-jittered exponential
+// growth (sleep ~ U[base/2, base·2ⁿ]) capped at max, with server
+// Retry-After hints acting as a floor — a server that says "come back
+// in 2s" is never hammered sooner just because the local schedule said
+// 80ms. The rand stream is seeded for reproducible chaos runs and
+// mutex-protected (calls retry concurrently).
+type backoff struct {
+	base time.Duration
+	max  time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newBackoff(base, max time.Duration, seed int64) *backoff {
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	if max < base {
+		max = base
+	}
+	if seed == 0 {
+		seed = rand.Int63()
+	}
+	return &backoff{base: base, max: max, rng: rand.New(rand.NewSource(seed))}
+}
+
+// delay returns the sleep before retry number `retry` (0-based),
+// honoring a server hint.
+func (b *backoff) delay(retry int, hint time.Duration) time.Duration {
+	ceil := b.base << uint(retry)
+	if ceil > b.max || ceil <= 0 { // <= 0: shift overflow
+		ceil = b.max
+	}
+	lo := b.base / 2
+	if lo < time.Millisecond {
+		lo = time.Millisecond
+	}
+	if ceil < lo {
+		ceil = lo
+	}
+	b.mu.Lock()
+	d := lo + time.Duration(b.rng.Int63n(int64(ceil-lo)+1))
+	b.mu.Unlock()
+	if hint > d {
+		d = hint
+	}
+	return d
+}
+
+// maxRetryAfter bounds how long a server hint can stall the client; a
+// buggy or hostile `Retry-After: 86400` must not freeze callers.
+const maxRetryAfter = 30 * time.Second
+
+// retryAfterHint parses a Retry-After header (delta-seconds or
+// HTTP-date), returning 0 when absent or unparseable.
+func retryAfterHint(resp *http.Response) time.Duration {
+	if resp == nil {
+		return 0
+	}
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		d := time.Duration(secs) * time.Second
+		if d > maxRetryAfter {
+			d = maxRetryAfter
+		}
+		return d
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		d := time.Until(t)
+		if d < 0 {
+			return 0
+		}
+		if d > maxRetryAfter {
+			d = maxRetryAfter
+		}
+		return d
+	}
+	return 0
+}

@@ -1,0 +1,209 @@
+package client
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen reports a call refused locally because the target
+// host's circuit breaker is open: recent calls failed consecutively and
+// the cooldown has not elapsed, so the client fails fast instead of
+// piling more load onto a struggling server.
+var ErrCircuitOpen = errors.New("client: circuit breaker open")
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed passes calls through, counting consecutive failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen fails calls fast until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits one probe call; its outcome decides
+	// between closing and re-opening.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerOptions configures the per-host circuit breaker.
+type BreakerOptions struct {
+	// Disabled turns the breaker off entirely.
+	Disabled bool
+	// FailureThreshold is the consecutive-failure count that opens the
+	// breaker (default 5).
+	FailureThreshold int
+	// Cooldown is how long an open breaker rejects calls before
+	// admitting a half-open probe (default 1s).
+	Cooldown time.Duration
+	// SuccessThreshold is the consecutive half-open probe successes
+	// required to close again (default 1).
+	SuccessThreshold int
+	// OnStateChange observes transitions (for logs, metrics, and the
+	// chaos harness). Called outside the breaker lock, in call order.
+	OnStateChange func(host string, from, to BreakerState)
+}
+
+func (o BreakerOptions) withDefaults() BreakerOptions {
+	if o.FailureThreshold == 0 {
+		o.FailureThreshold = 5
+	}
+	if o.Cooldown == 0 {
+		o.Cooldown = time.Second
+	}
+	if o.SuccessThreshold == 0 {
+		o.SuccessThreshold = 1
+	}
+	return o
+}
+
+// breaker is one host's circuit breaker. The zero value is not usable;
+// build with newBreaker.
+type breaker struct {
+	opts BreakerOptions
+	host string
+
+	mu        sync.Mutex
+	state     BreakerState
+	fails     int       // consecutive failures while closed
+	successes int       // consecutive probe successes while half-open
+	openedAt  time.Time // when the breaker last opened
+	probing   bool      // a half-open probe is in flight
+}
+
+func newBreaker(host string, opts BreakerOptions) *breaker {
+	return &breaker{opts: opts.withDefaults(), host: host}
+}
+
+// transitionLocked moves to next and returns the notification thunk to
+// run after the lock is released (the callback may call back into the
+// breaker or client).
+func (b *breaker) transitionLocked(next BreakerState) func() {
+	from := b.state
+	if from == next {
+		return nil
+	}
+	b.state = next
+	switch next {
+	case BreakerOpen:
+		b.openedAt = time.Now()
+		b.probing = false
+	case BreakerHalfOpen:
+		b.successes = 0
+		b.probing = false
+	case BreakerClosed:
+		b.fails = 0
+		b.successes = 0
+		b.probing = false
+	}
+	if cb := b.opts.OnStateChange; cb != nil {
+		host := b.host
+		return func() { cb(host, from, next) }
+	}
+	return nil
+}
+
+// Allow reports whether a call may proceed. In the half-open state only
+// one probe is admitted at a time; concurrent calls fail fast until the
+// probe resolves.
+func (b *breaker) Allow() bool {
+	if b.opts.Disabled {
+		return true
+	}
+	var notify func()
+	b.mu.Lock()
+	switch b.state {
+	case BreakerClosed:
+		b.mu.Unlock()
+		return true
+	case BreakerOpen:
+		if time.Since(b.openedAt) < b.opts.Cooldown {
+			b.mu.Unlock()
+			return false
+		}
+		notify = b.transitionLocked(BreakerHalfOpen)
+		fallthrough
+	case BreakerHalfOpen:
+		if b.probing {
+			b.mu.Unlock()
+			if notify != nil {
+				notify()
+			}
+			return false
+		}
+		b.probing = true
+		b.mu.Unlock()
+		if notify != nil {
+			notify()
+		}
+		return true
+	}
+	b.mu.Unlock()
+	return true
+}
+
+// Success records a call that reached the server and got a healthy
+// answer.
+func (b *breaker) Success() {
+	if b.opts.Disabled {
+		return
+	}
+	var notify func()
+	b.mu.Lock()
+	switch b.state {
+	case BreakerClosed:
+		b.fails = 0
+	case BreakerHalfOpen:
+		b.probing = false
+		b.successes++
+		if b.successes >= b.opts.SuccessThreshold {
+			notify = b.transitionLocked(BreakerClosed)
+		}
+	}
+	b.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
+}
+
+// Failure records a server-fault outcome (5xx or transport error).
+func (b *breaker) Failure() {
+	if b.opts.Disabled {
+		return
+	}
+	var notify func()
+	b.mu.Lock()
+	switch b.state {
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.opts.FailureThreshold {
+			notify = b.transitionLocked(BreakerOpen)
+		}
+	case BreakerHalfOpen:
+		b.probing = false
+		notify = b.transitionLocked(BreakerOpen)
+	}
+	b.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
+}
+
+// State returns the current position (transparently rolling an expired
+// open period over to half-open is left to Allow).
+func (b *breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,500 @@
+// Package client is the resilient HTTP client for the maestro-serve
+// analysis service: stdlib-only, with jittered exponential retry that
+// honors Retry-After hints, a per-host circuit breaker, optional
+// request hedging for idempotent analyze calls, and context-deadline
+// propagation into the service's timeout_ms field so server-side
+// queue-deadline shedding sees the real budget.
+//
+// Mapper and DSE loops hammer the cost-model service with thousands of
+// speculative queries; this client is the discipline layer between
+// them and a server that answers 429 under backpressure, 503 when
+// shedding, and — under chaos testing — arbitrary injected faults.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// ErrExhausted reports that every retry attempt failed; the final
+// attempt's error is wrapped alongside it.
+var ErrExhausted = errors.New("client: retry attempts exhausted")
+
+// APIError is a terminal, non-retryable service answer (or the last
+// retryable one once the budget is exhausted).
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Message is the server's error body, when it sent one.
+	Message string
+	// RequestID is the X-Request-ID of the failing exchange.
+	RequestID string
+}
+
+func (e *APIError) Error() string {
+	msg := e.Message
+	if msg == "" {
+		msg = http.StatusText(e.Status)
+	}
+	if e.RequestID != "" {
+		return fmt.Sprintf("client: server returned %d: %s (request %s)", e.Status, msg, e.RequestID)
+	}
+	return fmt.Sprintf("client: server returned %d: %s", e.Status, msg)
+}
+
+// Options configures a Client. Zero values take the documented
+// defaults.
+type Options struct {
+	// BaseURL locates the service, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient overrides the transport (default: a plain
+	// &http.Client{}; per-call contexts bound each exchange).
+	HTTPClient *http.Client
+	// MaxAttempts bounds tries per call, first attempt included
+	// (default 4; 1 disables retry).
+	MaxAttempts int
+	// BaseBackoff is the first retry's jitter ceiling (default 50ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 2s).
+	MaxBackoff time.Duration
+	// Seed makes the jitter sequence reproducible; 0 seeds randomly.
+	Seed int64
+	// Hedge, when positive, launches a second identical attempt for
+	// idempotent analyze calls after this delay; the first completed
+	// exchange wins and the straggler is cancelled. Off by default —
+	// hedging trades extra load for tail latency.
+	Hedge time.Duration
+	// Breaker configures the per-host circuit breaker.
+	Breaker BreakerOptions
+	// UserAgent overrides the User-Agent header.
+	UserAgent string
+}
+
+func (o Options) withDefaults() Options {
+	if o.HTTPClient == nil {
+		o.HTTPClient = &http.Client{}
+	}
+	if o.MaxAttempts == 0 {
+		o.MaxAttempts = 4
+	}
+	if o.UserAgent == "" {
+		o.UserAgent = "maestro-client/1"
+	}
+	return o
+}
+
+// Stats counts client-side resilience events; read them with Stats().
+type Stats struct {
+	// Attempts is the number of HTTP exchanges actually launched
+	// (hedges included).
+	Attempts int64
+	// Retries is the number of re-attempts after a retryable failure.
+	Retries int64
+	// Hedges is the number of hedged second attempts launched.
+	Hedges int64
+	// BreakerRejected is the number of attempts refused locally by an
+	// open circuit breaker.
+	BreakerRejected int64
+}
+
+// Client is a resilient caller of the analysis service. Safe for
+// concurrent use.
+type Client struct {
+	opts Options
+	base *url.URL
+	http *http.Client
+	bo   *backoff
+
+	mu       sync.Mutex
+	breakers map[string]*breaker
+
+	attempts        atomic.Int64
+	retries         atomic.Int64
+	hedges          atomic.Int64
+	breakerRejected atomic.Int64
+}
+
+// New builds a Client for the service at opts.BaseURL.
+func New(opts Options) (*Client, error) {
+	if opts.BaseURL == "" {
+		return nil, errors.New("client: Options.BaseURL is required")
+	}
+	u, err := url.Parse(opts.BaseURL)
+	if err != nil {
+		return nil, fmt.Errorf("client: bad BaseURL: %w", err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("client: BaseURL %q must be http or https", opts.BaseURL)
+	}
+	opts = opts.withDefaults()
+	return &Client{
+		opts:     opts,
+		base:     u,
+		http:     opts.HTTPClient,
+		bo:       newBackoff(opts.BaseBackoff, opts.MaxBackoff, opts.Seed),
+		breakers: map[string]*breaker{},
+	}, nil
+}
+
+// Stats returns a snapshot of the resilience counters.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Attempts:        c.attempts.Load(),
+		Retries:         c.retries.Load(),
+		Hedges:          c.hedges.Load(),
+		BreakerRejected: c.breakerRejected.Load(),
+	}
+}
+
+// BreakerState reports the circuit breaker position for the client's
+// host (closed when no call has run yet).
+func (c *Client) BreakerState() BreakerState {
+	return c.breakerFor(c.base.Host).State()
+}
+
+// CloseIdleConnections releases the transport's idle keep-alive
+// connections (the soak harness calls it before checking FD baselines).
+func (c *Client) CloseIdleConnections() { c.http.CloseIdleConnections() }
+
+func (c *Client) breakerFor(host string) *breaker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, ok := c.breakers[host]
+	if !ok {
+		b = newBreaker(host, c.opts.Breaker)
+		c.breakers[host] = b
+	}
+	return b
+}
+
+// Analyze evaluates one layer + dataflow + hardware configuration.
+// When the request carries no timeout_ms and ctx has a deadline, the
+// remaining budget is propagated so the server's shedding sees it.
+// Analyze calls are idempotent and hedge when Options.Hedge is set.
+func (c *Client) Analyze(ctx context.Context, req serve.AnalyzeRequest) (*serve.AnalyzeResponse, error) {
+	var out serve.AnalyzeResponse
+	err := c.call(ctx, http.MethodPost, "/v1/analyze", func() ([]byte, error) {
+		r := req
+		propagateDeadline(ctx, &r.TimeoutMs)
+		return json.Marshal(&r)
+	}, &out, true)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// AnalyzeBatch evaluates up to the server's max-batch requests in one
+// call; the response preserves input order.
+func (c *Client) AnalyzeBatch(ctx context.Context, req serve.BatchRequest) (*serve.BatchResponse, error) {
+	var out serve.BatchResponse
+	err := c.call(ctx, http.MethodPost, "/v1/analyze/batch", func() ([]byte, error) {
+		r := req
+		propagateDeadline(ctx, &r.TimeoutMs)
+		return json.Marshal(&r)
+	}, &out, false)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DSE runs a bounded design-space sweep for one layer.
+func (c *Client) DSE(ctx context.Context, req serve.DSERequest) (*serve.DSEResponse, error) {
+	var out serve.DSEResponse
+	err := c.call(ctx, http.MethodPost, "/v1/dse", func() ([]byte, error) {
+		r := req
+		propagateDeadline(ctx, &r.TimeoutMs)
+		return json.Marshal(&r)
+	}, &out, false)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Models lists the server's model zoo, dataflow names, and hardware
+// presets.
+func (c *Client) Models(ctx context.Context) (*serve.ModelsResponse, error) {
+	var out serve.ModelsResponse
+	err := c.call(ctx, http.MethodGet, "/v1/models", nil, &out, true)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// propagateDeadline fills *ms with the context's remaining budget when
+// the caller did not set one, so the server's queue-deadline shedding
+// and per-request timeout see the true deadline. Re-evaluated on every
+// retry: the budget shrinks as attempts burn it.
+func propagateDeadline(ctx context.Context, ms *int) {
+	if *ms != 0 {
+		return
+	}
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return
+	}
+	rem := time.Until(dl).Milliseconds()
+	if rem < 1 {
+		rem = 1
+	}
+	*ms = int(rem)
+}
+
+// retryableStatus reports whether a status code is worth re-attempting:
+// backpressure (429), injected/transient server faults (500, 502), and
+// unavailability (503, 504). Everything else in the 4xx range is the
+// caller's mistake and terminal.
+func retryableStatus(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests,
+		http.StatusInternalServerError,
+		http.StatusBadGateway,
+		http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// maxErrBody caps how much of an error body the client reads.
+const maxErrBody = 1 << 20
+
+// maxRespBody caps success bodies (DSE responses can run to megabytes).
+const maxRespBody = 64 << 20
+
+// attemptResult is one fully-consumed HTTP exchange.
+type attemptResult struct {
+	status    int
+	header    http.Header
+	body      []byte
+	requestID string
+}
+
+// call runs the retry loop: breaker gate, exchange (hedged when asked),
+// classification, jittered ctx-aware backoff. Every return is a
+// terminal verdict: a decoded response, an *APIError, a breaker/
+// exhaustion error, or the context's own error.
+func (c *Client) call(ctx context.Context, method, path string, mkBody func() ([]byte, error), out any, idempotent bool) error {
+	br := c.breakerFor(c.base.Host)
+	var lastErr error
+	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return c.terminal(err, lastErr)
+		}
+		if attempt > 0 {
+			c.retries.Add(1)
+		}
+		res, err := c.attemptOnce(ctx, br, method, path, mkBody, idempotent)
+		var hint time.Duration
+		switch {
+		case err == nil && res.status == http.StatusOK:
+			if out != nil {
+				if derr := json.Unmarshal(res.body, out); derr != nil {
+					return fmt.Errorf("client: decoding %s response: %w", path, derr)
+				}
+			}
+			return nil
+		case err == nil:
+			apiErr := &APIError{
+				Status:    res.status,
+				Message:   errorMessage(res.body),
+				RequestID: res.requestID,
+			}
+			if !retryableStatus(res.status) {
+				return apiErr
+			}
+			hint = retryAfterHint(&http.Response{Header: res.header})
+			lastErr = apiErr
+		default:
+			// Context errors are the caller's verdict, not the server's.
+			if ctx.Err() != nil {
+				return c.terminal(ctx.Err(), lastErr)
+			}
+			lastErr = err
+		}
+		if attempt == c.opts.MaxAttempts-1 {
+			break
+		}
+		if !sleepCtx(ctx, c.bo.delay(attempt, hint)) {
+			return c.terminal(ctx.Err(), lastErr)
+		}
+	}
+	return fmt.Errorf("%w after %d attempts: %w", ErrExhausted, c.opts.MaxAttempts, lastErr)
+}
+
+// terminal shapes a context-abort verdict, attaching the last transport
+// or server error when one exists.
+func (c *Client) terminal(ctxErr, lastErr error) error {
+	if lastErr != nil {
+		return fmt.Errorf("client: %w (last attempt error: %w)", ctxErr, lastErr)
+	}
+	return fmt.Errorf("client: %w", ctxErr)
+}
+
+// attemptOnce runs one breaker-gated exchange (hedged when enabled and
+// idempotent) and records the outcome with the breaker.
+func (c *Client) attemptOnce(ctx context.Context, br *breaker, method, path string, mkBody func() ([]byte, error), idempotent bool) (*attemptResult, error) {
+	if !br.Allow() {
+		c.breakerRejected.Add(1)
+		return nil, fmt.Errorf("%w: host %s", ErrCircuitOpen, br.host)
+	}
+	var payload []byte
+	if mkBody != nil {
+		var err error
+		payload, err = mkBody()
+		if err != nil {
+			br.Success() // local marshalling says nothing about the server
+			return nil, fmt.Errorf("client: encoding %s request: %w", path, err)
+		}
+	}
+	var res *attemptResult
+	var err error
+	if idempotent && c.opts.Hedge > 0 {
+		res, err = c.roundTripHedged(ctx, method, path, payload)
+	} else {
+		res, err = c.roundTrip(ctx, method, path, payload)
+	}
+	switch {
+	case err != nil:
+		if ctx.Err() == nil {
+			// A transport-level failure with a live context is the
+			// server's (or network's) fault.
+			br.Failure()
+		}
+	case res.status >= 500:
+		br.Failure()
+	default:
+		// 2xx–4xx means the server is alive and reasoning; 429 in
+		// particular is healthy backpressure, not breaker fodder.
+		br.Success()
+	}
+	return res, err
+}
+
+// roundTrip runs one exchange and fully consumes the body, so hedged
+// siblings can be cancelled without tearing a body read out from under
+// the winner's caller.
+func (c *Client) roundTrip(ctx context.Context, method, path string, payload []byte) (*attemptResult, error) {
+	c.attempts.Add(1)
+	u := *c.base
+	u.Path = strings.TrimRight(u.Path, "/") + path
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u.String(), body)
+	if err != nil {
+		return nil, fmt.Errorf("client: building request: %w", err)
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	req.Header.Set("User-Agent", c.opts.UserAgent)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	limit := int64(maxErrBody)
+	if resp.StatusCode == http.StatusOK {
+		limit = maxRespBody
+	}
+	b, err := io.ReadAll(io.LimitReader(resp.Body, limit))
+	if err != nil {
+		return nil, fmt.Errorf("client: reading response: %w", err)
+	}
+	return &attemptResult{
+		status:    resp.StatusCode,
+		header:    resp.Header,
+		body:      b,
+		requestID: resp.Header.Get("X-Request-ID"),
+	}, nil
+}
+
+// roundTripHedged races the primary exchange against a second one
+// launched after the hedge delay. The first completed exchange wins;
+// the straggler's context is cancelled on return.
+func (c *Client) roundTripHedged(ctx context.Context, method, path string, payload []byte) (*attemptResult, error) {
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type res struct {
+		r   *attemptResult
+		err error
+	}
+	ch := make(chan res, 2)
+	launch := func() {
+		r, err := c.roundTrip(hctx, method, path, payload)
+		ch <- res{r, err}
+	}
+	go launch()
+	inflight := 1
+	hedged := false
+	timer := time.NewTimer(c.opts.Hedge)
+	defer timer.Stop()
+	var firstErr error
+	for {
+		select {
+		case r := <-ch:
+			inflight--
+			if r.err == nil {
+				return r.r, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if inflight == 0 {
+				return nil, firstErr
+			}
+		case <-timer.C:
+			if !hedged {
+				hedged = true
+				inflight++
+				c.hedges.Add(1)
+				go launch()
+			}
+		}
+	}
+}
+
+// errorMessage extracts the server's {"error": ...} body, falling back
+// to the raw text.
+func errorMessage(body []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(body))
+}
+
+// sleepCtx waits d or until ctx is done; reports whether the full wait
+// elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

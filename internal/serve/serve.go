@@ -44,6 +44,11 @@ type Options struct {
 	// request IDs), so it belongs on a private debug listener — see
 	// DebugTraceHandler — unless the deployment opts in.
 	DebugTrace bool
+	// Chaos configures fault injection on the /v1/* endpoints (seeded
+	// error rate and latency distributions) for resilience testing and
+	// manual soak runs. The zero value disables injection; it can be
+	// reconfigured at runtime with SetChaos.
+	Chaos Chaos
 }
 
 func (o Options) withDefaults() Options {
@@ -77,12 +82,19 @@ type Server struct {
 	// capture holds the live /debug/trace recorder; the middleware
 	// attaches it to every request context while a window is open.
 	capture atomic.Pointer[obs.Recorder]
+	// chaos holds the live fault injector; nil means injection is off.
+	chaos atomic.Pointer[chaosState]
+	// svcTime tracks observed compute durations; the shedding path and
+	// the Retry-After hint derive their estimates from its median.
+	svcTime svcTimeTracker
 
 	requests        *CounterVec // by endpoint
 	responses       *CounterVec // by status code
 	evaluations     *Counter
 	rejected        *Counter
 	timeouts        *Counter
+	shed            *Counter
+	chaosInjected   *CounterVec // by kind: error / latency
 	latency         *Histogram
 	batchSize       *Histogram
 	stageSeconds    *HistogramVec // queue wait / cache lookup / compute
@@ -112,6 +124,10 @@ func New(opts Options) *Server {
 		"Requests rejected with 429 by queue-depth backpressure.")
 	s.timeouts = s.reg.NewCounter("maestro_timeouts_total",
 		"Requests that exceeded their deadline while queued or running.")
+	s.shed = s.reg.NewCounter("maestro_shed_total",
+		"Requests shed because their remaining deadline could not cover the expected queue wait plus observed p50 compute.")
+	s.chaosInjected = s.reg.NewCounterVec("maestro_chaos_injected_total",
+		"Faults injected by the chaos middleware, by kind.", "kind")
 	s.latency = s.reg.NewHistogram("maestro_request_seconds",
 		"End-to-end request latency.", ExpBuckets(0.0001, 4, 10))
 	s.batchSize = s.reg.NewHistogram("maestro_batch_size",
@@ -147,6 +163,9 @@ func New(opts Options) *Server {
 		"Jobs waiting in the worker queue.", s.pool.QueueDepth)
 	s.reg.NewGaugeFunc("maestro_inflight",
 		"Jobs currently executing.", s.pool.Running)
+	if opts.Chaos.enabled() {
+		s.chaos.Store(newChaosState(opts.Chaos))
+	}
 	return s
 }
 
@@ -169,7 +188,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("/v1/analyze/batch", s.handleBatch)
 	mux.HandleFunc("/v1/dse", s.handleDSE)
-	return s.instrument(mux)
+	return s.instrument(s.chaosMiddleware(mux))
 }
 
 // ---- plumbing ----
@@ -196,7 +215,7 @@ func errorStatus(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, ErrQueueFull):
 		return http.StatusTooManyRequests
-	case errors.Is(err, ErrPoolClosed):
+	case errors.Is(err, ErrPoolClosed), errors.Is(err, ErrShed):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
@@ -219,7 +238,16 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 	switch status {
 	case http.StatusTooManyRequests:
 		s.rejected.Inc()
-		w.Header().Set("Retry-After", "1")
+		// The hint tracks the backlog: queued items × observed median
+		// compute time / workers, so clients back off proportionally to
+		// how far behind the pool actually is.
+		w.Header().Set("Retry-After",
+			strconv.Itoa(s.retryAfterSeconds(s.pool.QueueDepth())))
+	case http.StatusServiceUnavailable:
+		if errors.Is(err, ErrShed) {
+			w.Header().Set("Retry-After",
+				strconv.Itoa(s.retryAfterSeconds(s.pool.QueueDepth())))
+		}
 	case http.StatusGatewayTimeout:
 		s.timeouts.Inc()
 	}
@@ -272,7 +300,9 @@ func (s *Server) evaluate(ctx context.Context, r resolved, key Key) (*AnalyzeRes
 	// and pricing appear as child spans / cache events under this span.
 	res, err := core.AnalyzeDataflowCachedCtx(ctx, r.df, r.layer, r.cfg)
 	span.End()
-	s.stageSeconds.With("compute").Observe(time.Since(startedAt).Seconds())
+	elapsed := time.Since(startedAt)
+	s.stageSeconds.With("compute").Observe(elapsed.Seconds())
+	s.svcTime.Observe(elapsed)
 	if err != nil {
 		return nil, err
 	}
@@ -336,6 +366,15 @@ func (s *Server) analyzeOne(ctx context.Context, req AnalyzeRequest) (*AnalyzeRe
 			resp := *(v.(*AnalyzeResponse)) // copy: Cached is per-delivery
 			resp.Cached = true
 			return &resp, nil
+		}
+	}
+
+	// Adaptive shedding: a request whose remaining deadline cannot cover
+	// the expected queue wait plus the observed median compute time is
+	// dropped here, before it occupies a queue slot it can never use.
+	if dl, ok := ctx.Deadline(); ok {
+		if err := s.shedCheck(time.Until(dl)); err != nil {
+			return nil, err
 		}
 	}
 

@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrShed reports adaptive load shedding: the request's remaining
+// deadline cannot cover the expected queue wait plus the observed
+// median compute time, so running it would only burn a worker on a
+// response the client will never read. Handlers map it to HTTP 503
+// with a Retry-After hint.
+var ErrShed = errors.New("serve: shed: deadline too short for expected compute")
+
+// svcWindow is the number of compute durations the tracker remembers.
+const svcWindow = 256
+
+// shedMinSamples gates shedding until the estimate has substance; a
+// cold server never sheds.
+const shedMinSamples = 32
+
+// svcTimeTracker keeps a bounded window of observed compute durations
+// and maintains a median estimate. Observe is on the per-evaluation
+// path, so the median is recomputed only every few samples and read
+// through one atomic load.
+type svcTimeTracker struct {
+	mu    sync.Mutex
+	buf   [svcWindow]float64 // seconds, ring
+	n     int                // total observations (saturates at math.MaxInt)
+	idx   int
+	p50ns atomic.Int64 // cached median, nanoseconds; 0 = not ready
+}
+
+// Observe records one compute duration and refreshes the cached median
+// every 16th sample.
+func (t *svcTimeTracker) Observe(d time.Duration) {
+	if d < 0 {
+		return
+	}
+	t.mu.Lock()
+	t.buf[t.idx] = d.Seconds()
+	t.idx = (t.idx + 1) % svcWindow
+	if t.n < math.MaxInt {
+		t.n++
+	}
+	if t.n >= shedMinSamples && t.n%16 == 0 {
+		t.p50ns.Store(int64(t.medianLocked() * float64(time.Second)))
+	}
+	t.mu.Unlock()
+}
+
+// medianLocked computes the median of the resident window. Caller holds mu.
+func (t *svcTimeTracker) medianLocked() float64 {
+	n := t.n
+	if n > svcWindow {
+		n = svcWindow
+	}
+	tmp := make([]float64, n)
+	copy(tmp, t.buf[:n])
+	sort.Float64s(tmp)
+	return tmp[n/2]
+}
+
+// P50 returns the cached median compute time. ok is false until
+// shedMinSamples observations have accumulated.
+func (t *svcTimeTracker) P50() (time.Duration, bool) {
+	ns := t.p50ns.Load()
+	if ns <= 0 {
+		return 0, false
+	}
+	return time.Duration(ns), true
+}
+
+// expectedLatency estimates the time a freshly queued request needs to
+// complete: the queued jobs ahead of it drain at one median compute
+// time per worker, then it computes once itself.
+func (s *Server) expectedLatency() (time.Duration, bool) {
+	p50, ok := s.svcTime.P50()
+	if !ok {
+		return 0, false
+	}
+	depth := s.pool.QueueDepth()
+	wait := time.Duration(float64(p50) * float64(depth) / float64(s.opts.Workers))
+	return wait + p50, true
+}
+
+// shedCheck applies queue-deadline shedding: when the context carries a
+// deadline that cannot cover the expected queue wait + compute, the
+// request is dropped before it occupies a queue slot. Returns ErrShed
+// (wrapped with the numbers) when the request should be shed.
+func (s *Server) shedCheck(remaining time.Duration) error {
+	if remaining <= 0 {
+		return nil // no deadline information; never shed
+	}
+	est, ok := s.expectedLatency()
+	if !ok || remaining >= est {
+		return nil
+	}
+	s.shed.Inc()
+	return &shedError{remaining: remaining, expected: est}
+}
+
+// shedError carries the shedding decision's numbers for the 503 body.
+type shedError struct{ remaining, expected time.Duration }
+
+func (e *shedError) Error() string {
+	return "serve: shed: remaining deadline " + e.remaining.Round(time.Millisecond).String() +
+		" below expected latency " + e.expected.Round(time.Millisecond).String() +
+		" (queue wait + observed p50 compute)"
+}
+
+func (e *shedError) Unwrap() error { return ErrShed }
+
+// retryAfterSeconds derives the Retry-After hint for 429/shed responses
+// from the current backlog: `depth` queued items drain at one observed
+// median compute time per worker. With no estimate (cold server) or an
+// empty queue the hint is the 1-second floor; the hint is capped so a
+// deep queue never tells clients to go away for minutes.
+func (s *Server) retryAfterSeconds(depth int64) int {
+	const capSeconds = 30
+	p50, ok := s.svcTime.P50()
+	if !ok || depth <= 0 {
+		return 1
+	}
+	secs := int(math.Ceil(float64(depth) * p50.Seconds() / float64(s.opts.Workers)))
+	if secs < 1 {
+		return 1
+	}
+	if secs > capSeconds {
+		return capSeconds
+	}
+	return secs
+}

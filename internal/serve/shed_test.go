@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// feedSvcTime pushes n identical observations so the tracker's cached
+// median becomes d (n must clear shedMinSamples and land on a refresh).
+func feedSvcTime(t *svcTimeTracker, d time.Duration, n int) {
+	for i := 0; i < n; i++ {
+		t.Observe(d)
+	}
+}
+
+func TestSvcTimeTrackerMedian(t *testing.T) {
+	var tr svcTimeTracker
+	if _, ok := tr.P50(); ok {
+		t.Fatal("cold tracker must report no estimate")
+	}
+	// Below the warmup floor: still no estimate.
+	feedSvcTime(&tr, 10*time.Millisecond, shedMinSamples-1)
+	if _, ok := tr.P50(); ok {
+		t.Fatalf("tracker reported an estimate after %d samples", shedMinSamples-1)
+	}
+	feedSvcTime(&tr, 10*time.Millisecond, 33)
+	p50, ok := tr.P50()
+	if !ok {
+		t.Fatal("tracker has no estimate after warmup")
+	}
+	if p50 < 9*time.Millisecond || p50 > 11*time.Millisecond {
+		t.Fatalf("p50 = %v, want ~10ms", p50)
+	}
+	// A flood of slow observations moves the median up.
+	feedSvcTime(&tr, 100*time.Millisecond, svcWindow)
+	p50, _ = tr.P50()
+	if p50 < 90*time.Millisecond {
+		t.Fatalf("p50 = %v after slow flood, want ~100ms", p50)
+	}
+}
+
+// TestRetryAfterHint covers the satellite fix: the 429 Retry-After hint
+// derives from queue depth × observed per-item service time, not a
+// hardcoded 1.
+func TestRetryAfterHint(t *testing.T) {
+	s := New(Options{Workers: 2, QueueDepth: 8})
+	defer s.Close()
+
+	// Cold server: no estimate yet, floor of 1 regardless of depth.
+	if got := s.retryAfterSeconds(0); got != 1 {
+		t.Fatalf("empty queue hint = %d, want 1", got)
+	}
+	if got := s.retryAfterSeconds(100); got != 1 {
+		t.Fatalf("cold-tracker hint = %d, want 1", got)
+	}
+
+	// Warm tracker at ~500ms per item, 2 workers.
+	feedSvcTime(&s.svcTime, 500*time.Millisecond, 64)
+	if _, ok := s.svcTime.P50(); !ok {
+		t.Fatal("tracker not warm")
+	}
+	if got := s.retryAfterSeconds(0); got != 1 {
+		t.Fatalf("empty queue hint = %d, want 1", got)
+	}
+	// 8 queued × 0.5s / 2 workers = 2s.
+	if got := s.retryAfterSeconds(8); got != 2 {
+		t.Fatalf("full queue hint = %d, want 2", got)
+	}
+	// A pathological backlog is capped.
+	if got := s.retryAfterSeconds(1_000_000); got != 30 {
+		t.Fatalf("deep queue hint = %d, want cap 30", got)
+	}
+}
+
+// TestShedCheck exercises the queue-deadline shedding decision.
+func TestShedCheck(t *testing.T) {
+	s := New(Options{Workers: 1, QueueDepth: 4})
+	defer s.Close()
+
+	// Cold server never sheds.
+	if err := s.shedCheck(time.Microsecond); err != nil {
+		t.Fatalf("cold server shed: %v", err)
+	}
+	feedSvcTime(&s.svcTime, 20*time.Millisecond, 64)
+	// Plenty of deadline: no shed.
+	if err := s.shedCheck(time.Second); err != nil {
+		t.Fatalf("ample deadline shed: %v", err)
+	}
+	// Deadline below one compute time: shed.
+	err := s.shedCheck(time.Millisecond)
+	if err == nil {
+		t.Fatal("starved deadline not shed")
+	}
+	if !strings.Contains(err.Error(), "p50") {
+		t.Fatalf("shed error lacks the estimate: %v", err)
+	}
+	if got := s.shed.Value(); got != 1 {
+		t.Fatalf("maestro_shed_total = %d, want 1", got)
+	}
+	// No deadline information: never shed.
+	if err := s.shedCheck(0); err != nil {
+		t.Fatalf("deadline-free shed: %v", err)
+	}
+}
+
+// TestShedEndToEnd drives a real request with an impossible timeout_ms
+// through a warm server and expects the distinct 503 with Retry-After
+// and the maestro_shed_total bump.
+func TestShedEndToEnd(t *testing.T) {
+	s := New(Options{Workers: 1, QueueDepth: 4})
+	defer s.Close()
+	feedSvcTime(&s.svcTime, 50*time.Millisecond, 64)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := `{"layer": {"op": "CONV2D", "k": 4, "c": 3, "y": 8, "x": 8, "r": 3, "s": 3},
+	          "dataflow": {"name": "KC-P"}, "hw": {"preset": "Accel256"},
+	          "timeout_ms": 5}`
+	resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed 503 lacks Retry-After")
+	}
+	var e map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e["error"], "shed") {
+		t.Fatalf("shed body = %q, want a shed error", e["error"])
+	}
+	if got := s.shed.Value(); got != 1 {
+		t.Fatalf("maestro_shed_total = %d, want 1", got)
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"repro/internal/noc"
 	"repro/internal/report"
 	"repro/internal/serve"
+	"repro/internal/serve/client"
 	"repro/internal/sim"
 	"repro/internal/tensor"
 	"repro/internal/tuner"
@@ -426,6 +427,45 @@ type (
 // NewAnalysisServer builds the analysis service; mount its Handler()
 // and Close() it on shutdown to drain in-flight work.
 var NewAnalysisServer = serve.New
+
+// ServeChaos configures the service's fault-injection middleware
+// (seeded error-rate and latency distributions on the /v1/* endpoints)
+// for resilience testing and manual soak runs.
+type ServeChaos = serve.Chaos
+
+// Resilient client for the analysis service: stdlib-only, with
+// jittered exponential retry honoring Retry-After, a per-host circuit
+// breaker, optional hedging for idempotent analyze calls, and context
+// deadline propagation into the service's timeout_ms.
+type (
+	// Client calls a maestro-serve instance with retries, backoff, and
+	// a circuit breaker; build with NewClient.
+	Client = client.Client
+	// ClientOptions configures a Client.
+	ClientOptions = client.Options
+	// ClientStats snapshots a Client's resilience counters.
+	ClientStats = client.Stats
+	// ClientBreakerOptions configures the per-host circuit breaker.
+	ClientBreakerOptions = client.BreakerOptions
+	// ClientBreakerState is a circuit breaker position
+	// (closed/open/half-open).
+	ClientBreakerState = client.BreakerState
+	// ClientAPIError is a terminal, non-retryable service answer.
+	ClientAPIError = client.APIError
+)
+
+// NewClient builds a resilient client for the analysis service at
+// opts.BaseURL.
+var NewClient = client.New
+
+// Client sentinel errors.
+var (
+	// ErrClientCircuitOpen reports a call refused locally by an open
+	// circuit breaker.
+	ErrClientCircuitOpen = client.ErrCircuitOpen
+	// ErrClientExhausted reports that every retry attempt failed.
+	ErrClientExhausted = client.ErrExhausted
+)
 
 // Conv2D builds a dense convolution with k output channels, c input
 // channels, out x out output positions, an r x r filter and the given
