@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench serve clean
+.PHONY: all build vet test race fuzz bench bench-fleet serve clean
 
 all: vet build test
 
@@ -27,11 +27,17 @@ fuzz:
 	$(GO) test -fuzz=FuzzParseDataflow -fuzztime=10s -run xxx ./internal/dataflow/
 	$(GO) test -fuzz=FuzzParseNetwork -fuzztime=10s -run xxx ./internal/dataflow/
 	$(GO) test -fuzz=FuzzParseHW -fuzztime=10s -run xxx ./internal/hw/
+	$(GO) test -fuzz=FuzzPartition -fuzztime=10s -run xxx ./internal/dse/
 
 # One pass over the figure/table benchmarks plus the service benchmarks.
 bench:
 	$(GO) test -bench . -benchtime 1x -run xxx .
 	$(GO) test -bench . -benchmem -run xxx ./internal/serve
+
+# Fleet scaling: 1/2/4 in-process nodes with injected per-shard service
+# time; the measured numbers are recorded in BENCH_fleet.json.
+bench-fleet:
+	$(GO) test -bench BenchmarkFleetSweep -benchtime 3x -run xxx ./internal/fleet
 
 serve:
 	$(GO) run ./cmd/maestro-serve

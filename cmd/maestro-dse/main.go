@@ -6,6 +6,7 @@
 //	maestro-dse [-model VGG16] [-layer CONV2] [-dataflow KC-P|YR-P|YX-P]
 //	            [-area 16] [-power 450] [-quick] [-csv out.csv]
 //	            [-progress] [-trace out.json]
+//	            [-workers http://host1:8080,http://host2:8080]
 //
 // It sweeps PEs, NoC bandwidth, tile sizes and L2 capacity under the
 // area/power budget, then prints the throughput-, energy- and
@@ -13,47 +14,82 @@
 // statistics (Figure 13). With -csv the full design space is dumped for
 // plotting; -progress reports live designs/sec during the sweep; -trace
 // records the sweep as Chrome trace_event JSON for chrome://tracing.
+//
+// With -workers the sweep is distributed: the design space is sharded
+// across the listed maestro-serve nodes and the partial Pareto fronts
+// are merged as shards complete (the merged front is identical to a
+// local run). In that mode -csv dumps the merged front rather than
+// every valid design, since only frontier points cross the wire.
 package main
 
 import (
 	"context"
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
+	"strings"
 
 	"repro/internal/dataflow"
 	"repro/internal/dataflows"
 	"repro/internal/dse"
+	"repro/internal/fleet"
 	"repro/internal/hw"
 	"repro/internal/models"
 	"repro/internal/obs"
+	"repro/internal/serve"
 )
 
+// errUsage marks bad invocations; main maps it to exit status 2.
+var errUsage = errors.New("usage: maestro-dse [flags]")
+
 func main() {
-	modelName := flag.String("model", "VGG16", "model: VGG16, AlexNet, ResNet50, ResNeXt50, MobileNetV2, UNet, DCGAN")
-	layerName := flag.String("layer", "CONV2", "layer name within the model")
-	dfName := flag.String("dataflow", "KC-P", "dataflow style: KC-P, YR-P, or YX-P")
-	area := flag.Float64("area", 16, "area budget in mm²")
-	power := flag.Float64("power", 450, "power budget in mW")
-	quick := flag.Bool("quick", false, "coarse grids for a fast run")
-	csvPath := flag.String("csv", "", "dump all valid designs to a CSV file")
-	progress := flag.Bool("progress", false, "report live exploration progress on stderr")
-	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the sweep to this file")
-	flag.Parse()
+	err := run(os.Args[1:], os.Stdout)
+	if err == nil {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "maestro-dse:", err)
+	if errors.Is(err, errUsage) {
+		os.Exit(2)
+	}
+	os.Exit(1)
+}
+
+// run is the whole tool behind a testable seam: flags in, report out.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("maestro-dse", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	modelName := fs.String("model", "VGG16", "model: VGG16, AlexNet, ResNet50, ResNeXt50, MobileNetV2, UNet, DCGAN")
+	layerName := fs.String("layer", "CONV2", "layer name within the model")
+	dfName := fs.String("dataflow", "KC-P", "dataflow style: KC-P, YR-P, or YX-P")
+	area := fs.Float64("area", 16, "area budget in mm²")
+	power := fs.Float64("power", 450, "power budget in mW")
+	quick := fs.Bool("quick", false, "coarse grids for a fast run")
+	csvPath := fs.String("csv", "", "dump all valid designs (fleet mode: the merged Pareto front) to a CSV file")
+	progress := fs.Bool("progress", false, "report live exploration progress on stderr")
+	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON of the sweep to this file")
+	workers := fs.String("workers", "", "comma-separated maestro-serve base URLs; distribute the sweep across them instead of exploring in-process")
+	if err := fs.Parse(args); err != nil {
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
+	if fs.NArg() != 0 {
+		return errUsage
+	}
 
 	m, ok := modelByName(*modelName)
 	if !ok {
-		fatal(fmt.Errorf("unknown model %q", *modelName))
+		return fmt.Errorf("unknown model %q", *modelName)
 	}
 	li, ok := m.Find(*layerName)
 	if !ok {
-		fatal(fmt.Errorf("layer %q not found in %s", *layerName, m.Name))
+		return fmt.Errorf("layer %q not found in %s", *layerName, m.Name)
 	}
 	tmpl, ok := templateByName(*dfName, *quick)
 	if !ok {
-		fatal(fmt.Errorf("unknown dataflow template %q", *dfName))
+		return fmt.Errorf("unknown dataflow template %q", *dfName)
 	}
 
 	pes := []int{}
@@ -68,13 +104,26 @@ func main() {
 	for b := 1.0; b <= 128; b *= 2 {
 		bws = append(bws, b, b*1.5)
 	}
+	l1Grid := dse.DefaultGrid(64, 1<<20, 1.45)
+	l2Grid := dse.DefaultGrid(1<<12, 1<<24, 1.4)
+
+	if *workers != "" {
+		return runFleet(fleetArgs{
+			hosts: splitHosts(*workers),
+			model: m.Name, layer: li.Layer.Name, template: *dfName,
+			tmpl: tmpl, pes: pes, bws: bws, l1Grid: l1Grid, l2Grid: l2Grid,
+			area: *area, power: *power,
+			csvPath: *csvPath, tracePath: *tracePath, progress: *progress,
+		}, stdout)
+	}
+
 	space := dse.Space{
 		Layer:         li.Layer,
 		Template:      tmpl,
 		PEs:           pes,
 		BWs:           bws,
-		L1Grid:        dse.DefaultGrid(64, 1<<20, 1.45),
-		L2Grid:        dse.DefaultGrid(1<<12, 1<<24, 1.4),
+		L1Grid:        l1Grid,
+		L2Grid:        l2Grid,
 		AreaBudgetMM2: *area,
 		PowerBudgetMW: *power,
 		Cost:          hw.Default28nm(),
@@ -96,41 +145,146 @@ func main() {
 	}
 	if rec != nil {
 		if err := writeTrace(*tracePath, rec); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("wrote %d spans to %s\n", rec.Len(), *tracePath)
+		fmt.Fprintf(stdout, "wrote %d spans to %s\n", rec.Len(), *tracePath)
 	}
-	fmt.Printf("%s on %s/%s: %d mappings profiled, %d hardware points priced, %d valid (raw space %d)\n",
+	fmt.Fprintf(stdout, "%s on %s/%s: %d mappings profiled, %d hardware points priced, %d valid (raw space %d)\n",
 		tmpl.Name, m.Name, li.Layer.Name, stats.Invoked, stats.Priced, stats.Valid, stats.Raw)
-	fmt.Printf("explored %d points in %.2fs: %.3g designs/s (%.1f pricings per profile)\n\n",
+	fmt.Fprintf(stdout, "explored %d points in %.2fs: %.3g designs/s (%.1f pricings per profile)\n\n",
 		stats.Explored, stats.Elapsed.Seconds(), stats.Rate(),
 		float64(stats.Priced)/float64(max(stats.Invoked, 1)))
 
 	if len(pts) == 0 {
-		fmt.Println("no valid designs within budget")
-		return
-	}
-	show := func(tag string, p dse.Point, ok bool) {
-		if !ok {
-			return
-		}
-		fmt.Printf("%-16s PEs=%-5d BW=%-5.0f L1=%-6dB L2=%-8dB area=%.2fmm² power=%.1fmW  %.1f MAC/cyc  %.3g pJ  EDP %.3g\n",
-			tag, p.NumPEs, p.BW, p.L1Bytes, p.L2Bytes, p.AreaMM2, p.PowerMW, p.Throughput, p.EnergyPJ, p.EDP)
+		fmt.Fprintln(stdout, "no valid designs within budget")
+		return nil
 	}
 	t, ok1 := dse.ThroughputOpt(pts)
-	show("throughput-opt", t, ok1)
+	showPoint(stdout, "throughput-opt", t, ok1)
 	e, ok2 := dse.EnergyOpt(pts)
-	show("energy-opt", e, ok2)
+	showPoint(stdout, "energy-opt", e, ok2)
 	d, ok3 := dse.EDPOpt(pts)
-	show("edp-opt", d, ok3)
-	fmt.Printf("Pareto frontier: %d of %d evaluated points\n", len(dse.Pareto(pts)), len(pts))
+	showPoint(stdout, "edp-opt", d, ok3)
+	fmt.Fprintf(stdout, "Pareto frontier: %d of %d evaluated points\n", len(dse.Pareto(pts)), len(pts))
 
 	if *csvPath != "" {
 		if err := dumpCSV(*csvPath, pts); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("wrote %d designs to %s\n", len(pts), *csvPath)
+		fmt.Fprintf(stdout, "wrote %d designs to %s\n", len(pts), *csvPath)
 	}
+	return nil
+}
+
+// fleetArgs carries one distributed invocation's resolved inputs.
+type fleetArgs struct {
+	hosts                  []string
+	model, layer, template string
+	tmpl                   dse.Template
+	pes                    []int
+	bws                    []float64
+	l1Grid, l2Grid         []int64
+	area, power            float64
+	csvPath, tracePath     string
+	progress               bool
+}
+
+// runFleet distributes the sweep across maestro-serve nodes and prints
+// the merged result in the same shape as a local run.
+func runFleet(a fleetArgs, stdout io.Writer) error {
+	if len(a.hosts) == 0 {
+		return fmt.Errorf("%w: -workers needs at least one host", errUsage)
+	}
+	opts := fleet.Options{Hosts: a.hosts}
+	if a.progress {
+		opts.OnShard = func(sr fleet.ShardResult) {
+			fmt.Fprintf(os.Stderr, "\rshard %d/%d done on %s (%d designs) ",
+				sr.Shard.Index+1, sr.Shard.Of, sr.Host, sr.Resp.Explored)
+		}
+	}
+	f, err := fleet.New(opts)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	ctx := context.Background()
+	var rec *obs.Recorder
+	if a.tracePath != "" {
+		rec = obs.NewRecorder()
+		ctx = obs.WithRecorder(ctx, rec)
+	}
+	res, err := f.Sweep(ctx, serve.DSERequest{
+		Layer:         serve.LayerSpec{Model: a.model, Name: a.layer},
+		Template:      a.template,
+		P1:            a.tmpl.P1,
+		P2:            a.tmpl.P2,
+		PEs:           a.pes,
+		BWs:           a.bws,
+		L1Grid:        a.l1Grid,
+		L2Grid:        a.l2Grid,
+		AreaBudgetMM2: a.area,
+		PowerBudgetMW: a.power,
+	})
+	if a.progress {
+		fmt.Fprintln(os.Stderr)
+	}
+	if err != nil {
+		return err
+	}
+	if rec != nil {
+		if err := writeTrace(a.tracePath, rec); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %d spans to %s\n", rec.Len(), a.tracePath)
+	}
+	fmt.Fprintf(stdout, "%s on %s/%s across %d nodes: %d shards, %d mappings profiled, %d hardware points priced, %d valid (raw space %d)\n",
+		a.template, a.model, a.layer, len(a.hosts), res.Shards, res.Invoked, res.Pricings, res.Valid, res.Raw)
+	fmt.Fprintf(stdout, "explored %d points in %.2fs: %.3g designs/s (%d re-dispatched, %d stolen, %d discarded)\n\n",
+		res.Explored, res.Elapsed.Seconds(), res.Rate(), res.Redispatched, res.Stolen, res.Discarded)
+
+	if len(res.Pareto) == 0 {
+		fmt.Fprintln(stdout, "no valid designs within budget")
+		return nil
+	}
+	if res.ThroughputOpt != nil {
+		showPoint(stdout, "throughput-opt", *res.ThroughputOpt, true)
+	}
+	if res.EnergyOpt != nil {
+		showPoint(stdout, "energy-opt", *res.EnergyOpt, true)
+	}
+	if res.EDPOpt != nil {
+		showPoint(stdout, "edp-opt", *res.EDPOpt, true)
+	}
+	fmt.Fprintf(stdout, "Pareto frontier: %d points\n", len(res.Pareto))
+
+	if a.csvPath != "" {
+		if err := dumpCSV(a.csvPath, res.Pareto); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %d designs to %s\n", len(res.Pareto), a.csvPath)
+	}
+	return nil
+}
+
+// splitHosts parses the -workers list, dropping empty entries so
+// trailing commas are harmless.
+func splitHosts(s string) []string {
+	var hosts []string
+	for _, h := range strings.Split(s, ",") {
+		if h = strings.TrimSpace(h); h != "" {
+			hosts = append(hosts, h)
+		}
+	}
+	return hosts
+}
+
+func showPoint(w io.Writer, tag string, p dse.Point, ok bool) {
+	if !ok {
+		return
+	}
+	fmt.Fprintf(w, "%-16s PEs=%-5d BW=%-5.0f L1=%-6dB L2=%-8dB area=%.2fmm² power=%.1fmW  %.1f MAC/cyc  %.3g pJ  EDP %.3g\n",
+		tag, p.NumPEs, p.BW, p.L1Bytes, p.L2Bytes, p.AreaMM2, p.PowerMW, p.Throughput, p.EnergyPJ, p.EDP)
 }
 
 func modelByName(name string) (models.Model, bool) {
@@ -208,9 +362,4 @@ func writeTrace(path string, rec *obs.Recorder) error {
 		return err
 	}
 	return f.Close()
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "maestro-dse:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// -update regenerates the golden files instead of comparing.
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestUsageGolden pins the -h output — the flag surface is part of the
+// CLI contract (scripts parse it), so adding or renaming a flag must
+// show up as a reviewed diff here.
+func TestUsageGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-h"}, &buf); !errors.Is(err, errUsage) {
+		t.Fatalf("run(-h) = %v, want errUsage", err)
+	}
+	golden := filepath.Join("testdata", "usage.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/maestro-dse -run TestUsageGolden -update` to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("usage diverged from %s.\n--- got ---\n%s\n--- want ---\n%s\n(regenerate with -update if the change is intentional)",
+			golden, buf.Bytes(), want)
+	}
+}
+
+// TestRunUsageErrors pins the error seams main() maps to exit codes.
+func TestRunUsageErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-area", "not-a-number"}, &buf); !errors.Is(err, errUsage) {
+		t.Fatalf("bad flag = %v, want errUsage", err)
+	}
+	if err := run([]string{"stray-positional"}, &buf); !errors.Is(err, errUsage) {
+		t.Fatalf("positional arg = %v, want errUsage", err)
+	}
+	if err := run([]string{"-workers", " , "}, &buf); !errors.Is(err, errUsage) {
+		t.Fatalf("empty workers list = %v, want errUsage", err)
+	}
+	if err := run([]string{"-model", "NopeNet"}, &buf); err == nil || errors.Is(err, errUsage) {
+		t.Fatalf("unknown model = %v, want a non-usage error", err)
+	}
+	if err := run([]string{"-dataflow", "WARP-9"}, &buf); err == nil || errors.Is(err, errUsage) {
+		t.Fatalf("unknown template = %v, want a non-usage error", err)
+	}
+}
+
+// TestRunFleetQuick drives the -workers path end to end against two
+// in-process serve nodes.
+func TestRunFleetQuick(t *testing.T) {
+	urls := make([]string, 2)
+	for i := range urls {
+		s := serve.New(serve.Options{Workers: 1})
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(func() { ts.Close(); s.Close() })
+		urls[i] = ts.URL
+	}
+	var buf bytes.Buffer
+	args := []string{"-quick", "-model", "VGG16", "-layer", "CONV11",
+		"-dataflow", "KC-P", "-workers", strings.Join(urls, ",")}
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run(%v): %v\n%s", args, err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"across 2 nodes", "Pareto frontier:", "throughput-opt"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fleet output missing %q:\n%s", want, out)
+		}
+	}
+}

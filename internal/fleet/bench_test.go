@@ -1,0 +1,69 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// serviceTime models a remote node's per-shard service time via the
+// chaos latency injector. The in-process compute for the benchmark
+// space is microseconds, so without this the benchmark would measure
+// loopback HTTP overhead, not coordination; with it, the sweep's wall
+// clock is dominated by per-node service time exactly as a real fleet's
+// is, and the nodes=N ratio reports how well the coordinator overlaps
+// nodes. (The container this repo benches on is single-CPU, so genuine
+// compute-bound scaling cannot be demonstrated in-process.)
+const serviceTime = 10 * time.Millisecond
+
+// benchReq widens fleetReq's PE axis to 32 (pe, p1) cells so the
+// partition is fine-grained enough for the ring to balance: with only
+// a handful of shards, one node's extra shard dominates the critical
+// path and understates the coordinator.
+func benchReq() serve.DSERequest {
+	req := fleetReq()
+	req.PEs = nil
+	for pe := 32; pe <= 512; pe += 32 {
+		req.PEs = append(req.PEs, pe)
+	}
+	return req
+}
+
+// BenchmarkFleetSweep sweeps the same space through 1, 2, and 4
+// in-process nodes with a fixed 32-shard partition and reports merged
+// designs per wall-clock second.
+func BenchmarkFleetSweep(b *testing.B) {
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("nodes=%d", n), func(b *testing.B) {
+			hosts, servers, hc := newNodes(b, n)
+			for _, s := range servers {
+				s.SetChaos(serve.Chaos{Latency: serviceTime})
+			}
+			opts := fastFleet(hosts, hc)
+			opts.ShardsPerNode = 32 / n // constant 32 shards at every width
+			f, err := New(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer f.Close()
+			req := benchReq()
+			req.NoCache = true // measure dispatch, not the nodes' result caches
+
+			b.ResetTimer()
+			var explored int64
+			var elapsed time.Duration
+			for i := 0; i < b.N; i++ {
+				res, err := f.Sweep(context.Background(), req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				explored += res.Explored
+				elapsed += res.Elapsed
+			}
+			b.ReportMetric(float64(explored)/elapsed.Seconds(), "designs/s")
+		})
+	}
+}

@@ -1,0 +1,706 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/dse"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/serve/client"
+	"repro/internal/tensor"
+)
+
+// Options configures a Fleet.
+type Options struct {
+	// Hosts are the maestro-serve base URLs the fleet dispatches to,
+	// e.g. {"http://10.0.0.1:8080", "http://10.0.0.2:8080"}. At least
+	// one is required; duplicates are a configuration error.
+	Hosts []string
+	// Client is the per-node client template; BaseURL is overwritten
+	// with each host. The zero value uses the client defaults.
+	Client client.Options
+	// ShardsPerNode sets the target shard count as a multiple of the
+	// host count (default 4). More shards mean finer re-dispatch and
+	// steal granularity at the cost of per-request overhead; the target
+	// is raised automatically when the raw space would otherwise exceed
+	// a server's MaxDSEGrid cap per shard.
+	ShardsPerNode int
+	// InflightPerNode caps concurrent shard requests per node
+	// (default 2).
+	InflightPerNode int
+	// Rounds bounds how many times a shard may walk the whole ring
+	// before the sweep fails (default 3). Each failover within a round
+	// is a re-dispatch; a backoff separates full ring wraps.
+	Rounds int
+	// StragglerFactor triggers work-stealing: a shard whose sole
+	// running attempt is older than this multiple of the median
+	// completed-shard latency is re-issued on an idle healthy node
+	// (default 4; the first finisher wins, the loser is discarded).
+	StragglerFactor float64
+	// StragglerMin is the minimum attempt age before stealing kicks in
+	// (default 150ms), so fast sweeps never pay duplicate work.
+	StragglerMin time.Duration
+	// WatchTick is the straggler watchdog period (default 25ms).
+	WatchTick time.Duration
+	// OnShard, when set, streams each accepted shard result as it
+	// merges (duplicates from stolen attempts are not streamed). Called
+	// from request goroutines; must be safe for concurrent use.
+	OnShard func(ShardResult)
+}
+
+func (o Options) withDefaults() Options {
+	if o.ShardsPerNode <= 0 {
+		o.ShardsPerNode = 4
+	}
+	if o.InflightPerNode <= 0 {
+		o.InflightPerNode = 2
+	}
+	if o.Rounds <= 0 {
+		o.Rounds = 3
+	}
+	if o.StragglerFactor <= 0 {
+		o.StragglerFactor = 4
+	}
+	if o.StragglerMin <= 0 {
+		o.StragglerMin = 150 * time.Millisecond
+	}
+	if o.WatchTick <= 0 {
+		o.WatchTick = 25 * time.Millisecond
+	}
+	return o
+}
+
+// ShardResult is one accepted shard response, streamed via OnShard.
+type ShardResult struct {
+	Shard  dse.Shard
+	Host   string // node that produced the accepted result
+	Stolen bool   // true when a watchdog-stolen attempt won
+	Resp   *serve.DSEResponse
+}
+
+// Result is a completed distributed sweep: the merged Pareto front in
+// canonical point order, the per-objective optima, and the aggregated
+// exploration counters (counted at-most-once per shard, however many
+// attempts ran).
+type Result struct {
+	Pareto        []dse.Point
+	ThroughputOpt *dse.Point
+	EnergyOpt     *dse.Point
+	EDPOpt        *dse.Point
+
+	Raw      int64
+	Explored int64
+	Invoked  int64
+	Pricings int64
+	Valid    int64
+
+	Elapsed      time.Duration
+	Shards       int
+	Redispatched int64 // failover attempts after a node refused or failed a shard
+	Stolen       int64 // duplicate attempts launched by the straggler watchdog
+	Discarded    int64 // duplicate results dropped by at-most-once accounting
+}
+
+// Rate reports explored designs per wall-clock second.
+func (r *Result) Rate() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Explored) / r.Elapsed.Seconds()
+}
+
+// NodeStats counts one node's share of fleet traffic.
+type NodeStats struct {
+	// Shards is the number of shard results accepted from this node.
+	Shards int64
+	// Errors is the number of failed shard attempts on this node.
+	Errors int64
+	// Breaker is the node's circuit-breaker position at snapshot time.
+	Breaker client.BreakerState
+}
+
+// Stats is a point-in-time snapshot of fleet activity.
+type Stats struct {
+	Sweeps       int64
+	Shards       int64
+	Redispatched int64
+	Stolen       int64
+	Discarded    int64
+	PerNode      map[string]NodeStats
+}
+
+// Fleet dispatches sharded DSE sweeps across maestro-serve nodes. Safe
+// for concurrent use.
+type Fleet struct {
+	opts    Options
+	ring    *ring
+	clients map[string]*client.Client
+
+	mu           sync.Mutex
+	sweeps       int64
+	shards       int64
+	redispatched int64
+	stolen       int64
+	discarded    int64
+	perNode      map[string]*NodeStats
+}
+
+// New builds a Fleet over opts.Hosts.
+func New(opts Options) (*Fleet, error) {
+	opts = opts.withDefaults()
+	if len(opts.Hosts) == 0 {
+		return nil, errors.New("fleet: no hosts")
+	}
+	f := &Fleet{
+		opts:    opts,
+		clients: make(map[string]*client.Client, len(opts.Hosts)),
+		perNode: make(map[string]*NodeStats, len(opts.Hosts)),
+	}
+	for _, h := range opts.Hosts {
+		if _, dup := f.clients[h]; dup {
+			return nil, fmt.Errorf("fleet: duplicate host %q", h)
+		}
+		copts := opts.Client
+		copts.BaseURL = h
+		c, err := client.New(copts)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: host %q: %w", h, err)
+		}
+		f.clients[h] = c
+		f.perNode[h] = &NodeStats{}
+	}
+	f.ring = newRing(opts.Hosts)
+	return f, nil
+}
+
+// Close releases the per-node clients' idle connections.
+func (f *Fleet) Close() {
+	for _, c := range f.clients {
+		c.CloseIdleConnections()
+	}
+}
+
+// Stats snapshots fleet counters and live per-node breaker positions.
+func (f *Fleet) Stats() Stats {
+	f.mu.Lock()
+	st := Stats{
+		Sweeps:       f.sweeps,
+		Shards:       f.shards,
+		Redispatched: f.redispatched,
+		Stolen:       f.stolen,
+		Discarded:    f.discarded,
+		PerNode:      make(map[string]NodeStats, len(f.perNode)),
+	}
+	for h, ns := range f.perNode {
+		st.PerNode[h] = *ns
+	}
+	f.mu.Unlock()
+	// Breaker positions are read live from each client, outside the
+	// fleet lock (Stats never calls back into the fleet).
+	for h, c := range f.clients {
+		ns := st.PerNode[h]
+		ns.Breaker = c.BreakerState()
+		st.PerNode[h] = ns
+	}
+	return st
+}
+
+// shardRun is one shard's dispatch state.
+type shardRun struct {
+	shard dse.Shard
+	req   serve.DSERequest
+	route []string // failover order, preferred node first
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	cursor int // next route position to try
+	live   map[int]liveAttempt
+	nextID int
+	stole  bool
+	done   bool // guarded by sweep.mu, not sr.mu
+}
+
+// liveAttempt is one in-flight request the watchdog can judge.
+type liveAttempt struct {
+	start time.Time
+	host  string
+}
+
+// sweep is the per-Sweep coordinator state.
+type sweep struct {
+	f      *Fleet
+	opts   Options
+	ctx    context.Context
+	cancel context.CancelFunc
+	sem    map[string]chan struct{}
+	shards []*shardRun
+	wg     sync.WaitGroup
+
+	mu        sync.Mutex
+	front     []dse.Point
+	res       Result
+	latencies []time.Duration
+	completed int
+	err       error
+
+	doneCh chan struct{}
+	failCh chan struct{}
+	fail   sync.Once
+}
+
+// Sweep partitions req's design space, dispatches the shards across the
+// fleet, and returns the merged result. The request's unset axes are
+// filled with the same defaults a single server applies, so the merged
+// front is identical to what one node would compute for the whole
+// space. Sweep blocks until every shard completes, the context is
+// cancelled, or a shard exhausts its failover budget.
+func (f *Fleet) Sweep(ctx context.Context, req serve.DSERequest) (*Result, error) {
+	start := time.Now()
+	runs, layer, err := f.plan(req)
+	if err != nil {
+		return nil, err
+	}
+
+	ctx, span := obs.Start(ctx, "fleet.sweep",
+		obs.String("layer", layer.Name), obs.String("template", req.Template),
+		obs.Int("shards", len(runs)), obs.Int("hosts", len(f.opts.Hosts)))
+	defer span.End()
+
+	sw := &sweep{
+		f:      f,
+		opts:   f.opts,
+		sem:    make(map[string]chan struct{}, len(f.opts.Hosts)),
+		shards: runs,
+		doneCh: make(chan struct{}),
+		failCh: make(chan struct{}),
+	}
+	sw.ctx, sw.cancel = context.WithCancel(ctx)
+	defer sw.cancel()
+	for _, h := range f.opts.Hosts {
+		sw.sem[h] = make(chan struct{}, f.opts.InflightPerNode)
+	}
+	for _, sr := range runs {
+		sr.ctx, sr.cancel = context.WithCancel(sw.ctx)
+	}
+
+	f.mu.Lock()
+	f.sweeps++
+	f.shards += int64(len(runs))
+	f.mu.Unlock()
+
+	for _, sr := range sw.shards {
+		sw.wg.Add(1)
+		go sw.runShard(sr)
+	}
+	watchdogDone := make(chan struct{})
+	go func() { defer close(watchdogDone); sw.watchdog() }()
+
+	select {
+	case <-sw.doneCh:
+	case <-sw.failCh:
+	case <-ctx.Done():
+	}
+	sw.cancel()
+	sw.wg.Wait()
+	<-watchdogDone
+
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if sw.completed < len(runs) {
+		if sw.err != nil {
+			return nil, sw.err
+		}
+		return nil, fmt.Errorf("fleet: sweep cancelled: %w", ctx.Err())
+	}
+	res := sw.res
+	res.Pareto = sw.front
+	dse.SortPoints(res.Pareto)
+	res.Elapsed = time.Since(start)
+	res.Shards = len(runs)
+	span.SetAttr(obs.Int64("explored", res.Explored),
+		obs.Int64("redispatched", res.Redispatched), obs.Int64("stolen", res.Stolen))
+	return &res, nil
+}
+
+// plan fills the request's defaults, partitions the design space, and
+// computes each shard's scoped request and failover route. The target
+// shard count is ShardsPerNode per host, raised when the raw space
+// would otherwise exceed a server's per-request cap per shard. PE and
+// P1 axes are sorted and deduplicated first so contiguous index chunks
+// are contiguous value ranges — which is what the shard descriptor's
+// [PEMin, PEMax] expresses — and so repeat sweeps produce byte-equal
+// shard requests that hit the nodes' result caches.
+func (f *Fleet) plan(req serve.DSERequest) ([]*shardRun, tensor.Layer, error) {
+	layer, err := serve.ResolveLayerSpec(req.Layer)
+	if err != nil {
+		return nil, tensor.Layer{}, fmt.Errorf("fleet: %w", err)
+	}
+	req = req.WithDefaults()
+	req.PEs = sortedDedup(req.PEs)
+	p1 := sortedDedup(req.P1)
+	req.P1 = p1
+
+	// A shard can only be scoped along the PE and P1 axes; if the
+	// remaining axes alone exceed a server's cap, no partition helps.
+	inner := int64(len(req.P2)) * int64(len(req.BWs)) *
+		int64(len(req.L1Grid)) * int64(len(req.L2Grid))
+	if inner > serve.MaxDSEGrid {
+		return nil, layer, fmt.Errorf("fleet: inner grid spans %d raw designs per (pe, p1) cell, over the per-shard cap %d", inner, serve.MaxDSEGrid)
+	}
+	raw := inner * int64(len(req.PEs)) * int64(len(p1))
+	target := len(f.opts.Hosts) * f.opts.ShardsPerNode
+	if need := int((raw + serve.MaxDSEGrid - 1) / serve.MaxDSEGrid); need > target {
+		target = need
+	}
+	shards := dse.Partition(req.PEs, p1, target)
+	if len(shards) == 0 {
+		return nil, layer, errors.New("fleet: empty design space")
+	}
+	runs := make([]*shardRun, 0, len(shards))
+	for _, sh := range shards {
+		sreq := req
+		sreq.P1 = sh.P1
+		// Untruncated shard fronts: the global front is a subset of the
+		// union of shard fronts only when no shard clips its own.
+		sreq.TopK = 1 << 30
+		sreq.Shard = &serve.DSEShard{
+			Index: sh.Index, Of: sh.Of,
+			PEMin: sh.PEs[0], PEMax: sh.PEs[len(sh.PEs)-1],
+			Mappings: []string{req.Template},
+		}
+		runs = append(runs, &shardRun{
+			shard: sh,
+			req:   sreq,
+			route: f.ring.order(serve.DSERouteKey(layer, req.Template, sh.PEs)),
+			live:  make(map[int]liveAttempt, 2),
+		})
+	}
+	return runs, layer, nil
+}
+
+// runShard walks the shard's failover route until a result is accepted
+// or the attempt budget runs out.
+func (sw *sweep) runShard(sr *shardRun) {
+	defer sw.wg.Done()
+	budget := sw.opts.Rounds * len(sr.route)
+	var lastErr error
+	for n := 0; n < budget; n++ {
+		if sw.ctx.Err() != nil || sr.ctx.Err() != nil {
+			return
+		}
+		host, wrapped := sr.nextHost(sw.f)
+		if wrapped && n > 0 {
+			// Every node has been tried this round; back off before the
+			// next wrap so a fully-open ring doesn't spin.
+			if !sleepCtx(sr.ctx, time.Duration(n)*25*time.Millisecond) {
+				return
+			}
+		}
+		err := sw.attempt(sr, host, false)
+		if err == nil || sr.ctx.Err() != nil {
+			return
+		}
+		lastErr = err
+		sw.noteRedispatch(sr, host, err)
+	}
+	sw.fail.Do(func() {
+		sw.mu.Lock()
+		sw.err = fmt.Errorf("fleet: shard %d/%d failed after %d attempts: %w",
+			sr.shard.Index, sr.shard.Of, budget, lastErr)
+		sw.mu.Unlock()
+		close(sw.failCh)
+	})
+}
+
+// nextHost advances the shard's route cursor, preferring hosts whose
+// breaker is not open; when every host is open it returns the cursor
+// host anyway (the fast-fail keeps the attempt budget moving and probes
+// half-open breakers). wrapped reports that the cursor passed the route
+// start, i.e. a full failover cycle elapsed.
+func (sr *shardRun) nextHost(f *Fleet) (host string, wrapped bool) {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	n := len(sr.route)
+	for i := 0; i < n; i++ {
+		h := sr.route[(sr.cursor+i)%n]
+		if f.clients[h].BreakerState() != client.BreakerOpen {
+			wrapped = (sr.cursor+i)%n == 0
+			sr.cursor = (sr.cursor + i + 1) % n
+			return h, wrapped
+		}
+	}
+	h := sr.route[sr.cursor%n]
+	wrapped = sr.cursor%n == 0
+	sr.cursor = (sr.cursor + 1) % n
+	return h, wrapped
+}
+
+// attempt runs one shard request against one host and merges an
+// accepted result. A nil return means the shard is settled (success or
+// superseded), not necessarily that this attempt's response won.
+func (sw *sweep) attempt(sr *shardRun, host string, stolen bool) error {
+	select {
+	case sw.sem[host] <- struct{}{}:
+	case <-sr.ctx.Done():
+		return nil
+	}
+	defer func() { <-sw.sem[host] }()
+
+	sr.mu.Lock()
+	id := sr.nextID
+	sr.nextID++
+	start := time.Now()
+	sr.live[id] = liveAttempt{start: start, host: host}
+	sr.mu.Unlock()
+	defer func() {
+		sr.mu.Lock()
+		delete(sr.live, id)
+		sr.mu.Unlock()
+	}()
+
+	_, span := obs.Start(sw.ctx, "fleet.shard",
+		obs.Int("shard", sr.shard.Index), obs.String("host", host), obs.Bool("stolen", stolen))
+	resp, err := sw.f.clients[host].DSE(sr.ctx, sr.req)
+	span.SetAttr(obs.Bool("ok", err == nil))
+	span.End()
+	if err != nil {
+		if sr.ctx.Err() != nil {
+			return nil // cancelled: another attempt already settled the shard
+		}
+		sw.f.mu.Lock()
+		sw.f.perNode[host].Errors++
+		sw.f.mu.Unlock()
+		return err
+	}
+	sw.accept(sr, host, resp, time.Since(start), stolen)
+	return nil
+}
+
+// accept merges a shard response exactly once; late duplicates from
+// stolen or raced attempts are counted and dropped.
+func (sw *sweep) accept(sr *shardRun, host string, resp *serve.DSEResponse, d time.Duration, stolen bool) {
+	sw.mu.Lock()
+	if sr.done {
+		sw.res.Discarded++
+		sw.f.mu.Lock()
+		sw.f.discarded++
+		sw.f.mu.Unlock()
+		sw.mu.Unlock()
+		return
+	}
+	sr.done = true
+	pts := make([]dse.Point, len(resp.Pareto))
+	for i, j := range resp.Pareto {
+		pts[i] = pointFrom(j)
+	}
+	sw.front = dse.MergePareto(sw.front, pts)
+	sw.res.Raw += resp.Raw
+	sw.res.Explored += resp.Explored
+	sw.res.Invoked += resp.Invoked
+	sw.res.Pricings += resp.Pricings
+	sw.res.Valid += resp.Valid
+	sw.res.ThroughputOpt = mergeOpt(sw.res.ThroughputOpt, resp.ThroughputOpt, betterThroughput)
+	sw.res.EnergyOpt = mergeOpt(sw.res.EnergyOpt, resp.EnergyOpt, betterEnergy)
+	sw.res.EDPOpt = mergeOpt(sw.res.EDPOpt, resp.EDPOpt, betterEDP)
+	sw.latencies = append(sw.latencies, d)
+	sw.completed++
+	last := sw.completed == len(sw.shards)
+	sw.f.mu.Lock()
+	sw.f.perNode[host].Shards++
+	sw.f.mu.Unlock()
+	sw.mu.Unlock()
+
+	sr.cancel() // abort the losing attempt, if one is in flight
+	if cb := sw.opts.OnShard; cb != nil {
+		cb(ShardResult{Shard: sr.shard, Host: host, Stolen: stolen, Resp: resp})
+	}
+	if last {
+		close(sw.doneCh)
+	}
+}
+
+func (sw *sweep) noteRedispatch(sr *shardRun, host string, err error) {
+	sw.mu.Lock()
+	sw.res.Redispatched++
+	sw.mu.Unlock()
+	sw.f.mu.Lock()
+	sw.f.redispatched++
+	sw.f.mu.Unlock()
+	if sp := obs.SpanFrom(sw.ctx); sp != nil {
+		sp.Event("fleet.redispatch", obs.Int("shard", sr.shard.Index),
+			obs.String("host", host), obs.String("error", err.Error()))
+	}
+}
+
+// watchdog periodically compares each running attempt's age against the
+// median completed-shard latency and steals the slowest shard onto an
+// idle healthy node when it falls StragglerFactor behind.
+func (sw *sweep) watchdog() {
+	t := time.NewTicker(sw.opts.WatchTick)
+	defer t.Stop()
+	for {
+		select {
+		case <-sw.ctx.Done():
+			return
+		case <-sw.doneCh:
+			return
+		case <-t.C:
+		}
+		med := sw.medianLatency()
+		if med <= 0 {
+			continue // nothing completed yet: no baseline to judge by
+		}
+		cut := time.Duration(sw.opts.StragglerFactor * float64(med))
+		if cut < sw.opts.StragglerMin {
+			cut = sw.opts.StragglerMin
+		}
+		now := time.Now()
+		for _, sr := range sw.shards {
+			if host, ok := sw.stragglerTarget(sr, now, cut); ok {
+				sw.mu.Lock()
+				sw.res.Stolen++
+				sw.mu.Unlock()
+				sw.f.mu.Lock()
+				sw.f.stolen++
+				sw.f.mu.Unlock()
+				if sp := obs.SpanFrom(sw.ctx); sp != nil {
+					sp.Event("fleet.steal", obs.Int("shard", sr.shard.Index), obs.String("host", host))
+				}
+				sw.wg.Add(1)
+				go func(sr *shardRun, host string) {
+					defer sw.wg.Done()
+					sw.attempt(sr, host, true)
+				}(sr, host)
+			}
+		}
+	}
+}
+
+// stragglerTarget decides whether sr's sole running attempt is overdue
+// and picks the node to steal it onto: the next host on sr's failover
+// route that is healthy, not already running this shard, and has a free
+// slot. Each shard is stolen at most once.
+func (sw *sweep) stragglerTarget(sr *shardRun, now time.Time, cut time.Duration) (string, bool) {
+	sw.mu.Lock()
+	done := sr.done
+	sw.mu.Unlock()
+	if done {
+		return "", false
+	}
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	if sr.stole || len(sr.live) != 1 {
+		return "", false
+	}
+	var running liveAttempt
+	for _, a := range sr.live {
+		running = a
+	}
+	if now.Sub(running.start) < cut {
+		return "", false
+	}
+	busy := running.host
+	for i := 0; i < len(sr.route); i++ {
+		h := sr.route[(sr.cursor+i)%len(sr.route)]
+		if h == busy {
+			continue
+		}
+		if sw.f.clients[h].BreakerState() == client.BreakerOpen {
+			continue
+		}
+		if len(sw.sem[h]) >= cap(sw.sem[h]) {
+			continue
+		}
+		sr.stole = true
+		return h, true
+	}
+	return "", false
+}
+
+func (sw *sweep) medianLatency() time.Duration {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	n := len(sw.latencies)
+	if n == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), sw.latencies...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[n/2]
+}
+
+func betterThroughput(a, b dse.Point) bool {
+	if a.Throughput != b.Throughput {
+		return a.Throughput > b.Throughput
+	}
+	return a.EnergyPJ < b.EnergyPJ
+}
+
+func betterEnergy(a, b dse.Point) bool {
+	if a.EnergyPJ != b.EnergyPJ {
+		return a.EnergyPJ < b.EnergyPJ
+	}
+	return a.Throughput > b.Throughput
+}
+
+func betterEDP(a, b dse.Point) bool { return a.EDP < b.EDP }
+
+// mergeOpt folds one shard's per-objective optimum into the running
+// optimum with the same comparator dse's selectors use.
+func mergeOpt(cur *dse.Point, cand *serve.DSEPointJSON, better func(a, b dse.Point) bool) *dse.Point {
+	if cand == nil {
+		return cur
+	}
+	p := pointFrom(*cand)
+	if cur == nil || better(p, *cur) {
+		return &p
+	}
+	return cur
+}
+
+// pointFrom converts the wire point back to a dse.Point. JSON float64
+// round-trips are bit-exact in Go, so merged fleet fronts compare
+// bit-identical to locally computed ones.
+func pointFrom(j serve.DSEPointJSON) dse.Point {
+	return dse.Point{
+		NumPEs: j.NumPEs, BW: j.BW, P1: j.P1, P2: j.P2,
+		L1Bytes: j.L1Bytes, L2Bytes: j.L2Bytes,
+		AreaMM2: j.AreaMM2, PowerMW: j.PowerMW,
+		Runtime: j.Runtime, Throughput: j.Throughput,
+		EnergyPJ: j.EnergyPJ, EDP: j.EDP,
+	}
+}
+
+func sortedDedup(s []int) []int {
+	out := append([]int(nil), s...)
+	sort.Ints(out)
+	n := 0
+	for i, v := range out {
+		if i == 0 || v != out[n-1] {
+			out[n] = v
+			n++
+		}
+	}
+	return out[:n]
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

@@ -1,0 +1,432 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/dataflows"
+	"repro/internal/dse"
+	"repro/internal/hw"
+	"repro/internal/serve"
+	"repro/internal/serve/client"
+)
+
+// The integration tests run real serve.Servers behind stable host
+// names ("http://node0", ...) so the consistent-hash routing — and
+// therefore which node each shard prefers — is deterministic across
+// runs, independent of the random httptest ports.
+
+// rewriteTransport maps stable node names onto live httptest listeners.
+type rewriteTransport struct{ targets map[string]string }
+
+func (rt rewriteTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	tgt, ok := rt.targets[req.URL.Host]
+	if !ok {
+		return nil, fmt.Errorf("unknown fleet host %q", req.URL.Host)
+	}
+	r2 := req.Clone(req.Context())
+	r2.URL.Host = tgt
+	return http.DefaultTransport.RoundTrip(r2)
+}
+
+// newNodes starts n in-process serve nodes and returns their stable
+// host names, the servers by host (for SetChaos), and an HTTP client
+// that resolves the stable names.
+func newNodes(t testing.TB, n int) ([]string, map[string]*serve.Server, *http.Client) {
+	t.Helper()
+	targets := make(map[string]string, n)
+	servers := make(map[string]*serve.Server, n)
+	hosts := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("node%d", i)
+		s := serve.New(serve.Options{Workers: 1})
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(func() { ts.Close(); s.Close() })
+		u, err := url.Parse(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		targets[name] = u.Host
+		servers["http://"+name] = s
+		hosts = append(hosts, "http://"+name)
+	}
+	return hosts, servers, &http.Client{Transport: rewriteTransport{targets}}
+}
+
+// fastFleet is the test fleet configuration: instant failover (one
+// attempt per node per dispatch, threshold-1 breakers that stay open)
+// and a watchdog that is effectively off unless a test tightens it.
+func fastFleet(hosts []string, hc *http.Client) Options {
+	return Options{
+		Hosts: hosts,
+		Client: client.Options{
+			HTTPClient:  hc,
+			MaxAttempts: 1,
+			Breaker:     client.BreakerOptions{FailureThreshold: 1, Cooldown: time.Minute},
+		},
+		ShardsPerNode:   2,
+		InflightPerNode: 1,
+		WatchTick:       5 * time.Millisecond,
+		StragglerMin:    30 * time.Millisecond,
+		StragglerFactor: 1e6,
+	}
+}
+
+// fleetReq is the sweep the integration tests distribute: 8 (pe, p1)
+// cells over 32 raw designs, small enough for test time but wide
+// enough that every node serves shards.
+func fleetReq() serve.DSERequest {
+	return serve.DSERequest{
+		Layer:    serve.LayerSpec{Model: "VGG16", Name: "CONV11"},
+		Template: "KC-P",
+		P1:       []int{16, 64},
+		P2:       []int{8},
+		PEs:      []int{64, 128, 256, 512},
+		BWs:      []float64{16, 32},
+		L1Grid:   []int64{64, 4096},
+		L2Grid:   []int64{1 << 14},
+	}
+}
+
+// truth computes the same sweep on a single in-process explorer, the
+// way one maestro-serve node would: identical defaults, cost model,
+// and shared profile cache.
+func truth(t testing.TB, req serve.DSERequest) ([]dse.Point, dse.Stats) {
+	t.Helper()
+	layer, err := serve.ResolveLayerSpec(req.Layer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req = req.WithDefaults()
+	sp := dse.Space{
+		Layer: layer,
+		Template: dse.Template{
+			Name:  "KC-P",
+			Build: func(p1, p2 int) dataflow.Dataflow { return dataflows.KCPSized(p1, p2) },
+			P1:    req.P1, P2: req.P2,
+		},
+		PEs: req.PEs, BWs: req.BWs,
+		L1Grid: req.L1Grid, L2Grid: req.L2Grid,
+		AreaBudgetMM2: req.AreaBudgetMM2, PowerBudgetMW: req.PowerBudgetMW,
+		Cost:     hw.Default28nm(),
+		Profiles: core.DefaultProfileCache,
+	}
+	pts, stats := dse.Explore(sp)
+	front := dse.Pareto(pts)
+	dse.SortPoints(front)
+	return front, stats
+}
+
+// TestSweepMatchesSingleNode is the core acceptance check: a 4-node
+// fleet's merged Pareto front is bit-identical to a single explorer
+// run over the whole space.
+func TestSweepMatchesSingleNode(t *testing.T) {
+	hosts, _, hc := newNodes(t, 4)
+	f, err := New(fastFleet(hosts, hc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	var streamed int
+	var mu sync.Mutex
+	f.opts.OnShard = func(sr ShardResult) {
+		mu.Lock()
+		streamed++
+		mu.Unlock()
+	}
+
+	res, err := f.Sweep(context.Background(), fleetReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	front, stats := truth(t, fleetReq())
+
+	if !reflect.DeepEqual(res.Pareto, front) {
+		t.Fatalf("fleet front != single-node front\nfleet:  %+v\nsingle: %+v", res.Pareto, front)
+	}
+	if res.Raw != stats.Raw || res.Explored != stats.Explored || res.Valid != stats.Valid {
+		t.Fatalf("fleet counters (raw=%d explored=%d valid=%d) != single-node (raw=%d explored=%d valid=%d)",
+			res.Raw, res.Explored, res.Valid, stats.Raw, stats.Explored, stats.Valid)
+	}
+	if res.Shards != 8 {
+		t.Fatalf("Shards = %d, want 8 (4 nodes x 2)", res.Shards)
+	}
+	mu.Lock()
+	n := streamed
+	mu.Unlock()
+	if n != res.Shards {
+		t.Fatalf("OnShard streamed %d results, want %d", n, res.Shards)
+	}
+	if res.ThroughputOpt == nil || res.EnergyOpt == nil || res.EDPOpt == nil {
+		t.Fatal("missing per-objective optima")
+	}
+	// The optima agree with the local selectors on their objective
+	// values (tie-broken identically, so the metrics must match).
+	pts := make([]dse.Point, len(front))
+	copy(pts, front)
+	if p, ok := dse.ThroughputOpt(pts); !ok || p.Throughput != res.ThroughputOpt.Throughput {
+		t.Fatalf("ThroughputOpt = %+v, want throughput %g", res.ThroughputOpt, p.Throughput)
+	}
+	if p, ok := dse.EnergyOpt(pts); !ok || p.EnergyPJ != res.EnergyOpt.EnergyPJ {
+		t.Fatalf("EnergyOpt = %+v, want energy %g", res.EnergyOpt, p.EnergyPJ)
+	}
+
+	st := f.Stats()
+	if st.Sweeps != 1 || st.Shards != 8 {
+		t.Fatalf("Stats = %+v, want 1 sweep / 8 shards", st)
+	}
+	var served int64
+	for _, ns := range st.PerNode {
+		served += ns.Shards
+	}
+	if served != 8 {
+		t.Fatalf("per-node shard counts sum to %d, want 8", served)
+	}
+}
+
+// TestSweepBlackoutRedispatch kills one node mid-sweep with the chaos
+// middleware — after it has served at least one shard — and checks the
+// stranded shards re-dispatch to healthy nodes without changing the
+// merged front.
+func TestSweepBlackoutRedispatch(t *testing.T) {
+	hosts, servers, hc := newNodes(t, 4)
+	opts := fastFleet(hosts, hc)
+	f, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// Pick the node preferred by the most shards: by pigeonhole it owns
+	// at least two, so at least one is still pending when it goes dark
+	// after its first completion.
+	runs, _, err := f.plan(fleetReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	preferred := map[string]int{}
+	for _, sr := range runs {
+		preferred[sr.route[0]]++
+	}
+	target := hosts[0]
+	for h, n := range preferred {
+		if n > preferred[target] {
+			target = h
+		}
+	}
+	if preferred[target] < 2 {
+		t.Fatalf("routing spread %v leaves target %q with <2 shards", preferred, target)
+	}
+
+	// The blackout trips when the target node's first result merges;
+	// InflightPerNode=1 guarantees its other shards have not started.
+	var once sync.Once
+	f.opts.OnShard = func(sr ShardResult) {
+		if sr.Host == target {
+			once.Do(func() {
+				servers[target].SetChaos(serve.Chaos{ErrorRate: 1, ErrorCode: http.StatusServiceUnavailable})
+			})
+		}
+	}
+
+	res, err := f.Sweep(context.Background(), fleetReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	front, _ := truth(t, fleetReq())
+	if !reflect.DeepEqual(res.Pareto, front) {
+		t.Fatalf("post-blackout front != single-node front\nfleet:  %+v\nsingle: %+v", res.Pareto, front)
+	}
+	if res.Redispatched == 0 {
+		t.Fatal("blackout caused no re-dispatches")
+	}
+	st := f.Stats()
+	if st.PerNode[target].Breaker != client.BreakerOpen {
+		t.Fatalf("target breaker = %v, want open", st.PerNode[target].Breaker)
+	}
+	if st.PerNode[target].Errors == 0 {
+		t.Fatal("target node recorded no errors")
+	}
+}
+
+// TestSweepStealsStraggler slows one node's service time two orders of
+// magnitude past its peer and checks the watchdog re-issues its shards
+// on the fast node, with at-most-once accounting keeping the front
+// intact.
+func TestSweepStealsStraggler(t *testing.T) {
+	hosts, servers, hc := newNodes(t, 2)
+	opts := fastFleet(hosts, hc)
+	opts.StragglerFactor = 3
+	opts.StragglerMin = 25 * time.Millisecond
+	opts.WatchTick = 2 * time.Millisecond
+	f, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	runs, _, err := f.plan(fleetReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	preferred := map[string]int{}
+	for _, sr := range runs {
+		preferred[sr.route[0]]++
+	}
+	var slow string
+	for _, h := range hosts {
+		if preferred[h] > 0 {
+			slow = h // any node that owns shards can straggle
+		}
+	}
+	if slow == "" {
+		t.Fatalf("routing spread %v assigns no shards", preferred)
+	}
+	servers[slow].SetChaos(serve.Chaos{Latency: 2 * time.Second})
+
+	start := time.Now()
+	res, err := f.Sweep(context.Background(), fleetReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	front, _ := truth(t, fleetReq())
+	if !reflect.DeepEqual(res.Pareto, front) {
+		t.Fatalf("post-steal front != single-node front\nfleet:  %+v\nsingle: %+v", res.Pareto, front)
+	}
+	if res.Stolen == 0 {
+		t.Fatal("straggling node triggered no work-stealing")
+	}
+	// Every stalled shard was stolen onto the fast node well before the
+	// injected 2s service time elapsed.
+	if d := time.Since(start); d > 1500*time.Millisecond {
+		t.Fatalf("sweep took %v; stealing should beat the 2s straggler", d)
+	}
+}
+
+// TestSweepAllNodesDownFails pins the failure path: when every node
+// rejects a shard for the whole failover budget, Sweep reports which
+// shard gave up and the underlying client error.
+func TestSweepAllNodesDownFails(t *testing.T) {
+	hosts, servers, hc := newNodes(t, 2)
+	for _, s := range servers {
+		s.SetChaos(serve.Chaos{ErrorRate: 1, ErrorCode: http.StatusInternalServerError})
+	}
+	opts := fastFleet(hosts, hc)
+	opts.Rounds = 1
+	f, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	_, err = f.Sweep(context.Background(), fleetReq())
+	if err == nil {
+		t.Fatal("sweep against dead fleet succeeded")
+	}
+	if !strings.Contains(err.Error(), "failed after") {
+		t.Fatalf("error %q does not name the exhausted shard", err)
+	}
+}
+
+// TestSweepShardsHugeSpaceUnderCap checks the coordinator raises the
+// shard count so each shard clears a server's raw-size cap, and that a
+// space too large even at single-cell granularity is refused locally.
+func TestSweepShardsHugeSpaceUnderCap(t *testing.T) {
+	hosts, _, hc := newNodes(t, 1)
+	f, err := New(fastFleet(hosts, hc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	big := fleetReq()
+	big.BWs = nil    // defaults: 4
+	big.L1Grid = nil // defaults: 11
+	big.L2Grid = nil // defaults: 11
+	big.P2 = []int{4, 8, 16, 32, 64}
+	big.P1 = []int{8, 16, 32, 64, 128, 256, 512}
+	big.PEs = nil
+	for pe := 16; pe <= 1024; pe += 16 {
+		big.PEs = append(big.PEs, pe)
+	}
+	runs, _, err := f.plan(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := int64(5 * 4 * 11 * 11)
+	for _, sr := range runs {
+		if raw := inner * int64(len(sr.shard.PEs)*len(sr.shard.P1)); raw > serve.MaxDSEGrid {
+			t.Fatalf("shard %d spans %d raw designs, over cap %d", sr.shard.Index, raw, serve.MaxDSEGrid)
+		}
+	}
+
+	big.BWs = make([]float64, 0, 2048)
+	for i := 0; i < 2048; i++ {
+		big.BWs = append(big.BWs, float64(i+1))
+	}
+	if _, _, err := f.plan(big); err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Fatalf("oversized inner grid err = %v, want per-shard cap refusal", err)
+	}
+}
+
+// TestRingProperties pins the consistent-hash contract: orders are
+// deterministic, cover every host exactly once, and removing a host
+// only reroutes the keys that preferred it.
+func TestRingProperties(t *testing.T) {
+	hosts := []string{"http://a", "http://b", "http://c", "http://d"}
+	r1 := newRing(hosts)
+	r2 := newRing(hosts)
+	r3 := newRing(hosts[:3]) // drop http://d
+
+	layer, err := serve.ResolveLayerSpec(serve.LayerSpec{Model: "VGG16", Name: "CONV11"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, kept := 0, 0
+	for pe := 8; pe <= 2048; pe += 8 {
+		key := serve.DSERouteKey(layer, "KC-P", []int{pe})
+		o1, o2 := r1.order(key), r2.order(key)
+		if !reflect.DeepEqual(o1, o2) {
+			t.Fatalf("ring order not deterministic for pe=%d: %v vs %v", pe, o1, o2)
+		}
+		seen := map[string]bool{}
+		for _, h := range o1 {
+			seen[h] = true
+		}
+		if len(o1) != len(hosts) || len(seen) != len(hosts) {
+			t.Fatalf("order %v does not cover hosts exactly once", o1)
+		}
+		if o1[0] == "http://d" {
+			moved++
+		} else {
+			kept++
+			if got := r3.order(key)[0]; got != o1[0] {
+				t.Fatalf("pe=%d: dropping an unrelated host moved preference %s -> %s", pe, o1[0], got)
+			}
+		}
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate spread: moved=%d kept=%d", moved, kept)
+	}
+}
+
+// TestNewRejectsBadConfig pins the constructor seams.
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Fatal("no hosts accepted")
+	}
+	if _, err := New(Options{Hosts: []string{"http://a", "http://a"}}); err == nil {
+		t.Fatal("duplicate host accepted")
+	}
+}

@@ -52,7 +52,9 @@ func canonicalKey(r resolved) Key {
 	return sha256.Sum256([]byte(b.String()))
 }
 
-// canonicalDSEKey hashes a DSE request's canonical encoding.
+// canonicalDSEKey hashes a DSE request's canonical encoding. The shard
+// descriptor participates: a shard-scoped request computes a different
+// space than the full sweep and must never share its cache entry.
 func canonicalDSEKey(layer tensor.Layer, req DSERequest) Key {
 	var b strings.Builder
 	b.WriteString("dse\n")
@@ -60,5 +62,29 @@ func canonicalDSEKey(layer tensor.Layer, req DSERequest) Key {
 	fmt.Fprintf(&b, "tmpl=%s|p1=%v|p2=%v|pes=%v|bws=%v|l1=%v|l2=%v|area=%g|power=%g|topk=%d\n",
 		req.Template, req.P1, req.P2, req.PEs, req.BWs,
 		req.L1Grid, req.L2Grid, req.AreaBudgetMM2, req.PowerBudgetMW, req.TopK)
+	if sh := req.Shard; sh != nil {
+		fmt.Fprintf(&b, "shard|%d/%d|pe=[%d,%d]|maps=%v\n",
+			sh.Index, sh.Of, sh.PEMin, sh.PEMax, sh.Mappings)
+	}
 	return sha256.Sum256([]byte(b.String()))
 }
+
+// DSERouteKey hashes the canonical (layer, template, PE set) triple the
+// fleet coordinator routes shards on. Profiles are keyed by (dataflow,
+// layer, numPEs), so hashing exactly these fields — through the same
+// canonical layer encoding the result cache uses — sends repeat sweeps
+// of the same mapping family to the node whose ProfileCache already
+// holds the cluster walks, whatever the bandwidth or buffer axes say.
+func DSERouteKey(layer tensor.Layer, template string, pes []int) Key {
+	var b strings.Builder
+	b.WriteString("route\n")
+	canonicalLayer(&b, layer)
+	fmt.Fprintf(&b, "tmpl=%s|pes=%v\n", template, pes)
+	return sha256.Sum256([]byte(b.String()))
+}
+
+// ResolveLayerSpec converts a LayerSpec into a concrete, validated
+// layer — the same resolution the /v1/* handlers perform, exported for
+// the fleet coordinator, which needs the layer to compute route keys
+// before any request reaches a server.
+func ResolveLayerSpec(ls LayerSpec) (tensor.Layer, error) { return resolveLayer(ls) }

@@ -107,6 +107,10 @@ type Stats struct {
 	// BreakerRejected is the number of attempts refused locally by an
 	// open circuit breaker.
 	BreakerRejected int64
+	// Breakers is the per-host circuit-breaker position at snapshot
+	// time. Coordinators use it (with the ErrCircuitOpen sentinel) to
+	// tell a dead node from transient errors without string-matching.
+	Breakers map[string]BreakerState
 }
 
 // Client is a resilient caller of the analysis service. Safe for
@@ -148,14 +152,28 @@ func New(opts Options) (*Client, error) {
 	}, nil
 }
 
-// Stats returns a snapshot of the resilience counters.
+// Stats returns a snapshot of the resilience counters and the per-host
+// breaker positions.
 func (c *Client) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Attempts:        c.attempts.Load(),
 		Retries:         c.retries.Load(),
 		Hedges:          c.hedges.Load(),
 		BreakerRejected: c.breakerRejected.Load(),
+		Breakers:        map[string]BreakerState{},
 	}
+	c.mu.Lock()
+	hosts := make([]*breaker, 0, len(c.breakers))
+	for _, b := range c.breakers {
+		hosts = append(hosts, b)
+	}
+	c.mu.Unlock()
+	// Each breaker's state is read under its own lock, outside the
+	// client map lock (State never calls back into the client).
+	for _, b := range hosts {
+		st.Breakers[b.host] = b.State()
+	}
+	return st
 }
 
 // BreakerState reports the circuit breaker position for the client's

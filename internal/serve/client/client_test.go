@@ -6,6 +6,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -439,4 +440,64 @@ func TestNewValidation(t *testing.T) {
 	if _, err := New(Options{BaseURL: "http://127.0.0.1:0"}); err != nil {
 		t.Fatalf("valid BaseURL rejected: %v", err)
 	}
+}
+
+// TestStatsBreakersPerHost is the coordinator's regression test: a
+// tripped breaker must be visible as typed state in Stats() and as the
+// ErrCircuitOpen sentinel through every wrapping layer (including the
+// retry-exhaustion wrap), so callers never string-match to tell a dead
+// node from a transient error.
+func TestStatsBreakersPerHost(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"down"}`, http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	opts := fastOpts(ts.URL)
+	opts.MaxAttempts = 1
+	opts.Breaker = BreakerOptions{FailureThreshold: 1, Cooldown: time.Minute}
+	c := mustClient(t, opts)
+	ctx := context.Background()
+
+	// Before any call the host has no breaker entry yet.
+	if st := c.Stats(); len(st.Breakers) != 0 {
+		t.Fatalf("pre-call Breakers = %v, want empty", st.Breakers)
+	}
+
+	// One failure trips the threshold-1 breaker.
+	if _, err := c.Analyze(ctx, analyzeReq()); err == nil {
+		t.Fatal("expected server failure")
+	}
+	host := mustHost(t, ts.URL)
+	if st := c.Stats(); st.Breakers[host] != BreakerOpen {
+		t.Fatalf("Breakers[%s] = %v, want open", host, st.Breakers[host])
+	}
+
+	// The fast-fail error is the sentinel, not a string.
+	_, err := c.Analyze(ctx, analyzeReq())
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("fast-fail error = %v, want ErrCircuitOpen", err)
+	}
+
+	// With retries enabled, the sentinel still surfaces through the
+	// ErrExhausted wrap after every attempt is breaker-rejected.
+	opts.MaxAttempts = 3
+	c2 := mustClient(t, opts)
+	if _, err := c2.Analyze(ctx, analyzeReq()); err == nil {
+		t.Fatal("expected failure to trip c2's breaker")
+	}
+	_, err = c2.Analyze(ctx, analyzeReq())
+	if !errors.Is(err, ErrCircuitOpen) || !errors.Is(err, ErrExhausted) {
+		t.Fatalf("exhausted error = %v, want ErrExhausted wrapping ErrCircuitOpen", err)
+	}
+}
+
+// mustHost extracts the host:port of a test server URL.
+func mustHost(t *testing.T, raw string) string {
+	t.Helper()
+	u, err := url.Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u.Host
 }

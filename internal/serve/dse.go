@@ -37,10 +37,36 @@ type DSERequest struct {
 	AreaBudgetMM2 float64 `json:"area_budget_mm2,omitempty"`
 	PowerBudgetMW float64 `json:"power_budget_mw,omitempty"`
 
+	// Shard, when set, scopes the sweep to one shard of a larger
+	// distributed run; the descriptor participates in the result-cache
+	// key, so shard responses never collide with the full sweep's.
+	Shard *DSEShard `json:"shard,omitempty"`
+
 	// TopK caps the Pareto points returned (default 32).
 	TopK      int  `json:"top_k,omitempty"`
 	TimeoutMs int  `json:"timeout_ms,omitempty"`
 	NoCache   bool `json:"no_cache,omitempty"`
+}
+
+// DSEShard scopes a /v1/dse sweep to one shard of a distributed run:
+// the fleet coordinator partitions the design space and sends the same
+// base request with a per-shard descriptor. Restrictions compose with
+// the request's own axes — the PE range filters the request's (or
+// default) PE list, and Mappings must name the sweep's template.
+type DSEShard struct {
+	// Index/Of label the shard within its partition (for logs, spans,
+	// and the cache key); they do not affect the swept space.
+	Index int `json:"index,omitempty"`
+	Of    int `json:"of,omitempty"`
+	// PEMin/PEMax bound the swept PE counts inclusively; zero leaves
+	// that end open. An inverted range is a 400.
+	PEMin int `json:"pe_min,omitempty"`
+	PEMax int `json:"pe_max,omitempty"`
+	// Mappings restricts the sweep to these mapping-template names.
+	// Every name must be a known template (KC-P, YR-P, YX-P) and the
+	// subset must include the request's template — a shard that names
+	// an unknown mapping or excludes the whole sweep is a 400.
+	Mappings []string `json:"mappings,omitempty"`
 }
 
 // DSEPointJSON is one design point of the response.
@@ -78,9 +104,90 @@ type DSEResponse struct {
 	Pareto        []DSEPointJSON `json:"pareto"`
 }
 
-// maxDSEGrid bounds the raw sweep size one request may ask for; larger
-// sweeps belong in the offline tool.
-const maxDSEGrid = 1 << 20
+// MaxDSEGrid bounds the raw sweep size one request may ask for; larger
+// sweeps belong in the offline tool or in a sharded fleet run, whose
+// coordinator splits the space until every shard fits under this cap.
+const MaxDSEGrid = 1 << 20
+
+// WithDefaults returns the request with every unset axis, grid, and
+// budget filled with the /v1/dse defaults (the examples/dse workflow).
+// buildSpace applies it before validation; the fleet coordinator
+// applies it too, because sharding needs the concrete axes.
+func (req DSERequest) WithDefaults() DSERequest {
+	if len(req.P1) == 0 {
+		req.P1 = []int{16, 64, 256}
+	}
+	if len(req.P2) == 0 {
+		if req.Template == "YX-P" { // single-knob style: P2 is unused
+			req.P2 = []int{1}
+		} else {
+			req.P2 = []int{8, 32}
+		}
+	}
+	if len(req.PEs) == 0 {
+		req.PEs = []int{64, 128, 256, 512}
+	}
+	if len(req.BWs) == 0 {
+		req.BWs = []float64{8, 16, 32, 64}
+	}
+	if len(req.L1Grid) == 0 {
+		req.L1Grid = dse.DefaultGrid(64, 1<<16, 2)
+	}
+	if len(req.L2Grid) == 0 {
+		req.L2Grid = dse.DefaultGrid(1<<12, 1<<22, 2)
+	}
+	if req.AreaBudgetMM2 == 0 {
+		req.AreaBudgetMM2 = 16
+	}
+	if req.PowerBudgetMW == 0 {
+		req.PowerBudgetMW = 450
+	}
+	return req
+}
+
+// applyShard restricts the request's PE axis to the shard descriptor,
+// validating the descriptor first: inverted PE ranges, unknown mapping
+// names, and shards that select nothing are all the caller's fault.
+func applyShard(req DSERequest) (DSERequest, error) {
+	sh := req.Shard
+	if sh.PEMin < 0 || sh.PEMax < 0 {
+		return req, badRequestf("shard pe range [%d, %d] is negative", sh.PEMin, sh.PEMax)
+	}
+	if sh.PEMin > 0 && sh.PEMax > 0 && sh.PEMin > sh.PEMax {
+		return req, badRequestf("shard pe range [%d, %d] is inverted", sh.PEMin, sh.PEMax)
+	}
+	if len(sh.Mappings) > 0 {
+		found := false
+		for _, m := range sh.Mappings {
+			if _, err := dseTemplate(m); err != nil {
+				return req, badRequestf("shard names unknown mapping %q (have KC-P, YR-P, YX-P)", m)
+			}
+			if m == req.Template {
+				found = true
+			}
+		}
+		if !found {
+			return req, badRequestf("shard mappings %v exclude the sweep's template %q",
+				sh.Mappings, req.Template)
+		}
+	}
+	var pes []int
+	for _, pe := range req.PEs {
+		if sh.PEMin > 0 && pe < sh.PEMin {
+			continue
+		}
+		if sh.PEMax > 0 && pe > sh.PEMax {
+			continue
+		}
+		pes = append(pes, pe)
+	}
+	if len(pes) == 0 {
+		return req, badRequestf("shard pe range [%d, %d] selects none of the swept PE counts %v",
+			sh.PEMin, sh.PEMax, req.PEs)
+	}
+	req.PEs = pes
+	return req, nil
+}
 
 // buildSpace validates a DSE request and assembles the search space,
 // filling the defaults of the examples/dse workflow.
@@ -93,18 +200,18 @@ func buildSpace(req DSERequest) (dse.Space, error) {
 	if err != nil {
 		return dse.Space{}, err
 	}
-	tmpl.P1 = req.P1
-	if len(tmpl.P1) == 0 {
-		tmpl.P1 = []int{16, 64, 256}
-	}
-	tmpl.P2 = req.P2
-	if len(tmpl.P2) == 0 {
-		if req.Template == "YX-P" { // single-knob style: P2 is unused
-			tmpl.P2 = []int{1}
-		} else {
-			tmpl.P2 = []int{8, 32}
+	req = req.WithDefaults()
+	if req.Shard != nil {
+		// The shard restriction applies before the raw-size cap: a fleet
+		// shard of a huge sweep is admissible as long as the shard itself
+		// fits.
+		req, err = applyShard(req)
+		if err != nil {
+			return dse.Space{}, err
 		}
 	}
+	tmpl.P1 = req.P1
+	tmpl.P2 = req.P2
 	sp := dse.Space{
 		Layer:    layer,
 		Template: tmpl,
@@ -117,29 +224,11 @@ func buildSpace(req DSERequest) (dse.Space, error) {
 		PowerBudgetMW: req.PowerBudgetMW,
 		Cost:          hw.Default28nm(),
 	}
-	if len(sp.PEs) == 0 {
-		sp.PEs = []int{64, 128, 256, 512}
-	}
-	if len(sp.BWs) == 0 {
-		sp.BWs = []float64{8, 16, 32, 64}
-	}
-	if len(sp.L1Grid) == 0 {
-		sp.L1Grid = dse.DefaultGrid(64, 1<<16, 2)
-	}
-	if len(sp.L2Grid) == 0 {
-		sp.L2Grid = dse.DefaultGrid(1<<12, 1<<22, 2)
-	}
-	if sp.AreaBudgetMM2 == 0 {
-		sp.AreaBudgetMM2 = 16
-	}
-	if sp.PowerBudgetMW == 0 {
-		sp.PowerBudgetMW = 450
-	}
 	raw := int64(len(sp.PEs)) * int64(len(sp.BWs)) *
 		int64(len(tmpl.P1)) * int64(len(tmpl.P2)) *
 		int64(len(sp.L1Grid)) * int64(len(sp.L2Grid))
-	if raw > maxDSEGrid {
-		return dse.Space{}, badRequestf("sweep spans %d raw designs, cap is %d", raw, maxDSEGrid)
+	if raw > MaxDSEGrid {
+		return dse.Space{}, badRequestf("sweep spans %d raw designs, cap is %d", raw, MaxDSEGrid)
 	}
 	// The sweep runs as one pool job; its internal fan-out would
 	// otherwise contend with the pool's own workers.

@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// shardBase is a small sweep the shard tests scope down.
+func shardBase() DSERequest {
+	return DSERequest{
+		Layer:    LayerSpec{Model: "VGG16", Name: "CONV11"},
+		Template: "KC-P",
+		P1:       []int{16, 64},
+		P2:       []int{8},
+		PEs:      []int{64, 128, 256},
+		BWs:      []float64{16, 32},
+		L1Grid:   []int64{64, 4096},
+		L2Grid:   []int64{1 << 14},
+		TopK:     1 << 20,
+	}
+}
+
+// TestDSEShardValidation pins the 400 seams of the shard descriptor:
+// inverted and negative PE ranges, unknown mapping names, mapping
+// subsets that exclude the sweep, and ranges selecting no PE count.
+func TestDSEShardValidation(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	cases := []struct {
+		name  string
+		shard DSEShard
+		want  string
+	}{
+		{"inverted", DSEShard{PEMin: 256, PEMax: 64}, "inverted"},
+		{"negative", DSEShard{PEMin: -1}, "negative"},
+		{"unknown mapping", DSEShard{Mappings: []string{"KC-P", "WARP-9"}}, "unknown mapping"},
+		{"excluding subset", DSEShard{Mappings: []string{"YR-P"}}, "exclude the sweep's template"},
+		{"empty selection", DSEShard{PEMin: 1000, PEMax: 2000}, "selects none"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := shardBase()
+			req.Shard = &tc.shard
+			code, body := post(t, ts.URL+"/v1/dse", marshal(t, req))
+			if code != http.StatusBadRequest {
+				t.Fatalf("code = %d, want 400\n%s", code, body)
+			}
+			if !strings.Contains(string(body), tc.want) {
+				t.Fatalf("error body %q does not mention %q", body, tc.want)
+			}
+		})
+	}
+}
+
+// TestDSEShardValidationTyped checks the seam below the handler: shard
+// failures are errBadRequest-tagged, not ad-hoc strings.
+func TestDSEShardValidationTyped(t *testing.T) {
+	req := shardBase()
+	req.Shard = &DSEShard{PEMin: 9, PEMax: 3}
+	if _, err := buildSpace(req); !errors.Is(err, errBadRequest) {
+		t.Fatalf("inverted shard error = %v, want errBadRequest", err)
+	}
+	req.Shard = &DSEShard{Mappings: []string{"nope"}}
+	if _, err := buildSpace(req); !errors.Is(err, errBadRequest) {
+		t.Fatalf("unknown mapping error = %v, want errBadRequest", err)
+	}
+}
+
+// TestDSEShardScopesSweep checks that a shard-scoped request computes
+// exactly the sub-space an explicitly restricted request computes, and
+// that the two land in distinct cache entries from the full sweep.
+func TestDSEShardScopesSweep(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	sweep := func(req DSERequest) DSEResponse {
+		t.Helper()
+		code, body := post(t, ts.URL+"/v1/dse", marshal(t, req))
+		if code != http.StatusOK {
+			t.Fatalf("code = %d\n%s", code, body)
+		}
+		var out DSEResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		return out
+	}
+
+	sharded := shardBase()
+	sharded.Shard = &DSEShard{Index: 1, Of: 3, PEMin: 128, PEMax: 256, Mappings: []string{"KC-P"}}
+	got := sweep(sharded)
+
+	explicit := shardBase()
+	explicit.PEs = []int{128, 256}
+	want := sweep(explicit)
+
+	// Invoked is excluded: the shared profile cache makes the second
+	// request's cluster walks cache hits.
+	if got.Explored != want.Explored || got.Valid != want.Valid || got.Pricings != want.Pricings {
+		t.Fatalf("shard stats diverge: got %+v want %+v", got, want)
+	}
+	if !reflect.DeepEqual(got.Pareto, want.Pareto) {
+		t.Fatalf("shard Pareto diverges:\ngot  %+v\nwant %+v", got.Pareto, want.Pareto)
+	}
+
+	full := sweep(shardBase())
+	if full.Key == got.Key {
+		t.Fatal("shard request shares the full sweep's cache key")
+	}
+	if full.Explored <= got.Explored {
+		t.Fatalf("full sweep explored %d <= shard's %d", full.Explored, got.Explored)
+	}
+
+	// Repeat shard requests hit the result cache.
+	if again := sweep(sharded); !again.Cached {
+		t.Fatal("repeat shard request missed the result cache")
+	}
+}
+
+// TestDSEShardUnderCap checks the cap ordering: a sweep over the raw
+// cap is refused, but a shard of it that fits is admitted.
+func TestDSEShardUnderCap(t *testing.T) {
+	huge := shardBase()
+	huge.PEs = nil
+	for pe := 16; pe <= 1024; pe += 16 {
+		huge.PEs = append(huge.PEs, pe)
+	}
+	huge.P1 = []int{8, 16, 32, 64, 128, 256, 512}
+	huge.P2 = []int{4, 8, 16, 32, 64}
+	huge.BWs = []float64{1, 2, 4, 8, 16, 32, 64, 128}
+	huge.L1Grid = nil // defaults: 11 points
+	huge.L2Grid = nil // defaults: 11 points
+	if _, err := buildSpace(huge); err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Fatalf("huge sweep err = %v, want raw-cap refusal", err)
+	}
+	shard := huge
+	shard.P1 = []int{8}
+	shard.Shard = &DSEShard{PEMin: 16, PEMax: 16}
+	if _, err := buildSpace(shard); err != nil {
+		t.Fatalf("shard of huge sweep refused: %v", err)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"repro/internal/dataflows"
 	"repro/internal/dse"
 	"repro/internal/energy"
+	"repro/internal/fleet"
 	"repro/internal/hetero"
 	"repro/internal/hw"
 	"repro/internal/mapper"
@@ -465,6 +466,58 @@ var (
 	ErrClientCircuitOpen = client.ErrCircuitOpen
 	// ErrClientExhausted reports that every retry attempt failed.
 	ErrClientExhausted = client.ErrExhausted
+)
+
+// Distributed DSE: a Fleet shards one design-space sweep across
+// several maestro-serve nodes, routes shards with a consistent hash
+// over the canonical (layer, template, PE subset) key so repeat sweeps
+// hit warm profile caches, and merges the partial Pareto fronts as
+// shards complete. Node loss re-dispatches stranded shards along the
+// ring; a straggler watchdog steals the slowest shard onto an idle
+// node with at-most-once result accounting.
+type (
+	// Fleet coordinates sharded sweeps over a pool of serve nodes;
+	// build with NewFleet.
+	Fleet = fleet.Fleet
+	// FleetOptions configures a Fleet.
+	FleetOptions = fleet.Options
+	// FleetResult is a completed distributed sweep: merged front,
+	// optima, and aggregated counters.
+	FleetResult = fleet.Result
+	// FleetStats snapshots fleet dispatch counters and per-node
+	// breaker positions.
+	FleetStats = fleet.Stats
+	// FleetNodeStats is one node's share of fleet traffic.
+	FleetNodeStats = fleet.NodeStats
+	// FleetShardResult is one accepted shard response, streamed via
+	// FleetOptions.OnShard.
+	FleetShardResult = fleet.ShardResult
+	// DSEShardSpec is one shard of a partitioned (PE, tile-knob) grid.
+	DSEShardSpec = dse.Shard
+	// ServeDSEShard is the /v1/dse shard descriptor scoping a sweep to
+	// one shard of a distributed run.
+	ServeDSEShard = serve.DSEShard
+)
+
+// NewFleet builds a fleet coordinator over FleetOptions.Hosts.
+var NewFleet = fleet.New
+
+// Sharding and incremental-merge primitives behind the fleet, exported
+// for custom coordinators.
+var (
+	// PartitionDSE splits the (PE, P1) axes into contiguous shards.
+	PartitionDSE = dse.Partition
+	// MergePareto folds a batch of points into a running Pareto front;
+	// folding shard fronts in any grouping equals one Pareto over the
+	// concatenation.
+	MergePareto = dse.MergePareto
+	// SortDSEPoints orders points canonically so merged fronts compare
+	// bit-identical regardless of arrival order.
+	SortDSEPoints = dse.SortPoints
+	// DSERouteKey is the canonical routing key the fleet hashes shards
+	// by — the same (dataflow, layer, PE) family the servers' profile
+	// caches are keyed on.
+	DSERouteKey = serve.DSERouteKey
 )
 
 // Conv2D builds a dense convolution with k output channels, c input
