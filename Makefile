@@ -21,18 +21,26 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Short fuzz smoke over every parser target (one -fuzz per invocation,
-# a Go toolchain constraint).
+# Short fuzz smoke over the parser targets and the batch-vs-sequential
+# pricing differential (one -fuzz per invocation, a Go toolchain
+# constraint).
 fuzz:
 	$(GO) test -fuzz=FuzzParseDataflow -fuzztime=10s -run xxx ./internal/dataflow/
 	$(GO) test -fuzz=FuzzParseNetwork -fuzztime=10s -run xxx ./internal/dataflow/
 	$(GO) test -fuzz=FuzzParseHW -fuzztime=10s -run xxx ./internal/hw/
 	$(GO) test -fuzz=FuzzPartition -fuzztime=10s -run xxx ./internal/dse/
+	$(GO) test -fuzz=FuzzPriceBatch -fuzztime=10s -run xxx ./internal/core/
 
 # One pass over the figure/table benchmarks plus the service benchmarks.
 bench:
 	$(GO) test -bench . -benchtime 1x -run xxx .
 	$(GO) test -bench . -benchmem -run xxx ./internal/serve
+
+# DSE throughput: warm-cache, cold-profile, and per-point-Analyze
+# variants of the Explore benchmark plus the Profile/Price/PriceBatch
+# microbenchmarks; the measured numbers are recorded in BENCH_dse.json.
+bench-dse:
+	$(GO) test -bench 'BenchmarkExplore|BenchmarkProfileVsAnalyze|BenchmarkPriceBatch' -benchtime 200x -benchmem -run xxx ./internal/dse/ ./internal/core/
 
 # Fleet scaling: 1/2/4 in-process nodes with injected per-shard service
 # time; the measured numbers are recorded in BENCH_fleet.json.

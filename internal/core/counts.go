@@ -63,46 +63,6 @@ func newCounts(buffers int) *counts {
 	}
 }
 
-// countsArena carves all of one Price call's per-node accumulators out of
-// four backing arrays allocated up front. Pricing runs once per hardware
-// point in the DSE inner loop, so per-node newCounts allocations — and the
-// GC pressure they cause — dominate without this.
-type countsArena struct {
-	structs []counts
-	tc      []TensorCounts
-	i64     []int64
-	f64     []float64
-	buffers int
-}
-
-func newCountsArena(levelNodes, buffers int) countsArena {
-	return countsArena{
-		structs: make([]counts, levelNodes),
-		tc:      make([]TensorCounts, 3*buffers*levelNodes),
-		i64:     make([]int64, (buffers-1)*levelNodes),
-		f64:     make([]float64, (buffers-1)*levelNodes),
-		buffers: buffers,
-	}
-}
-
-// next carves the accumulator for one level node. The returned pointer
-// stays valid after the arena advances: only the arena's slice headers
-// move, never the backing arrays.
-func (a *countsArena) next() *counts {
-	b := a.buffers
-	c := &a.structs[0]
-	a.structs = a.structs[1:]
-	c.bufRead = a.tc[:b:b]
-	c.bufWrite = a.tc[b : 2*b : 2*b]
-	c.bufReq = a.tc[2*b : 3*b : 3*b]
-	a.tc = a.tc[3*b:]
-	c.noc = a.i64[: b-1 : b-1]
-	a.i64 = a.i64[b-1:]
-	c.peakBW = a.f64[: b-1 : b-1]
-	a.f64 = a.f64[b-1:]
-	return c
-}
-
 // addScaled accumulates o's additive fields scaled by times and merges
 // the max-style fields (peak bandwidth, buffer requirements).
 func (c *counts) addScaled(o *counts, times int64) {

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/dataflow"
+	"repro/internal/dataflows"
+	"repro/internal/hw"
+	"repro/internal/noc"
+)
+
+// FuzzPriceBatch is the differential fuzz pass for the batch pricing
+// engine: random layer shapes × dataflows × mixed-validity config
+// batches, with the sequential Price as the oracle. It pins the full
+// contract — every valid lane bit-identical to Price, nil results
+// exactly on the lanes whose configs fail, the joined error unwrapping
+// to the same sentinel the scalar path reports, and invalid neighbors
+// never poisoning valid lanes.
+func FuzzPriceBatch(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(0))
+	f.Add(int64(42), uint8(3), uint8(0b1010))
+	f.Add(int64(-7), uint8(7), uint8(0xff))
+	f.Add(int64(1<<40), uint8(2), uint8(0b0001))
+	f.Fuzz(func(t *testing.T, seed int64, dfPick uint8, invalidMask uint8) {
+		const pes = 64
+		rng := rand.New(rand.NewSource(seed))
+		layer := randomConv(rng, int(uint8(seed)))
+		df := dataflows.Get(dataflows.Names[int(dfPick)%len(dataflows.Names)])
+		spec, err := dataflow.Resolve(df, layer, pes)
+		if err != nil {
+			t.Skip() // mapping not applicable to this shape
+		}
+		prof, err := Profile(spec)
+		if err != nil {
+			t.Skip()
+		}
+
+		// Eight lanes: random bus widths, with the masked lanes made
+		// invalid (wrong PE count — the validation Price itself applies).
+		cfgs := make([]hw.Config, 8)
+		bad := make([]bool, 8)
+		for i := range cfgs {
+			if invalidMask&(1<<i) != 0 {
+				cfgs[i] = testHW(pes * 2)
+				bad[i] = true
+				continue
+			}
+			m := noc.Bus(1 + 63*rng.Float64())
+			m.Reduction = rng.Intn(2) == 0
+			m.Multicast = rng.Intn(4) != 0
+			cfgs[i] = hw.Config{
+				Name: "fuzz", NumPEs: pes,
+				VectorWidth: 1 + rng.Intn(4),
+				NoCs:        []noc.Model{m},
+			}.Normalize()
+		}
+
+		rs, batchErr := prof.PriceBatch(cfgs)
+		if len(rs) != len(cfgs) {
+			t.Fatalf("got %d results for %d configs", len(rs), len(cfgs))
+		}
+		anyBad := invalidMask != 0
+		if anyBad != (batchErr != nil) {
+			t.Fatalf("batch error = %v with invalid mask %08b", batchErr, invalidMask)
+		}
+		if anyBad && !errors.Is(batchErr, hw.ErrInvalidConfig) {
+			t.Fatalf("joined error does not unwrap to hw.ErrInvalidConfig: %v", batchErr)
+		}
+		for i, cfg := range cfgs {
+			want, seqErr := prof.Price(cfg)
+			if bad[i] != (seqErr != nil) {
+				t.Fatalf("lane %d: sequential oracle disagrees on validity: %v", i, seqErr)
+			}
+			if bad[i] {
+				if rs[i] != nil {
+					t.Fatalf("lane %d: invalid config produced a result", i)
+				}
+				continue
+			}
+			if rs[i] == nil {
+				t.Fatalf("lane %d: valid config produced nil (poisoned by mask %08b?)", i, invalidMask)
+			}
+			if !reflect.DeepEqual(want, rs[i]) {
+				t.Fatalf("lane %d (%s): batch diverged from sequential Price\nprice: %+v\nbatch: %+v",
+					i, cfg.Name, want, rs[i])
+			}
+		}
+	})
+}

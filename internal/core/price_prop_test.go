@@ -84,8 +84,9 @@ func randomDataflow(rng *rand.Rand, i int) (dataflow.Dataflow, error) {
 // TestPriceBandwidthMonotonicProperty is the randomized property pass:
 // for random dataflow × layer pairs, as the NoC bus gets wider the
 // priced runtime must never increase (more wires can't slow a pipe
-// model down), and at every sampled bandwidth Price must remain
-// bit-identical to the fused Analyze engine.
+// model down), and at every sampled bandwidth both the scalar Price and
+// the corresponding PriceBatch lane (the whole axis priced in one walk)
+// must remain bit-identical to the fused Analyze engine.
 func TestPriceBandwidthMonotonicProperty(t *testing.T) {
 	const pes = 64
 	rng := rand.New(rand.NewSource(0xda7af10))
@@ -105,15 +106,23 @@ func TestPriceBandwidthMonotonicProperty(t *testing.T) {
 			t.Fatalf("case %d (%s/%s): Profile: %v", i, df.Name, layer.Name, err)
 		}
 		bw := 1 + 3*rng.Float64()
-		prevRuntime := int64(-1)
+		cfgs := make([]hw.Config, 0, 6)
 		for p := 0; p < 6; p++ {
 			m := noc.Bus(bw)
 			m.Reduction = true
-			cfg := hw.Config{
+			cfgs = append(cfgs, hw.Config{
 				Name: fmt.Sprintf("prop-bw%.1f", bw), NumPEs: pes,
 				NoCs: []noc.Model{m},
-			}.Normalize()
-
+			}.Normalize())
+			bw *= 1.5 + rng.Float64()
+		}
+		batch, errB := prof.PriceBatch(cfgs)
+		if errB != nil {
+			t.Fatalf("case %d (%s/%s): PriceBatch: %v", i, df.Name, layer.Name, errB)
+		}
+		prevRuntime := int64(-1)
+		for p, cfg := range cfgs {
+			bw := cfg.NoCs[0].Bandwidth
 			want, errA := Analyze(spec, cfg)
 			got, errP := prof.Price(cfg)
 			if (errA == nil) != (errP == nil) {
@@ -127,12 +136,15 @@ func TestPriceBandwidthMonotonicProperty(t *testing.T) {
 				t.Fatalf("case %d (%s/%s) bw=%.2f: Price diverged from Analyze\nanalyze: %+v\nprice:   %+v",
 					i, df.Name, layer.Name, bw, want, got)
 			}
+			if !reflect.DeepEqual(want, batch[p]) {
+				t.Fatalf("case %d (%s/%s) bw=%.2f: PriceBatch diverged from Analyze\nanalyze: %+v\nbatch:   %+v",
+					i, df.Name, layer.Name, bw, want, batch[p])
+			}
 			if prevRuntime >= 0 && got.Runtime > prevRuntime {
 				t.Fatalf("case %d (%s/%s): runtime increased with bandwidth: %d cycles at %.2f elem/cy after %d at narrower pipe",
 					i, df.Name, layer.Name, got.Runtime, bw, prevRuntime)
 			}
 			prevRuntime = got.Runtime
-			bw *= 1.5 + rng.Float64()
 		}
 		checked++
 	}

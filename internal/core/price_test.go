@@ -2,7 +2,9 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
@@ -115,6 +117,205 @@ func TestPriceEquivalence(t *testing.T) {
 	if compared < 200 {
 		t.Fatalf("equivalence matrix too sparse: only %d comparisons ran", compared)
 	}
+}
+
+// TestPriceBatchEquivalence asserts PriceBatch(p, cfgs)[i] is
+// bit-identical to the sequential Price(p, cfgs[i]) over the same
+// dataflow × layer × hardware matrix as TestPriceEquivalence, and pins
+// the two edge shapes of the contract: a single-config batch equals a
+// plain Price, and an empty batch returns an empty non-nil slice with a
+// nil error.
+func TestPriceBatchEquivalence(t *testing.T) {
+	const pes = 64
+	layers := equivLayers(t)
+	cfgs := equivConfigs(pes)
+	compared := 0
+	for _, df := range dataflows.All() {
+		for _, layer := range layers {
+			spec, err := dataflow.Resolve(df, layer, pes)
+			if err != nil {
+				continue
+			}
+			prof, err := Profile(spec)
+			if err != nil {
+				t.Fatalf("%s/%s: Profile: %v", df.Name, layer.Name, err)
+			}
+			want := make([]*Result, len(cfgs))
+			for i, cfg := range cfgs {
+				if want[i], err = prof.Price(cfg); err != nil {
+					t.Fatalf("%s/%s/%s: Price: %v", df.Name, layer.Name, cfg.Name, err)
+				}
+			}
+			got, err := prof.PriceBatch(cfgs)
+			if err != nil {
+				t.Fatalf("%s/%s: PriceBatch: %v", df.Name, layer.Name, err)
+			}
+			if len(got) != len(cfgs) {
+				t.Fatalf("%s/%s: PriceBatch returned %d results for %d configs",
+					df.Name, layer.Name, len(got), len(cfgs))
+			}
+			for i := range cfgs {
+				if !reflect.DeepEqual(want[i], got[i]) {
+					t.Fatalf("%s/%s/%s: batch result differs from sequential Price\nprice: %+v\nbatch: %+v",
+						df.Name, layer.Name, cfgs[i].Name, want[i], got[i])
+				}
+				compared++
+			}
+
+			one, err := prof.PriceBatch(cfgs[:1])
+			if err != nil || len(one) != 1 || !reflect.DeepEqual(want[0], one[0]) {
+				t.Fatalf("%s/%s: single-config batch diverged (err=%v)", df.Name, layer.Name, err)
+			}
+			empty, err := prof.PriceBatch(nil)
+			if err != nil || empty == nil || len(empty) != 0 {
+				t.Fatalf("%s/%s: empty batch: got (%v, %v), want (non-nil empty, nil)",
+					df.Name, layer.Name, empty, err)
+			}
+		}
+	}
+	if compared < 200 {
+		t.Fatalf("batch equivalence matrix too sparse: only %d comparisons ran", compared)
+	}
+}
+
+// TestPriceBatchMixedValidity pins the error contract: an invalid
+// configuration fails only its own slot — results[i] is nil exactly for
+// the failed indices, the joined error unwraps to hw.ErrInvalidConfig
+// and names the failing index, and every valid slot stays bit-identical
+// to what an all-valid batch produces.
+func TestPriceBatchMixedValidity(t *testing.T) {
+	const pes = 64
+	spec, err := dataflow.Resolve(dataflows.Get("KC-P"), equivLayers(t)[1], pes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := Profile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := equivConfigs(pes)[:3]
+	mismatch := testHW(pes * 2) // wrong PE count for this profile
+	cfgs := []hw.Config{valid[0], mismatch, valid[1], mismatch, valid[2]}
+	badIdx := map[int]bool{1: true, 3: true}
+
+	rs, err := prof.PriceBatch(cfgs)
+	if err == nil {
+		t.Fatal("want an error for the invalid lanes, got nil")
+	}
+	if !errors.Is(err, hw.ErrInvalidConfig) {
+		t.Fatalf("joined error does not unwrap to hw.ErrInvalidConfig: %v", err)
+	}
+	if !strings.Contains(err.Error(), "config 1") || !strings.Contains(err.Error(), "config 3") {
+		t.Fatalf("error does not name the failing indices: %v", err)
+	}
+	for i := range cfgs {
+		if badIdx[i] != (rs[i] == nil) {
+			t.Fatalf("slot %d: nil=%v, want nil only for invalid lanes", i, rs[i] == nil)
+		}
+	}
+	for i, cfg := range cfgs {
+		if badIdx[i] {
+			continue
+		}
+		want, err := prof.Price(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, rs[i]) {
+			t.Fatalf("slot %d: invalid neighbors poisoned a valid result", i)
+		}
+	}
+}
+
+// TestPriceBatchAllocs guards the zero-allocs-per-point property: the
+// allocation count of a PriceBatch call is independent of the batch
+// size (the fixed cost is the escaping Result arena; per-point scratch
+// comes from the pool), and the fixed cost itself stays small.
+func TestPriceBatchAllocs(t *testing.T) {
+	const pes = 64
+	spec, err := dataflow.Resolve(dataflows.Get("KC-P"), equivLayers(t)[1], pes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := Profile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cfgs []hw.Config
+	for _, bw := range []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256} {
+		m := noc.Bus(bw)
+		m.Reduction = true
+		cfgs = append(cfgs, hw.Config{Name: "alloc", NumPEs: pes, NoCs: []noc.Model{m}}.Normalize())
+	}
+	allocsFor := func(n int) float64 {
+		sub := cfgs[:n]
+		return testing.AllocsPerRun(50, func() {
+			if _, err := prof.PriceBatch(sub); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small, large := allocsFor(2), allocsFor(16)
+	if perPoint := (large - small) / 14; perPoint > 1.0 {
+		t.Errorf("marginal allocations per point = %.2f (batch2=%v, batch16=%v), want ~0",
+			perPoint, small, large)
+	}
+	// The fixed cost is the results slice plus the four Result-arena
+	// backings; leave headroom of one slice header per table.
+	if large > 9+16 { // 16 = one *Result per point in the returned slice
+		t.Errorf("fixed batch cost too high: %v allocs for 16 points", large)
+	}
+}
+
+// TestPriceBatchSharedProfileConcurrent batch-prices one shared profile
+// from many goroutines; with -race this proves the sealed arena is
+// read-only under concurrent PriceBatch and that pooled scratch never
+// leaks across calls.
+func TestPriceBatchSharedProfileConcurrent(t *testing.T) {
+	const pes = 64
+	spec, err := dataflow.Resolve(dataflows.Get("KC-P"), equivLayers(t)[1], pes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := Profile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := equivConfigs(pes)
+	want, err := prof.PriceBatch(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 4; rep++ {
+				// Rotate the batch split per goroutine so pool reuse
+				// interleaves differently sized scratch buffers.
+				cut := (w*3+rep)%(len(cfgs)-1) + 1
+				for _, part := range [][]hw.Config{cfgs[:cut], cfgs[cut:]} {
+					off := 0
+					if &part[0] != &cfgs[0] {
+						off = cut
+					}
+					got, err := prof.PriceBatch(part)
+					if err != nil {
+						t.Errorf("batch: %v", err)
+						return
+					}
+					for i := range got {
+						if !reflect.DeepEqual(want[off+i], got[i]) {
+							t.Errorf("cfg %s: concurrent PriceBatch diverged", part[i].Name)
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
 }
 
 // TestPriceRejectsPEMismatch checks Price reproduces Analyze's guard
@@ -245,6 +446,40 @@ func TestProfileCacheKeying(t *testing.T) {
 	}
 	if m := cache.Misses(); m != 3 {
 		t.Fatalf("different PE count should miss; misses = %d", m)
+	}
+}
+
+// BenchmarkPriceBatch measures batch pricing across batch sizes: the
+// ns/op of an n-point batch divided by n is the per-design cost, and
+// the reported allocs/op should not grow with n (the fixed cost is the
+// escaping Result arena; per-point scratch is pooled).
+func BenchmarkPriceBatch(b *testing.B) {
+	const pes = 256
+	layer := models.VGG16().Layers[10].Layer
+	spec, err := dataflow.Resolve(dataflows.Get("KC-P"), layer, pes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof, err := Profile(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cfgs []hw.Config
+	for _, bw := range []float64{1, 1.5, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192} {
+		m := noc.Bus(bw)
+		m.Reduction = true
+		cfgs = append(cfgs, hw.Config{Name: "bench", NumPEs: pes, NoCs: []noc.Model{m}}.Normalize())
+	}
+	for _, n := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("points%d", n), func(b *testing.B) {
+			sub := cfgs[:n]
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := prof.PriceBatch(sub); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

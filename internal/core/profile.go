@@ -23,18 +23,60 @@ import (
 // LayerProfile is the memoized, hardware-independent analysis of one
 // (dataflow, layer, numPEs) triple: the node DAG of the cluster walk
 // with every data-iteration case's traffic quantities recorded. It is
-// immutable after Profile returns and safe for concurrent Price calls.
+// immutable after Profile returns and safe for concurrent Price and
+// PriceBatch calls.
+//
+// The DAG is stored as a flat struct-of-arrays arena rather than
+// pointer-linked nodes: all case quantities of one field live in a
+// single contiguous slice, child references are node indices, and the
+// node order is topological (every case's children precede their
+// parent; the root — level 0, full layer — is the last node). A Price
+// walk is therefore a single forward sweep over dense arrays, and a
+// PriceBatch walk streams each recorded quantity exactly once while
+// pricing every configuration lane against it.
 type LayerProfile struct {
 	spec *dataflow.Spec
 	nlv  int
-	// nodes holds the memoized DAG in topological order: every case's
-	// child indices point at earlier entries, so pricing is a single
-	// forward sweep. The root (level 0, full layer) is the last entry.
-	nodes []profNode
-	// levelNodes counts the non-leaf entries, sizing Price's one-shot
-	// counts arena.
+
+	// Per-node arrays, indexed by topological node index.
+	nodeLevel []int32 // cluster level; == nlv marks a leaf
+	nodeSlot  []int32 // dense index into the level-node or leaf arrays
+	caseStart []int32 // node i's cases span [caseStart[i], caseStart[i+1])
+
+	// Level-node arrays, indexed by nodeSlot of non-leaf nodes.
+	outputReduced []bool
+	flushEgPerPE  []int64
+	flushEgUnion  []int64
+	flushActive   []int64
+
+	// Leaf arrays, indexed by nodeSlot of leaves.
+	leafPsums  []int64        // dense MACs of the tile
+	leafEff    []int64        // density-scaled effective MACs
+	leafBufReq []TensorCounts // double-buffered L1 staging requirement
+
+	// Per-case arrays, indexed by global case index. Semantics match the
+	// recording profCase field for field; first/final live in caseFlags.
+	caseOcc       []int64
+	caseActive    []int64
+	caseFlags     []uint8
+	caseChild     []int32
+	caseEdgeChild []int32
+	caseEgPerPE   []int64
+	caseEgUnion   []int64
+	caseInPerPE   []TensorCounts
+	caseInUnion   []TensorCounts
+	caseBufReq    []TensorCounts
+
+	// levelNodes/leafNodes size the pricing scratch.
 	levelNodes int
+	leafNodes  int
 }
+
+// Case flag bits.
+const (
+	caseFirst uint8 = 1 << iota // the level's very first step (serialized)
+	caseFinal                   // departing tile fully reduced (commits at level 0)
+)
 
 // Spec returns the resolved dataflow the profile was built from.
 func (p *LayerProfile) Spec() *dataflow.Spec { return p.spec }
@@ -44,20 +86,23 @@ func (p *LayerProfile) Spec() *dataflow.Spec { return p.spec }
 func (p *LayerProfile) NumPEs() int { return p.spec.NumPEs }
 
 // Nodes returns the number of memoized (level, sub-problem) nodes.
-func (p *LayerProfile) Nodes() int { return len(p.nodes) }
+func (p *LayerProfile) Nodes() int { return len(p.nodeLevel) }
 
 // Cases returns the total recorded data-iteration cases across nodes.
 func (p *LayerProfile) Cases() int {
-	n := 0
-	for i := range p.nodes {
-		n += len(p.nodes[i].cases)
+	if len(p.caseStart) == 0 {
+		return 0
 	}
-	return n
+	return int(p.caseStart[len(p.caseStart)-1])
 }
 
-// profNode is one memoized (level, sub-problem) node. Leaves carry their
-// precomputed activity (fully hardware-independent); cluster levels carry
-// the recorded cases plus the final-flush quantities.
+// profNode is one memoized (level, sub-problem) node in the profiler's
+// transient recording format. The walk is recursive — a case's children
+// (and their cases) are recorded mid-enumeration — so per-node case
+// slices are the natural shape while recording; seal flattens them into
+// the LayerProfile arena once the walk completes. Leaves carry their
+// precomputed activity (fully hardware-independent); cluster levels
+// carry the recorded cases plus the final-flush quantities.
 type profNode struct {
 	level int
 	leaf  bool
@@ -119,13 +164,100 @@ func Profile(spec *dataflow.Spec) (*LayerProfile, error) {
 	if _, err := p.profile(0, spec.Layer.Sizes); err != nil {
 		return nil, err
 	}
-	lp := &LayerProfile{spec: spec, nlv: p.nlv, nodes: p.nodes}
-	for i := range lp.nodes {
-		if !lp.nodes[i].leaf {
+	return p.seal(spec), nil
+}
+
+// seal flattens the transient pointer-linked recording into the
+// LayerProfile's struct-of-arrays arena. Arrays of the same element type
+// share one exact-size backing allocation (full slice expressions keep
+// an impossible append on one view from bleeding into its neighbor), so
+// the whole DAG ends up in a handful of contiguous blocks the pricing
+// sweep streams through in order.
+func (p *profiler) seal(spec *dataflow.Spec) *LayerProfile {
+	lp := &LayerProfile{spec: spec, nlv: p.nlv}
+	nn := len(p.nodes)
+	ncases := 0
+	for i := range p.nodes {
+		if p.nodes[i].leaf {
+			lp.leafNodes++
+		} else {
 			lp.levelNodes++
+			ncases += len(p.nodes[i].cases)
 		}
 	}
-	return lp, nil
+	ln, lf := lp.levelNodes, lp.leafNodes
+
+	i32 := make([]int32, 3*nn+1+2*ncases)
+	lp.nodeLevel, i32 = i32[:nn:nn], i32[nn:]
+	lp.nodeSlot, i32 = i32[:nn:nn], i32[nn:]
+	lp.caseStart, i32 = i32[:nn+1:nn+1], i32[nn+1:]
+	lp.caseChild, i32 = i32[:ncases:ncases], i32[ncases:]
+	lp.caseEdgeChild = i32[:ncases:ncases]
+
+	i64 := make([]int64, 3*ln+2*lf+4*ncases)
+	lp.flushEgPerPE, i64 = i64[:ln:ln], i64[ln:]
+	lp.flushEgUnion, i64 = i64[:ln:ln], i64[ln:]
+	lp.flushActive, i64 = i64[:ln:ln], i64[ln:]
+	lp.leafPsums, i64 = i64[:lf:lf], i64[lf:]
+	lp.leafEff, i64 = i64[:lf:lf], i64[lf:]
+	lp.caseOcc, i64 = i64[:ncases:ncases], i64[ncases:]
+	lp.caseActive, i64 = i64[:ncases:ncases], i64[ncases:]
+	lp.caseEgPerPE, i64 = i64[:ncases:ncases], i64[ncases:]
+	lp.caseEgUnion = i64[:ncases:ncases]
+
+	tc := make([]TensorCounts, lf+3*ncases)
+	lp.leafBufReq, tc = tc[:lf:lf], tc[lf:]
+	lp.caseInPerPE, tc = tc[:ncases:ncases], tc[ncases:]
+	lp.caseInUnion, tc = tc[:ncases:ncases], tc[ncases:]
+	lp.caseBufReq = tc[:ncases:ncases]
+
+	lp.outputReduced = make([]bool, ln)
+	lp.caseFlags = make([]uint8, ncases)
+
+	nextLevel, nextLeaf, nextCase := int32(0), int32(0), 0
+	for i := range p.nodes {
+		n := &p.nodes[i]
+		lp.nodeLevel[i] = int32(n.level)
+		lp.caseStart[i] = int32(nextCase)
+		if n.leaf {
+			s := nextLeaf
+			nextLeaf++
+			lp.nodeSlot[i] = s
+			lp.leafPsums[s] = n.psums
+			lp.leafEff[s] = n.eff
+			lp.leafBufReq[s] = n.leafCounts.bufReq[p.nlv]
+			continue
+		}
+		s := nextLevel
+		nextLevel++
+		lp.nodeSlot[i] = s
+		lp.outputReduced[s] = n.outputReduced
+		lp.flushEgPerPE[s] = n.flushEgPerPE
+		lp.flushEgUnion[s] = n.flushEgUnion
+		lp.flushActive[s] = n.flushActive
+		for ci := range n.cases {
+			cs := &n.cases[ci]
+			j := nextCase
+			nextCase++
+			lp.caseOcc[j] = cs.occ
+			lp.caseActive[j] = cs.active
+			if cs.first {
+				lp.caseFlags[j] |= caseFirst
+			}
+			if cs.final {
+				lp.caseFlags[j] |= caseFinal
+			}
+			lp.caseChild[j] = cs.child
+			lp.caseEdgeChild[j] = cs.edgeChild
+			lp.caseEgPerPE[j] = cs.egPerPE
+			lp.caseEgUnion[j] = cs.egUnion
+			lp.caseInPerPE[j] = cs.inPerPE
+			lp.caseInUnion[j] = cs.inUnion
+			lp.caseBufReq[j] = cs.bufReq
+		}
+	}
+	lp.caseStart[nn] = int32(nextCase)
+	return lp
 }
 
 // ProfileCtx is Profile wrapped in a "core.profile" span when ctx

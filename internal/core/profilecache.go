@@ -38,6 +38,14 @@ func profileKey(df dataflow.Dataflow, layer tensor.Layer, numPEs int) ProfileKey
 	return sha256.Sum256([]byte(b.String()))
 }
 
+// ProfileKeyFor exposes the canonical profile identity of a
+// (dataflow, layer, numPEs) triple. Callers holding many requests use it
+// to group the ones that share a profile — such groups price in a single
+// PriceBatch walk (see AnalyzeDataflowCachedBatchCtx).
+func ProfileKeyFor(df dataflow.Dataflow, layer tensor.Layer, numPEs int) ProfileKey {
+	return profileKey(df, layer, numPEs)
+}
+
 const profileShards = 16
 
 // ProfileCache is a sharded LRU of LayerProfiles with a singleflight
@@ -216,4 +224,28 @@ func AnalyzeDataflowCachedCtx(ctx context.Context, df dataflow.Dataflow, layer t
 		return nil, err
 	}
 	return p.PriceCtx(ctx, cfg)
+}
+
+// AnalyzeDataflowCachedBatch prices many hardware configurations of one
+// (dataflow, layer) pair with a single profile fetch and one batch walk.
+func AnalyzeDataflowCachedBatch(df dataflow.Dataflow, layer tensor.Layer, cfgs []hw.Config) ([]*Result, error) {
+	return AnalyzeDataflowCachedBatchCtx(context.Background(), df, layer, cfgs)
+}
+
+// AnalyzeDataflowCachedBatchCtx fetches (or builds) the profile for
+// cfgs[0]'s PE count through the package-level cache and prices every
+// configuration in one PriceBatch walk. The result and error contract
+// is PriceBatch's: per-index results, nil slots for configurations that
+// failed (a configuration with a different PE count simply fails its
+// own slot). A profile-side failure (unresolvable mapping) fails the
+// whole call.
+func AnalyzeDataflowCachedBatchCtx(ctx context.Context, df dataflow.Dataflow, layer tensor.Layer, cfgs []hw.Config) ([]*Result, error) {
+	if len(cfgs) == 0 {
+		return []*Result{}, nil
+	}
+	p, _, err := DefaultProfileCache.ProfileDataflowCtx(ctx, df, layer, cfgs[0].Normalize().NumPEs)
+	if err != nil {
+		return nil, err
+	}
+	return p.PriceBatchCtx(ctx, cfgs)
 }

@@ -54,11 +54,27 @@ type Result struct {
 	L2Spill bool
 	// Bottleneck names the slowest stage: "compute", "noc", or "dram".
 	Bottleneck string
+
+	// sizes caches the density-scaled tensor footprints (elements).
+	// applyL2 runs once per (bandwidth, L2) grid point in the DSE sweep;
+	// the footprints depend only on the layer, so they are computed once
+	// when the result is filled.
+	sizes TensorCounts
 }
 
 func buildResult(spec *dataflow.Spec, cfg hw.Config, root *nodeRes) *Result {
+	r := &Result{}
+	fillResult(r, spec, cfg, root)
+	return r
+}
+
+// fillResult writes one priced root into a caller-provided Result slot;
+// PriceBatch fills a preallocated []Result this way so a whole batch
+// costs one slice allocation. The slice-valued tables retain the root
+// accumulator's backing.
+func fillResult(r *Result, spec *dataflow.Spec, cfg hw.Config, root *nodeRes) {
 	layer := spec.Layer
-	r := &Result{
+	*r = Result{
 		Layer:         layer,
 		DataflowName:  spec.Dataflow.Name,
 		Cfg:           cfg,
@@ -72,8 +88,10 @@ func buildResult(spec *dataflow.Spec, cfg hw.Config, root *nodeRes) *Result {
 		NoCTraffic:    root.counts.noc,
 		PeakBW:        root.counts.peakBW,
 	}
+	for _, k := range tensor.AllKinds() {
+		r.sizes[k] = scaleCount(layer.TensorSize(k), layer.Density[k])
+	}
 	r.applyL2(cfg.L2Size)
-	return r
 }
 
 // applyL2 derives the DRAM traffic and the end-to-end runtime for a given
@@ -89,7 +107,6 @@ func (r *Result) applyL2(l2 int64) {
 		l2 = req
 	}
 	r.EffectiveL2 = l2
-	layer := r.Layer
 	if l2 < req {
 		// The staging tiles themselves do not fit: every L2-level access
 		// spills off-chip.
@@ -98,12 +115,7 @@ func (r *Result) applyL2(l2 int64) {
 		r.DRAMWrites = r.BufWrite[0][tensor.Output]
 	} else {
 		r.L2Spill = false
-		// Density-scaled tensor footprints, computed once: this runs per
-		// L2 grid point in the DSE sweep.
-		var sizes TensorCounts
-		for _, k := range tensor.AllKinds() {
-			sizes[k] = scaleCount(layer.TensorSize(k), layer.Density[k])
-		}
+		sizes := r.sizes
 		type cand struct {
 			kind   tensor.Kind
 			bytes  int64
@@ -171,6 +183,15 @@ func (r *Result) WithL2(l2Bytes int64) *Result {
 	c := *r
 	c.applyL2(l2Bytes)
 	return &c
+}
+
+// AtL2 is WithL2 returned by value: hot sweep loops (the DSE's
+// bandwidth × L2 axes) re-price capacities without a heap allocation
+// per grid point.
+func (r *Result) AtL2(l2Bytes int64) Result {
+	c := *r
+	c.applyL2(l2Bytes)
+	return c
 }
 
 // L2Read/L2Write/L1Read/L1Write return the shared- and private-scratchpad

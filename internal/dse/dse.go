@@ -66,7 +66,8 @@ type Space struct {
 	// Ctx carries observability: when an obs recorder is attached
 	// (obs.WithRecorder) Explore emits a "dse.explore" span with one
 	// "dse.mapping" child per (PEs, P1, P2) point, each containing its
-	// profile and per-bandwidth pricing spans. Nil means Background.
+	// profile span and a single "core.price_batch" span covering the
+	// whole bandwidth axis. Nil means Background.
 	Ctx context.Context
 	// Progress, when non-nil, receives periodic exploration updates from
 	// a single reporter goroutine (so the callback never runs
@@ -264,6 +265,21 @@ func explorePEs(ctx context.Context, sp Space, pes int, gridPerMapping int64, ou
 		st.explored.Add(innerRaw)
 		return
 	}
+	// The bandwidth-axis configurations depend only on (pes, bw), so
+	// build them once per PE job and batch-price them against every
+	// mapping's profile below. One backing slice serves all NoC models.
+	nocs := make([]noc.Model, len(sp.BWs))
+	cfgs := make([]hw.Config, len(sp.BWs))
+	for i, bw := range sp.BWs {
+		m := noc.Bus(bw)
+		m.Reduction = true
+		nocs[i] = m
+		cfgs[i] = hw.Config{
+			Name: "dse", NumPEs: pes,
+			NoCs: nocs[i : i+1 : i+1],
+		}.Normalize()
+	}
+	var tables []energy.Table
 	for _, p1 := range sp.Template.P1 {
 		for _, p2 := range sp.Template.P2 {
 			df := sp.Template.Build(p1, p2)
@@ -271,7 +287,7 @@ func explorePEs(ctx context.Context, sp Space, pes int, gridPerMapping int64, ou
 				obs.Int("pes", pes), obs.Int("p1", p1), obs.Int("p2", p2))
 			// Profile once per (pes, p1, p2): the cluster walk is
 			// hardware-independent, so the whole bandwidth axis below
-			// re-prices the same recorded DAG.
+			// re-prices the same recorded DAG — in one batch walk.
 			prof, cached, err := sp.profileMapping(mctx, df, pes)
 			if err != nil {
 				st.explored.Add(int64(len(sp.BWs)) * gridPerMapping)
@@ -282,33 +298,41 @@ func explorePEs(ctx context.Context, sp Space, pes int, gridPerMapping int64, ou
 			if !cached {
 				st.invoked.Add(1)
 			}
-			for _, bw := range sp.BWs {
-				st.explored.Add(gridPerMapping)
-				m := noc.Bus(bw)
-				m.Reduction = true
-				cfg := hw.Config{
-					Name: "dse", NumPEs: pes,
-					NoCs: []noc.Model{m},
-				}.Normalize()
-				st.priced.Add(1)
-				r, err := prof.PriceCtx(mctx, cfg)
-				if err != nil {
+			st.explored.Add(int64(len(sp.BWs)) * gridPerMapping)
+			st.priced.Add(int64(len(sp.BWs)))
+			rs, _ := prof.PriceBatchCtx(mctx, cfgs)
+			var l1 int64
+			var cands []int64
+			for i, bw := range sp.BWs {
+				r := rs[i]
+				if r == nil {
 					continue
 				}
-				l1 := r.L1ReqBytes()
+				if cands == nil {
+					// The scratchpad requirements come from the recorded
+					// profile, not the NoC, so the L2 candidate set and
+					// the energy tables are identical across the whole
+					// bandwidth axis: compute them once per mapping.
+					l1 = r.L1ReqBytes()
+					cands = sp.l2Candidates(r.L2ReqBytes())
+					tables = tables[:0]
+					for _, l2 := range cands {
+						tables = append(tables, energy.TableFor(l1, l2, pes))
+					}
+				}
 				// The L2 grid is a real axis: capacity beyond the staging
 				// requirement retains tensors on-chip, trading SRAM area
-				// and access energy against DRAM traffic. WithL2 re-prices
+				// and access energy against DRAM traffic. AtL2 re-prices
 				// the same analysis per capacity, so the whole column
 				// costs one engine invocation.
-				for _, l2 := range sp.l2Candidates(r.L2ReqBytes()) {
-					r2 := r.WithL2(l2)
+				for ci, l2 := range cands {
+					r2 := r.AtL2(l2)
 					area := sp.Cost.Area(pes, l1*int64(pes), l2, bw)
 					power := sp.Cost.Power(pes, l1*int64(pes), l2, bw)
 					if area > sp.AreaBudgetMM2 || power > sp.PowerBudgetMW {
 						continue
 					}
-					eb := r2.Energy(energy.TableFor(l1, l2, pes))
+					eb := r2.Energy(tables[ci])
 					pt := Point{
 						NumPEs: pes, BW: bw, P1: p1, P2: p2,
 						L1Bytes: l1, L2Bytes: l2,

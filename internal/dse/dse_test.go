@@ -229,3 +229,37 @@ func TestExploreTraced(t *testing.T) {
 		}
 	}
 }
+
+// TestExploreBatchSpanShape pins the tracing cost of the batch pricing
+// path: each mapping emits exactly one core.price_batch span covering
+// the whole bandwidth axis (points == len(BWs)) and zero per-point
+// core.price spans — the span count is O(mappings), not O(designs), so
+// tracing overhead stays within the ≤3% budget by construction.
+func TestExploreBatchSpanShape(t *testing.T) {
+	sp := smallSpace()
+	rec := obs.NewRecorder()
+	sp.Ctx = obs.WithRecorder(context.Background(), rec)
+	_, stats := Explore(sp)
+
+	batchSpans, priceSpans := 0, 0
+	for _, s := range rec.Snapshot() {
+		switch s.Name {
+		case "core.price_batch":
+			batchSpans++
+			if got, ok := s.Attr("points"); !ok || got != fmt.Sprint(len(sp.BWs)) {
+				t.Errorf("core.price_batch points attr = %q (ok=%v), want %d", got, ok, len(sp.BWs))
+			}
+		case "core.price":
+			priceSpans++
+		}
+	}
+	if int64(batchSpans) != stats.Invoked {
+		t.Errorf("%d core.price_batch spans, want one per mapping (%d)", batchSpans, stats.Invoked)
+	}
+	if priceSpans != 0 {
+		t.Errorf("%d per-point core.price spans leaked into the batch path, want 0", priceSpans)
+	}
+	if stats.Priced != stats.Invoked*int64(len(sp.BWs)) {
+		t.Errorf("Priced = %d, want Invoked(%d) × BWs(%d)", stats.Priced, stats.Invoked, len(sp.BWs))
+	}
+}

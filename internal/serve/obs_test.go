@@ -212,7 +212,7 @@ func TestDebugTraceCapturesDSERequest(t *testing.T) {
 	}
 	for _, want := range []string{
 		"http.request", "serve.queue", "serve.cache", "serve.compute",
-		"dse.explore", "core.profile", "core.price",
+		"dse.explore", "core.profile", "core.price_batch",
 	} {
 		if spans[want] == 0 {
 			t.Errorf("trace has no %q span with request_id=req-test-123; got %v", want, spans)

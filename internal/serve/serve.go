@@ -306,6 +306,56 @@ func (s *Server) evaluate(ctx context.Context, r resolved, key Key) (*AnalyzeRes
 	if err != nil {
 		return nil, err
 	}
+	return shapeResponse(res, key, startedAt), nil
+}
+
+// evaluateGroup prices one profile group of a batch — members sharing a
+// (dataflow, layer, PE-count) profile — in a single PriceBatch walk.
+// The per-member slices line up with ms; a member whose configuration
+// fails batch validation is re-run alone through evaluate so its item
+// carries the precise error (the common case prices every member in the
+// one walk). A profile-side failure (unresolvable mapping) fails every
+// member identically.
+func (s *Server) evaluateGroup(ctx context.Context, ms []batchMember) ([]*AnalyzeResponse, []error) {
+	startedAt := time.Now()
+	ctx, span := obs.Start(ctx, "serve.compute",
+		obs.String("layer", ms[0].r.layer.Name), obs.String("dataflow", ms[0].r.df.Name),
+		obs.Int("points", len(ms)))
+	cfgs := make([]hw.Config, len(ms))
+	for i, m := range ms {
+		cfgs[i] = m.r.cfg
+	}
+	rs, err := core.AnalyzeDataflowCachedBatchCtx(ctx, ms[0].r.df, ms[0].r.layer, cfgs)
+	span.End()
+	elapsed := time.Since(startedAt)
+	s.stageSeconds.With("compute").Observe(elapsed.Seconds())
+	s.svcTime.Observe(elapsed)
+
+	resps := make([]*AnalyzeResponse, len(ms))
+	errs := make([]error, len(ms))
+	if rs == nil {
+		for i := range errs {
+			errs[i] = err
+		}
+		return resps, errs
+	}
+	priced := 0
+	for i, m := range ms {
+		if rs[i] == nil {
+			resps[i], errs[i] = s.evaluate(ctx, m.r, m.key)
+			continue
+		}
+		priced++
+		resps[i] = shapeResponse(rs[i], m.key, startedAt)
+	}
+	s.evaluations.Add(int64(priced))
+	return resps, errs
+}
+
+// shapeResponse converts one cost-model Result into the wire shape.
+// ComputeMicros reports time since startedAt: for a grouped batch item
+// that is the group's shared walk, not a per-item slice of it.
+func shapeResponse(res *core.Result, key Key, startedAt time.Time) *AnalyzeResponse {
 	e := res.EnergyDefault()
 	return &AnalyzeResponse{
 		Key:      key.String(),
@@ -338,7 +388,7 @@ func (s *Server) evaluate(ctx context.Context, r resolved, key Key) (*AnalyzeRes
 			Output: res.ReuseFactor(tensor.Output),
 		},
 		ComputeMicros: time.Since(startedAt).Microseconds(),
-	}, nil
+	}
 }
 
 // analyzeOne resolves, canonicalizes, and executes one request through
@@ -349,10 +399,14 @@ func (s *Server) analyzeOne(ctx context.Context, req AnalyzeRequest) (*AnalyzeRe
 	if err != nil {
 		return nil, err
 	}
-	key := canonicalKey(r)
+	return s.analyzeResolved(ctx, req.NoCache, r, canonicalKey(r))
+}
 
+// analyzeResolved executes one already-resolved request through the
+// cache and pool, honoring ctx.
+func (s *Server) analyzeResolved(ctx context.Context, noCache bool, r resolved, key Key) (*AnalyzeResponse, error) {
 	// Fast path: cache hits bypass the queue entirely.
-	if !req.NoCache {
+	if !noCache {
 		lookup := time.Now()
 		v, ok := s.cache.Get(key)
 		s.stageSeconds.With("cache").Observe(time.Since(lookup).Seconds())
@@ -395,7 +449,7 @@ func (s *Server) analyzeOne(ctx context.Context, req AnalyzeRequest) (*AnalyzeRe
 			ch <- outcome{err: ctx.Err()}
 			return
 		}
-		if req.NoCache {
+		if noCache {
 			resp, err := s.evaluate(ctx, r, key)
 			ch <- outcome{resp: resp, err: err}
 			return
@@ -494,21 +548,63 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(req.TimeoutMs))
 	defer cancel()
 
-	// Fan out across the pool; results land at their request's index.
+	// Resolve every item up front so the ones sharing a hardware-
+	// independent profile — same dataflow, layer, and PE count, differing
+	// only in the rest of the hardware — can be priced together in one
+	// PriceBatch walk instead of one pool job each. Items that fail
+	// resolution error out immediately; NoCache items and singleton
+	// groups keep the classic per-item path.
 	items := make([]BatchItem, len(req.Requests))
-	done := make(chan int, len(req.Requests))
+	var singles []batchMember
+	groups := map[core.ProfileKey][]batchMember{}
 	for i := range req.Requests {
-		i := i
+		items[i].Index = i
+		rr, err := resolveRequest(req.Requests[i])
+		if err != nil {
+			items[i].Error = err.Error()
+			continue
+		}
+		m := batchMember{idx: i, r: rr, key: canonicalKey(rr), noCache: req.Requests[i].NoCache}
+		if m.noCache {
+			singles = append(singles, m)
+			continue
+		}
+		pk := core.ProfileKeyFor(rr.df, rr.layer, rr.cfg.NumPEs)
+		groups[pk] = append(groups[pk], m)
+	}
+	for pk, ms := range groups {
+		if len(ms) == 1 {
+			singles = append(singles, ms[0])
+			delete(groups, pk)
+		}
+	}
+
+	// Fan out; results land at their member's index. Group goroutines
+	// write disjoint item slots, and the handler joins every goroutine
+	// before reading items.
+	done := make(chan struct{}, len(singles)+len(groups))
+	launched := 0
+	for _, m := range singles {
+		m := m
+		launched++
 		go func() {
-			defer func() { done <- i }()
-			resp, err := s.analyzeOne(ctx, req.Requests[i])
-			items[i] = BatchItem{Index: i, Result: resp}
+			defer func() { done <- struct{}{} }()
+			resp, err := s.analyzeResolved(ctx, m.noCache, m.r, m.key)
+			items[m.idx].Result = resp
 			if err != nil {
-				items[i].Error = err.Error()
+				items[m.idx].Error = err.Error()
 			}
 		}()
 	}
-	for range req.Requests {
+	for _, ms := range groups {
+		ms := ms
+		launched++
+		go func() {
+			defer func() { done <- struct{}{} }()
+			s.analyzeGroup(ctx, ms, items)
+		}()
+	}
+	for i := 0; i < launched; i++ {
 		<-done
 	}
 	allRejected := true
@@ -523,6 +619,114 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, http.StatusOK, BatchResponse{Results: items})
+}
+
+// batchMember is one resolved batch item: its slot in the response, its
+// validated request, and its result-cache key.
+type batchMember struct {
+	idx     int
+	r       resolved
+	key     Key
+	noCache bool
+}
+
+// analyzeGroup executes one profile group of a batch: the per-item
+// cache fast path first, then the remaining misses as a single pool job
+// that prices them all in one PriceBatch walk. Each priced response is
+// inserted under its own result-cache key (through the cache's
+// singleflight Do), so later identical requests hit as if the items had
+// been computed individually. A rejected submit or an expired context
+// fails every miss with the same error the per-item path would report.
+func (s *Server) analyzeGroup(ctx context.Context, ms []batchMember, items []BatchItem) {
+	miss := make([]batchMember, 0, len(ms))
+	for _, m := range ms {
+		lookup := time.Now()
+		v, ok := s.cache.Get(m.key)
+		s.stageSeconds.With("cache").Observe(time.Since(lookup).Seconds())
+		if ok {
+			_, hspan := obs.Start(ctx, "serve.cache", obs.Bool("hit", true))
+			hspan.Event("result_cache.hit")
+			hspan.End()
+			resp := *(v.(*AnalyzeResponse))
+			resp.Cached = true
+			items[m.idx].Result = &resp
+			continue
+		}
+		miss = append(miss, m)
+	}
+	if len(miss) == 0 {
+		return
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if err := s.shedCheck(time.Until(dl)); err != nil {
+			for _, m := range miss {
+				items[m.idx].Error = err.Error()
+			}
+			return
+		}
+	}
+
+	// One queue slot covers the whole group; the job reports back over a
+	// channel so an early ctx exit never races the job's item writes.
+	type groupOutcome struct {
+		resps  []*AnalyzeResponse
+		cached []bool
+		errs   []error
+	}
+	ch := make(chan groupOutcome, 1)
+	_, qspan := obs.Start(ctx, "serve.queue")
+	submitted := time.Now()
+	job := func() {
+		qspan.End()
+		s.stageSeconds.With("queue").Observe(time.Since(submitted).Seconds())
+		if ctx.Err() != nil {
+			errs := make([]error, len(miss))
+			for i := range errs {
+				errs[i] = ctx.Err()
+			}
+			ch <- groupOutcome{errs: errs}
+			return
+		}
+		cctx, cspan := obs.Start(ctx, "serve.cache", obs.Bool("hit", false))
+		resps, errs := s.evaluateGroup(cctx, miss)
+		cached := make([]bool, len(miss))
+		for i := range miss {
+			if errs[i] != nil || resps[i] == nil {
+				continue
+			}
+			resp := resps[i]
+			v, wasCached, _ := s.cache.Do(miss[i].key, func() (any, error) { return resp, nil })
+			resps[i] = v.(*AnalyzeResponse)
+			cached[i] = wasCached
+		}
+		cspan.End()
+		ch <- groupOutcome{resps: resps, cached: cached, errs: errs}
+	}
+	if err := s.pool.Submit(job); err != nil {
+		s.stageSeconds.With("queue").Observe(time.Since(submitted).Seconds())
+		qspan.SetAttr(obs.String("error", err.Error()))
+		qspan.End()
+		for _, m := range miss {
+			items[m.idx].Error = err.Error()
+		}
+		return
+	}
+	select {
+	case <-ctx.Done():
+		for _, m := range miss {
+			items[m.idx].Error = ctx.Err().Error()
+		}
+	case o := <-ch:
+		for i, m := range miss {
+			if o.errs[i] != nil {
+				items[m.idx].Error = o.errs[i].Error()
+				continue
+			}
+			resp := *o.resps[i]
+			resp.Cached = o.cached[i]
+			items[m.idx].Result = &resp
+		}
+	}
 }
 
 // errorOf recovers the sentinel classification of a batch item error

@@ -304,6 +304,148 @@ func TestBatchPreservesOrder(t *testing.T) {
 	}
 }
 
+// hwVariantReq is zooReq with one NoC knob changed: same layer,
+// dataflow, and PE count — so the items share one hardware-independent
+// profile — but a different priced result.
+func hwVariantReq(bw float64) AnalyzeRequest {
+	req := zooReq()
+	req.HW.NoCs = []NoCSpec{{Kind: "bus", Bandwidth: bw}}
+	return req
+}
+
+// TestBatchProfileGrouping checks the grouped batch path end to end:
+// items sharing a (dataflow, layer, PE count) profile are priced
+// together in one PriceBatch walk, land at their own indexes with
+// per-variant results, warm the result cache under their own keys, and
+// count one evaluation each.
+func TestBatchProfileGrouping(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+
+	bws := []float64{4, 8, 16, 64}
+	var batch BatchRequest
+	for _, bw := range bws {
+		batch.Requests = append(batch.Requests, hwVariantReq(bw))
+	}
+	batch.Requests = append(batch.Requests, inlineReq("solo", 32)) // singleton group
+	bad := zooReq()
+	bad.Layer.Model = "NoSuchNet"
+	batch.Requests = append(batch.Requests, bad) // fails resolution
+
+	code, data := post(t, ts.URL+"/v1/analyze/batch", marshal(t, batch))
+	if code != http.StatusOK {
+		t.Fatalf("batch: status %d: %s", code, data)
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(resp.Results) != len(batch.Requests) {
+		t.Fatalf("got %d results; want %d", len(resp.Results), len(batch.Requests))
+	}
+	for i := 0; i < 5; i++ {
+		it := resp.Results[i]
+		if it.Index != i || it.Error != "" || it.Result == nil {
+			t.Fatalf("item %d: index=%d error=%q result=%v", i, it.Index, it.Error, it.Result)
+		}
+		if it.Result.Cached {
+			t.Errorf("item %d: first delivery marked cached", i)
+		}
+	}
+	if last := resp.Results[5]; last.Error == "" || last.Result != nil {
+		t.Errorf("unresolvable item should fail item-level: error=%q result=%v", last.Error, last.Result)
+	}
+	// A wider pipe must not be slower, and the variants must actually
+	// differ — grouping must not collapse them onto one lane's result.
+	for i := 1; i < len(bws); i++ {
+		prev, cur := resp.Results[i-1].Result, resp.Results[i].Result
+		if cur.Runtime > prev.Runtime {
+			t.Errorf("runtime increased with bandwidth: bw=%g→%d, bw=%g→%d",
+				bws[i-1], prev.Runtime, bws[i], cur.Runtime)
+		}
+	}
+	if resp.Results[0].Result.Runtime == resp.Results[3].Result.Runtime {
+		t.Error("4 vs 64 elem/cy produced identical runtime; lanes likely collapsed")
+	}
+	// Each grouped item must be bit-identical to an individually computed
+	// analysis of the same request (NoCache forces a fresh compute).
+	for i, bw := range bws {
+		req := hwVariantReq(bw)
+		req.NoCache = true
+		code, single, body := analyze(t, ts.URL, req)
+		if code != http.StatusOK {
+			t.Fatalf("individual analyze bw=%g: status %d: %s", bw, code, body)
+		}
+		got := *resp.Results[i].Result
+		// Per-delivery fields differ by construction.
+		single.Cached, got.Cached = false, false
+		single.ComputeMicros, got.ComputeMicros = 0, 0
+		if single != got {
+			t.Errorf("item %d (bw=%g) diverges from individual analysis\nbatch:  %+v\nsingle: %+v",
+				i, bw, got, single)
+		}
+	}
+	// 4 grouped + 1 singleton evaluations for the batch, then 4 NoCache
+	// singles above.
+	if n := metricValue(t, ts.URL, "maestro_evaluations_total"); n != 9 {
+		t.Errorf("evaluations = %d, want 9 (5 batch + 4 nocache singles)", n)
+	}
+
+	// Re-running the original batch must ride the result cache: grouped
+	// items hit under their own canonical keys.
+	code, data = post(t, ts.URL+"/v1/analyze/batch", marshal(t, batch))
+	if code != http.StatusOK {
+		t.Fatalf("second batch: status %d: %s", code, data)
+	}
+	var resp2 BatchResponse
+	if err := json.Unmarshal(data, &resp2); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if it := resp2.Results[i]; it.Result == nil || !it.Result.Cached {
+			t.Errorf("second batch item %d not served from cache", i)
+		}
+	}
+	if n := metricValue(t, ts.URL, "maestro_evaluations_total"); n != 9 {
+		t.Errorf("evaluations after cached batch = %d, want still 9", n)
+	}
+}
+
+// TestBatchGroupPartialCacheHit warms one member of a profile group
+// individually, then sends the whole group: the warm member must arrive
+// cached, the cold ones computed, with only the misses evaluated.
+func TestBatchGroupPartialCacheHit(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+
+	warm := hwVariantReq(8)
+	if code, _, body := analyze(t, ts.URL, warm); code != http.StatusOK {
+		t.Fatalf("warmup: status %d: %s", code, body)
+	}
+	var batch BatchRequest
+	for _, bw := range []float64{4, 8, 16} {
+		batch.Requests = append(batch.Requests, hwVariantReq(bw))
+	}
+	code, data := post(t, ts.URL+"/v1/analyze/batch", marshal(t, batch))
+	if code != http.StatusOK {
+		t.Fatalf("batch: status %d: %s", code, data)
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	for i, wantCached := range []bool{false, true, false} {
+		it := resp.Results[i]
+		if it.Error != "" || it.Result == nil {
+			t.Fatalf("item %d failed: %q", i, it.Error)
+		}
+		if it.Result.Cached != wantCached {
+			t.Errorf("item %d cached = %v, want %v", i, it.Result.Cached, wantCached)
+		}
+	}
+	if n := metricValue(t, ts.URL, "maestro_evaluations_total"); n != 3 {
+		t.Errorf("evaluations = %d, want 3 (1 warmup + 2 group misses)", n)
+	}
+}
+
 func TestBatchLimits(t *testing.T) {
 	_, ts := newTestServer(t, Options{Workers: 1, MaxBatch: 2})
 

@@ -173,6 +173,75 @@ func TuneLayerCtx(ctx context.Context, layer tensor.Layer, cfg hw.Config, opt Op
 	return best, nil
 }
 
+// TuneLayerConfigs tunes one layer under several hardware variants at
+// once, returning the best mapping per configuration (choices[i] pairs
+// with cfgs[i]).
+func TuneLayerConfigs(layer tensor.Layer, cfgs []hw.Config, opt Options) ([]Choice, error) {
+	return TuneLayerConfigsCtx(context.Background(), layer, cfgs, opt)
+}
+
+// TuneLayerConfigsCtx is the hardware-sweep form of TuneLayerCtx: every
+// candidate dataflow is profiled once per PE count and priced across
+// all configurations sharing that PE count in a single PriceBatch walk,
+// so an N-variant sweep costs one cluster walk plus N cheap pricings
+// per candidate instead of N full analyses. An error is returned only
+// if some configuration has no candidate that maps the layer.
+func TuneLayerConfigsCtx(ctx context.Context, layer tensor.Layer, cfgs []hw.Config, opt Options) ([]Choice, error) {
+	ctx, span := obs.Start(ctx, "tuner.layer_configs",
+		obs.String("layer", layer.Name),
+		obs.String("objective", opt.Objective.String()),
+		obs.Int("configs", len(cfgs)))
+	defer span.End()
+
+	choices := make([]Choice, len(cfgs))
+	found := make([]bool, len(cfgs))
+	// Candidates and profiles depend on the PE count only, so configs
+	// sharing one batch together per candidate.
+	byPEs := map[int][]int{}
+	norm := make([]hw.Config, len(cfgs))
+	for i, cfg := range cfgs {
+		norm[i] = cfg.Normalize()
+		byPEs[norm[i].NumPEs] = append(byPEs[norm[i].NumPEs], i)
+	}
+	evaluated := 0
+	for pes, lanes := range byPEs {
+		batch := make([]hw.Config, len(lanes))
+		for j, i := range lanes {
+			batch[j] = norm[i]
+		}
+		priced := 0
+		for _, df := range candidates(layer, pes) {
+			if opt.MaxCandidates > 0 && priced >= opt.MaxCandidates {
+				break
+			}
+			rs, err := core.AnalyzeDataflowCachedBatchCtx(ctx, df, layer, batch)
+			if err != nil && rs == nil { // candidate cannot map the layer
+				continue
+			}
+			priced++
+			evaluated++
+			for j, i := range lanes {
+				if rs[j] == nil {
+					continue
+				}
+				s := score(opt.Objective, rs[j])
+				if !found[i] || s < choices[i].Score {
+					choices[i] = Choice{Dataflow: df, Result: rs[j], Score: s}
+					found[i] = true
+				}
+			}
+		}
+	}
+	span.SetAttr(obs.Int("evaluated", evaluated))
+	for i, ok := range found {
+		if !ok {
+			return nil, fmt.Errorf("tuner: no candidate dataflow maps layer %s for config %d (%q)",
+				layer.Name, i, cfgs[i].Name)
+		}
+	}
+	return choices, nil
+}
+
 // ModelResult summarizes a tuned model.
 type ModelResult struct {
 	Choices []Choice

@@ -92,6 +92,39 @@ func TestMaxCandidates(t *testing.T) {
 	}
 }
 
+// TestTuneLayerConfigsMatchesScalar pins the batched hardware sweep to
+// the scalar tuner: for each configuration — including ones with
+// different PE counts, which batch in separate profile groups — the
+// chosen dataflow and score must equal an independent TuneLayer run.
+func TestTuneLayerConfigsMatchesScalar(t *testing.T) {
+	l := layer(32, 32, 14, 3, 1)
+	cfgs := []hw.Config{hw.Accel256(), hw.MAERI64(), hw.Accel256()}
+	cfgs[2].VectorWidth = 4
+	opt := Options{Objective: MinEDP}
+
+	choices, err := TuneLayerConfigs(l, cfgs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(choices) != len(cfgs) {
+		t.Fatalf("got %d choices for %d configs", len(choices), len(cfgs))
+	}
+	for i, cfg := range cfgs {
+		want, err := TuneLayer(l, cfg, opt)
+		if err != nil {
+			t.Fatalf("config %d: scalar tune: %v", i, err)
+		}
+		got := choices[i]
+		if got.Dataflow.Name != want.Dataflow.Name || got.Score != want.Score {
+			t.Errorf("config %d (%s): batched sweep chose %s (score %g), scalar chose %s (score %g)",
+				i, cfg.Name, got.Dataflow.Name, got.Score, want.Dataflow.Name, want.Score)
+		}
+		if got.Result.Runtime != want.Result.Runtime {
+			t.Errorf("config %d: runtime %d vs scalar %d", i, got.Result.Runtime, want.Result.Runtime)
+		}
+	}
+}
+
 func TestTuneLayersTotals(t *testing.T) {
 	vgg := models.VGG16()
 	var ls []tensor.Layer

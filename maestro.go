@@ -220,6 +220,12 @@ var (
 	// Price re-prices a profile under a hardware configuration; the
 	// result is bit-identical to AnalyzeSpec on the same inputs.
 	Price = core.Price
+	// PriceBatch prices a profile under many hardware configurations in
+	// one DAG walk; results[i] is bit-identical to Price(p, cfgs[i]).
+	PriceBatch = core.PriceBatch
+	// AnalyzeCachedBatch prices many configurations of one
+	// (dataflow, layer) pair with a single profile fetch and batch walk.
+	AnalyzeCachedBatch = core.AnalyzeDataflowCachedBatch
 	// ProfileDataflow resolves and profiles through the shared cache.
 	ProfileDataflow = core.ProfileDataflow
 	// NewProfileCache builds a private profile cache.
@@ -320,8 +326,11 @@ const (
 
 // Tuner entry points.
 var (
-	TuneLayer  = tuner.TuneLayer
-	TuneLayers = tuner.TuneLayers
+	TuneLayer = tuner.TuneLayer
+	// TuneLayerConfigs tunes one layer under several hardware variants,
+	// pricing each candidate across the variants in one batch walk.
+	TuneLayerConfigs = tuner.TuneLayerConfigs
+	TuneLayers       = tuner.TuneLayers
 )
 
 // Mapping-space search (loop orders x tilings x spatial dims; the class
