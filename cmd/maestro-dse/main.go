@@ -70,8 +70,9 @@ func run(args []string, stdout io.Writer) error {
 	quick := fs.Bool("quick", false, "coarse grids for a fast run")
 	csvPath := fs.String("csv", "", "dump all valid designs (fleet mode: the merged Pareto front) to a CSV file")
 	progress := fs.Bool("progress", false, "report live exploration progress on stderr")
-	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON of the sweep to this file")
+	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON of the sweep to this file (fleet mode: one stitched multi-node trace)")
 	workers := fs.String("workers", "", "comma-separated maestro-serve base URLs; distribute the sweep across them instead of exploring in-process")
+	fleetMetrics := fs.String("fleet-metrics", "", "after a fleet sweep, write a federated Prometheus snapshot of every node's /metrics to this file")
 	if err := fs.Parse(args); err != nil {
 		return fmt.Errorf("%w: %v", errUsage, err)
 	}
@@ -114,7 +115,11 @@ func run(args []string, stdout io.Writer) error {
 			tmpl: tmpl, pes: pes, bws: bws, l1Grid: l1Grid, l2Grid: l2Grid,
 			area: *area, power: *power,
 			csvPath: *csvPath, tracePath: *tracePath, progress: *progress,
+			metricsPath: *fleetMetrics,
 		}, stdout)
+	}
+	if *fleetMetrics != "" {
+		return fmt.Errorf("%w: -fleet-metrics requires -workers", errUsage)
 	}
 
 	space := dse.Space{
@@ -186,6 +191,7 @@ type fleetArgs struct {
 	l1Grid, l2Grid         []int64
 	area, power            float64
 	csvPath, tracePath     string
+	metricsPath            string
 	progress               bool
 }
 
@@ -233,10 +239,19 @@ func runFleet(a fleetArgs, stdout io.Writer) error {
 		return err
 	}
 	if rec != nil {
-		if err := writeTrace(a.tracePath, rec); err != nil {
+		if err := writeFleetTrace(ctx, f, res.TraceID, rec, a.tracePath, stdout); err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "wrote %d spans to %s\n", rec.Len(), a.tracePath)
+	}
+	if a.metricsPath != "" {
+		fed, ferr := f.FederateMetrics(ctx)
+		if ferr != nil {
+			return ferr
+		}
+		if err := os.WriteFile(a.metricsPath, []byte(fed.Text), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote federated metrics for %d nodes to %s\n", len(fed.Up), a.metricsPath)
 	}
 	fmt.Fprintf(stdout, "%s on %s/%s across %d nodes: %d shards, %d mappings profiled, %d hardware points priced, %d valid (raw space %d)\n",
 		a.template, a.model, a.layer, len(a.hosts), res.Shards, res.Invoked, res.Pricings, res.Valid, res.Raw)
@@ -349,6 +364,43 @@ func dumpCSV(path string, pts []dse.Point) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// writeFleetTrace assembles the stitched multi-node trace for the
+// sweep and writes it as Chrome trace JSON, falling back to the
+// coordinator-only spans when assembly is impossible (e.g. segment
+// stores disabled fleet-wide).
+func writeFleetTrace(ctx context.Context, f *fleet.Fleet, traceID string, rec *obs.Recorder, path string, stdout io.Writer) error {
+	if traceID != "" {
+		ft, err := f.AssembleTrace(ctx, traceID, rec)
+		if err == nil && len(ft.Spans) > rec.Len() {
+			out, ferr := os.Create(path)
+			if ferr != nil {
+				return ferr
+			}
+			if werr := ft.WriteChrome(out); werr != nil {
+				out.Close()
+				return werr
+			}
+			if err := out.Close(); err != nil {
+				return err
+			}
+			nodes := 0
+			for _, n := range ft.Nodes {
+				if n.Err == "" {
+					nodes++
+				}
+			}
+			fmt.Fprintf(stdout, "wrote stitched trace %s (%d spans across coordinator + %d nodes, %d dropped) to %s\n",
+				ft.TraceID, len(ft.Spans), nodes, ft.Dropped, path)
+			return nil
+		}
+	}
+	if err := writeTrace(path, rec); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %d spans to %s\n", rec.Len(), path)
 	return nil
 }
 

@@ -42,6 +42,8 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	node := flag.String("node", "",
+		"node name reported in maestro_build_info, /v1/status, and trace segments (default: hostname)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "analysis worker count")
 	queue := flag.Int("queue", 256, "work queue depth before 429 backpressure")
 	cache := flag.Int("cache", 4096, "result cache entries (negative disables)")
@@ -80,6 +82,7 @@ func main() {
 		Seed:          *chaosSeed,
 	}
 	s := serve.New(serve.Options{
+		NodeName:       *node,
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheEntries:   *cache,
@@ -182,6 +185,7 @@ func newPprofServer(addr string, s *serve.Server) *http.Server {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/trace", s.DebugTraceHandler())
+	mux.Handle("/debug/trace/segments", s.SegmentsHandler())
 	return &http.Server{
 		Addr:              addr,
 		Handler:           mux,

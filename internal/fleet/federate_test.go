@@ -1,0 +1,166 @@
+package fleet
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestParsePromText(t *testing.T) {
+	text := strings.Join([]string{
+		"# HELP maestro_evaluations_total Analytical evaluations.",
+		"# TYPE maestro_evaluations_total counter",
+		"maestro_evaluations_total 42",
+		`maestro_requests_total{endpoint="analyze"} 7`,
+		`odd{label="quoted \" and } brace"} 1.5`,
+		"with_timestamp 3 1700000000000", // optional timestamp dropped
+		"",
+		"garbage-without-value",
+		"unclosed{label=\"x\" 9",
+		"notanumber NaNope",
+	}, "\n")
+	got := parsePromText(text)
+	want := []promSample{
+		{name: "maestro_evaluations_total", labels: "", value: 42},
+		{name: "maestro_requests_total", labels: `endpoint="analyze"`, value: 7},
+		{name: "odd", labels: `label="quoted \" and } brace"`, value: 1.5},
+		{name: "with_timestamp", labels: "", value: 3},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("parsePromText:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestFederateMetrics is the federation integration check: after a
+// sweep over two live nodes, one federated scrape must report both
+// nodes up, re-export their series under the fleet prefix with node
+// labels, aggregate unlabelled families, and append the coordinator's
+// own dispatch counters and last-sweep shard quantiles.
+func TestFederateMetrics(t *testing.T) {
+	hosts, _, hc := newNodes(t, 2)
+	f, err := New(fastFleet(hosts, hc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	res, err := f.Sweep(context.Background(), fleetReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fed, err := f.FederateMetrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, host := range hosts {
+		if !fed.Up[host] {
+			t.Errorf("node %s reported down", host)
+		}
+	}
+	for _, want := range []string{
+		`maestro_fleet_up{node="node0"} 1`,
+		`maestro_fleet_up{node="node1"} 1`,
+		// Per-node re-export: the node label comes first, original
+		// labels preserved after it.
+		`maestro_fleet_maestro_evaluations_total{node="node0"}`,
+		`maestro_fleet_maestro_requests_total{node="node0",endpoint="dse"}`,
+		// Cross-node aggregates for unlabelled families only.
+		`maestro_fleet_agg{metric="maestro_evaluations_total",agg="sum"}`,
+		`maestro_fleet_agg{metric="maestro_evaluations_total",agg="max"}`,
+		// Coordinator dispatch counters and per-node breakdown.
+		"maestro_fleet_sweeps_total 1",
+		`maestro_fleet_node_shards{node="node0"}`,
+		`maestro_fleet_breaker_state{node="node0"} 0`,
+		// Shard timeline of the sweep that just ran.
+		`maestro_fleet_last_sweep_shard_seconds{quantile="0.5"}`,
+		`maestro_fleet_last_sweep_shard_seconds{quantile="1.0"}`,
+	} {
+		if !strings.Contains(fed.Text, want) {
+			t.Errorf("federated exposition missing %q", want)
+		}
+	}
+	if strings.Contains(fed.Text, `maestro_fleet_agg{metric="maestro_requests_total"`) {
+		t.Error("labelled family aggregated across mismatched label sets")
+	}
+	if grep := grepFed(fed.Text, "maestro_fleet_shards_total"); grep == "" {
+		t.Error("no maestro_fleet_shards_total line")
+	} else if !strings.HasSuffix(grep, " "+strconv.Itoa(res.Shards)) {
+		t.Errorf("shards counter %q does not match sweep's %d shards", grep, res.Shards)
+	}
+}
+
+// TestFederateMetricsDownNode: a node that fails to answer shows as up
+// 0 and contributes no samples, without failing the scrape.
+func TestFederateMetricsDownNode(t *testing.T) {
+	hosts, _, hc := newNodes(t, 1)
+	hosts = append(hosts, "http://node-down")
+	f, err := New(fastFleet(hosts, hc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	fed, err := f.FederateMetrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fed.Up["http://node0"] || fed.Up["http://node-down"] {
+		t.Errorf("Up = %v, want node0 up and node-down down", fed.Up)
+	}
+	if !strings.Contains(fed.Text, `maestro_fleet_up{node="node-down"} 0`) {
+		t.Error("down node missing its up 0 series")
+	}
+	if strings.Contains(fed.Text, `maestro_fleet_maestro_evaluations_total{node="node-down"`) {
+		t.Error("down node contributed samples")
+	}
+}
+
+func TestFederationHandler(t *testing.T) {
+	hosts, _, hc := newNodes(t, 1)
+	f, err := New(fastFleet(hosts, hc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ts := httptest.NewServer(f.FederationHandler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(string(body), `maestro_fleet_up{node="node0"} 1`) {
+		t.Errorf("handler body missing up series:\n%.300s", body)
+	}
+
+	respPost, err := http.Post(ts.URL, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	respPost.Body.Close()
+	if respPost.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST: status %d, want 405", respPost.StatusCode)
+	}
+}
+
+func grepFed(text, name string) string {
+	for _, l := range strings.Split(text, "\n") {
+		if strings.HasPrefix(l, name+" ") {
+			return l
+		}
+	}
+	return ""
+}

@@ -104,6 +104,11 @@ type Result struct {
 	Redispatched int64 // failover attempts after a node refused or failed a shard
 	Stolen       int64 // duplicate attempts launched by the straggler watchdog
 	Discarded    int64 // duplicate results dropped by at-most-once accounting
+
+	// TraceID is the distributed trace the sweep ran under (empty when
+	// tracing was off). It is the key for pulling node-local span
+	// segments and assembling the stitched fleet trace.
+	TraceID string
 }
 
 // Rate reports explored designs per wall-clock second.
@@ -148,6 +153,9 @@ type Fleet struct {
 	stolen       int64
 	discarded    int64
 	perNode      map[string]*NodeStats
+	// lastLatencies holds the most recent completed sweep's per-shard
+	// latencies, feeding the federated shard-timeline quantiles.
+	lastLatencies []time.Duration
 }
 
 // New builds a Fleet over opts.Hosts.
@@ -272,6 +280,12 @@ func (f *Fleet) Sweep(ctx context.Context, req serve.DSERequest) (*Result, error
 		obs.String("layer", layer.Name), obs.String("template", req.Template),
 		obs.Int("shards", len(runs)), obs.Int("hosts", len(f.opts.Hosts)))
 	defer span.End()
+	traceID := span.TraceID()
+	if traceID != "" {
+		// Stamp one request ID across every shard request the sweep fans
+		// out, so all nodes' access logs grep by the sweep's identity.
+		ctx = client.WithRequestID(ctx, "sweep-"+traceID[:16])
+	}
 
 	sw := &sweep{
 		f:      f,
@@ -324,6 +338,10 @@ func (f *Fleet) Sweep(ctx context.Context, req serve.DSERequest) (*Result, error
 	dse.SortPoints(res.Pareto)
 	res.Elapsed = time.Since(start)
 	res.Shards = len(runs)
+	res.TraceID = traceID
+	f.mu.Lock()
+	f.lastLatencies = append([]time.Duration(nil), sw.latencies...)
+	f.mu.Unlock()
 	span.SetAttr(obs.Int64("explored", res.Explored),
 		obs.Int64("redispatched", res.Redispatched), obs.Int64("stolen", res.Stolen))
 	return &res, nil
@@ -465,9 +483,13 @@ func (sw *sweep) attempt(sr *shardRun, host string, stolen bool) error {
 		sr.mu.Unlock()
 	}()
 
-	_, span := obs.Start(sw.ctx, "fleet.shard",
+	// The shard span starts from sr.ctx (which carries the sweep span)
+	// and its context flows into the client, so each HTTP attempt's
+	// client.attempt span nests under it and the traceparent header the
+	// client injects names this sweep's trace.
+	sctx, span := obs.Start(sr.ctx, "fleet.shard",
 		obs.Int("shard", sr.shard.Index), obs.String("host", host), obs.Bool("stolen", stolen))
-	resp, err := sw.f.clients[host].DSE(sr.ctx, sr.req)
+	resp, err := sw.f.clients[host].DSE(sctx, sr.req)
 	span.SetAttr(obs.Bool("ok", err == nil))
 	span.End()
 	if err != nil {

@@ -1,0 +1,238 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/url"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve/client"
+)
+
+// This file is the coordinator side of distributed tracing: after a
+// sweep, AssembleTrace pulls each node's buffered span segments for the
+// sweep's trace ID, estimates every node's clock skew from the
+// coordinator's own client.attempt spans (which bracket each exchange
+// on the coordinator's clock), remaps node-local span IDs into the
+// coordinator's ID space, and stitches one trace whose Chrome export
+// renders the coordinator and every node as separate process lanes on
+// a single corrected timeline.
+
+// NodeSegments is one node's contribution to a stitched trace.
+type NodeSegments struct {
+	// Host is the node's base URL as configured in Options.Hosts.
+	Host string
+	// Node is the node name the server reported (its -node flag or
+	// hostname).
+	Node string
+	// Spans is how many spans the node contributed.
+	Spans int
+	// Dropped is how many spans the node reported losing to its caps.
+	Dropped int64
+	// SkewNS is the clock correction added to the node's timestamps:
+	// the estimated (coordinator clock − node clock), NTP-style, from
+	// Matched request exchanges. 0 when no exchange could be matched.
+	SkewNS int64
+	// Matched counts the node root spans paired with a coordinator
+	// client.attempt span for the skew estimate.
+	Matched int
+	// Err records a fetch failure ("" when the pull succeeded). A node
+	// with no buffered segments reports "no segments" rather than
+	// failing the whole assembly.
+	Err string
+}
+
+// FleetTrace is one stitched distributed trace.
+type FleetTrace struct {
+	// TraceID is the 32-hex trace identifier.
+	TraceID string
+	// Spans is the merged span list: the coordinator's own spans plus
+	// every node's, skew-corrected onto the coordinator's clock and
+	// remapped into one ID space. A node root's Parent is rewritten to
+	// the coordinator client.attempt span it answered, so every span is
+	// reachable from the sweep root by Parent links.
+	Spans []obs.SpanRecord
+	// Nodes is the per-node pull diagnostics, in Options.Hosts order
+	// (sorted).
+	Nodes []NodeSegments
+	// Dropped totals the spans nodes reported losing; a non-zero value
+	// means the stitched trace is incomplete.
+	Dropped int64
+
+	lanes []obs.Lane
+	epoch time.Time
+}
+
+// AssembleTrace pulls traceID's segments from every fleet node and
+// stitches them with the coordinator's own recorded spans into one
+// trace. rec is the coordinator's recorder (the one the sweep ran
+// under); its client.attempt spans both anchor the skew estimate and
+// become the parents of each node's root spans. Node fetch failures are
+// reported per node, not as an assembly error; the error return is
+// reserved for an invalid trace ID.
+func (f *Fleet) AssembleTrace(ctx context.Context, traceID string, rec *obs.Recorder) (*FleetTrace, error) {
+	if !obs.ValidTraceID(traceID) {
+		return nil, fmt.Errorf("fleet: invalid trace ID %q", traceID)
+	}
+	ft := &FleetTrace{TraceID: traceID}
+
+	// Coordinator spans for this trace, and the attempt index keyed by
+	// span ID — a node root's RemoteParent names exactly one of these.
+	var local []obs.SpanRecord
+	if rec != nil {
+		for _, s := range rec.Snapshot() {
+			if s.TraceID == traceID {
+				local = append(local, s)
+			}
+		}
+	}
+	attempts := make(map[uint64]obs.SpanRecord)
+	var nextID uint64
+	for _, s := range local {
+		if s.Name == "client.attempt" {
+			attempts[s.ID] = s
+		}
+		if s.ID > nextID {
+			nextID = s.ID
+		}
+	}
+	ft.Spans = append(ft.Spans, local...)
+	ft.lanes = append(ft.lanes, obs.Lane{PID: 0, Process: "coordinator", Spans: local})
+
+	hosts := append([]string(nil), f.opts.Hosts...)
+	sort.Strings(hosts)
+	for i, host := range hosts {
+		ns := NodeSegments{Host: host}
+		seg, err := f.clients[host].TraceSegments(ctx, traceID)
+		switch {
+		case err == nil:
+			spans := obs.RecordsFromJSON(seg.Spans)
+			ns.Node = seg.Node
+			ns.Dropped = seg.Dropped
+			ns.Spans = len(spans)
+			ns.SkewNS, ns.Matched = estimateSkew(spans, attempts)
+			corrected := remapNode(spans, attempts, &nextID, ns.SkewNS)
+			ft.Spans = append(ft.Spans, corrected...)
+			ft.Dropped += seg.Dropped
+			ft.lanes = append(ft.lanes, obs.Lane{
+				PID: i + 1, Process: laneName(seg.Node, host), Spans: corrected,
+			})
+		case isNotFound(err):
+			ns.Err = "no segments"
+		default:
+			ns.Err = err.Error()
+		}
+		ft.Nodes = append(ft.Nodes, ns)
+	}
+
+	for _, s := range ft.Spans {
+		if ft.epoch.IsZero() || s.Start.Before(ft.epoch) {
+			ft.epoch = s.Start
+		}
+	}
+	return ft, nil
+}
+
+// WriteChrome writes the stitched trace as Chrome trace_event JSON:
+// one process lane for the coordinator, one per node, on the corrected
+// shared timeline.
+func (ft *FleetTrace) WriteChrome(w io.Writer) error {
+	epoch := ft.epoch
+	if epoch.IsZero() {
+		epoch = time.Unix(0, 0)
+	}
+	return obs.WriteChromeLanes(w, epoch, ft.lanes)
+}
+
+// estimateSkew derives one node's clock offset from its root spans'
+// pairing with the coordinator attempt spans that carried them: for an
+// exchange the coordinator saw as [t1, t4] and the node as [t2, t3],
+// the NTP offset estimate (coordinator − node) is ((t1−t2)+(t4−t3))/2
+// — network asymmetry cancels to first order. Estimates from every
+// matched exchange are averaged.
+func estimateSkew(spans []obs.SpanRecord, attempts map[uint64]obs.SpanRecord) (offsetNS int64, matched int) {
+	var sum int64
+	for _, s := range spans {
+		if s.RemoteParent == 0 {
+			continue
+		}
+		a, ok := attempts[s.RemoteParent]
+		if !ok {
+			continue
+		}
+		d1 := a.Start.Sub(s.Start).Nanoseconds() // t1 − t2
+		d2 := a.End.Sub(s.End).Nanoseconds()     // t4 − t3
+		sum += (d1 + d2) / 2
+		matched++
+	}
+	if matched == 0 {
+		return 0, 0
+	}
+	return sum / int64(matched), matched
+}
+
+// remapNode rewrites one node's spans into the coordinator's ID space
+// and clock: fresh IDs from the shared counter, Parent links rewritten
+// through the ID map, root spans re-parented under the coordinator
+// attempt span their RemoteParent names, and all timestamps shifted by
+// the node's skew estimate.
+func remapNode(spans []obs.SpanRecord, attempts map[uint64]obs.SpanRecord, nextID *uint64, skewNS int64) []obs.SpanRecord {
+	idMap := make(map[uint64]uint64, len(spans))
+	for _, s := range spans {
+		*nextID++
+		idMap[s.ID] = *nextID
+	}
+	off := time.Duration(skewNS)
+	out := make([]obs.SpanRecord, len(spans))
+	for i, s := range spans {
+		s.ID = idMap[s.ID]
+		switch {
+		case s.RemoteParent != 0:
+			if _, ok := attempts[s.RemoteParent]; ok {
+				// The remote parent is a coordinator span; its ID is
+				// already in the merged space.
+				s.Parent = s.RemoteParent
+			}
+		case s.Parent != 0:
+			// A parent missing from the segment (dropped on the node)
+			// degrades the span to a lane root rather than dangling.
+			s.Parent = idMap[s.Parent]
+		}
+		s.Track = idMap[s.Track]
+		s.Start = s.Start.Add(off)
+		s.End = s.End.Add(off)
+		if len(s.Events) > 0 {
+			evs := append([]obs.Event(nil), s.Events...)
+			for j := range evs {
+				evs[j].Time = evs[j].Time.Add(off)
+			}
+			s.Events = evs
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// laneName labels a node's process lane with both its self-reported
+// name and the host the coordinator knows it by.
+func laneName(node, host string) string {
+	h := host
+	if u, err := url.Parse(host); err == nil && u.Host != "" {
+		h = u.Host
+	}
+	if node == "" || node == h {
+		return h
+	}
+	return node + " (" + h + ")"
+}
+
+// isNotFound reports whether err is the server saying "no such trace"
+// (404), as opposed to the node being unreachable.
+func isNotFound(err error) bool {
+	var apiErr *client.APIError
+	return errors.As(err, &apiErr) && apiErr.Status == 404
+}

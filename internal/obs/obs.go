@@ -118,11 +118,19 @@ type SpanRecord struct {
 	ID     uint64
 	Parent uint64 // 0 for root spans
 	Track  uint64 // root span's ID, inherited by descendants
-	Name   string
-	Start  time.Time
-	End    time.Time
-	Attrs  []Attr
-	Events []Event
+	// TraceID is the 32-hex-char distributed trace this span belongs
+	// to. Root spans mint one (or adopt the remote caller's, when the
+	// context carries an extracted trace context); children inherit it.
+	TraceID string
+	// RemoteParent is the span ID of the caller's span in another
+	// process, carried in by a traceparent header; 0 when the span's
+	// parent (if any) is process-local.
+	RemoteParent uint64
+	Name         string
+	Start        time.Time
+	End          time.Time
+	Attrs        []Attr
+	Events       []Event
 }
 
 // Duration returns the span's wall time.
@@ -150,7 +158,7 @@ type Recorder struct {
 	dropped int64
 
 	limit  int
-	nextID atomic.Uint64
+	ids    *atomic.Uint64
 	logger *slog.Logger
 	epoch  time.Time
 }
@@ -165,11 +173,20 @@ func WithLimit(n int) Option { return func(r *Recorder) { r.limit = n } }
 // line in addition to storing it.
 func WithLogger(l *slog.Logger) Option { return func(r *Recorder) { r.logger = l } }
 
+// WithIDSource shares one span-ID counter across recorders. The segment
+// store hands every request its own short-lived recorder; a shared
+// source keeps span IDs unique per process so segments of the same
+// distributed trace never collide when they are stitched together.
+func WithIDSource(ids *atomic.Uint64) Option { return func(r *Recorder) { r.ids = ids } }
+
 // NewRecorder builds an empty recorder.
 func NewRecorder(opts ...Option) *Recorder {
 	r := &Recorder{limit: DefaultSpanLimit, epoch: time.Now()}
 	for _, o := range opts {
 		o(r)
+	}
+	if r.ids == nil {
+		r.ids = new(atomic.Uint64)
 	}
 	return r
 }
@@ -216,25 +233,59 @@ func (r *Recorder) Dropped() int64 {
 	return r.dropped
 }
 
+// Merge appends already-completed spans (e.g. another recorder's
+// snapshot) honoring the limit; overflow counts as dropped.
+func (r *Recorder) Merge(spans []SpanRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, s := range spans {
+		if r.limit > 0 && len(r.spans) >= r.limit {
+			r.dropped += int64(len(spans) - i)
+			return
+		}
+		r.spans = append(r.spans, s)
+	}
+}
+
 // Span is one in-flight span. A nil *Span (tracing disabled) is valid:
 // every method is a no-op. A span is owned by the goroutine that
 // advances it — Event/SetAttr/End must not race each other — but child
 // spans may be started from other goroutines.
 type Span struct {
-	rec    *Recorder
-	name   string
-	id     uint64
-	parent uint64
-	track  uint64
-	start  time.Time
-	attrs  []Attr
-	events []Event
+	rec          *Recorder
+	name         string
+	id           uint64
+	parent       uint64
+	track        uint64
+	traceID      string
+	remoteParent uint64
+	start        time.Time
+	attrs        []Attr
+	events       []Event
+}
+
+// TraceID returns the distributed trace ID the span belongs to (empty
+// for a nil span).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.traceID
+}
+
+// SpanID returns the span's process-local ID (0 for a nil span).
+func (s *Span) SpanID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
 }
 
 type (
 	spanKey     struct{}
 	recorderKey struct{}
 	baggageKey  struct{}
+	remoteKey   struct{}
 )
 
 // WithRecorder attaches a recorder: spans started under the returned
@@ -280,11 +331,18 @@ func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *S
 	if rec == nil {
 		return ctx, nil
 	}
-	s := &Span{rec: rec, name: name, id: rec.nextID.Add(1), start: time.Now()}
+	s := &Span{rec: rec, name: name, id: rec.ids.Add(1), start: time.Now()}
 	if parent != nil {
-		s.parent, s.track = parent.id, parent.track
+		s.parent, s.track, s.traceID = parent.id, parent.track, parent.traceID
 	} else {
 		s.track = s.id
+		if tc, ok := RemoteFrom(ctx); ok {
+			// The caller in another process opened this trace; parent
+			// under its span so stitched traces keep one root.
+			s.traceID, s.remoteParent = tc.TraceID, tc.SpanID
+		} else {
+			s.traceID = NewTraceID()
+		}
 	}
 	if bg, _ := ctx.Value(baggageKey{}).([]Attr); len(bg) > 0 {
 		s.attrs = append(s.attrs, bg...)
@@ -316,6 +374,7 @@ func (s *Span) End() {
 	}
 	s.rec.record(SpanRecord{
 		ID: s.id, Parent: s.parent, Track: s.track,
+		TraceID: s.traceID, RemoteParent: s.remoteParent,
 		Name: s.name, Start: s.start, End: time.Now(),
 		Attrs: s.attrs, Events: s.events,
 	})

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/hex"
+	"math/rand/v2"
+	"net/http"
+	"strings"
+)
+
+// This file is the cross-process trace-context propagation: a
+// traceparent-style header (W3C Trace Context shaped) carries the
+// 128-bit trace ID and the caller's 64-bit span ID from a coordinator
+// into a serve node, so node-local span trees parent under the
+// coordinator's spans when the segments are stitched back together.
+//
+//	traceparent: 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//	             ^^ ^~~~~~~ 32 hex trace id ~~~~~~^ ^ 16 hex span id ^ flags
+//
+// Extract is strict: anything but the exact shape above is rejected
+// (the request proceeds untraced — a malformed header must never fail
+// the request). Inject is a no-op when tracing is off, preserving the
+// no-op-when-disabled contract.
+
+// TraceparentHeader is the propagation header name.
+const TraceparentHeader = "traceparent"
+
+// traceparentLen is the exact header length: "00-" + 32 + "-" + 16 +
+// "-" + 2.
+const traceparentLen = 55
+
+// TraceContext identifies a caller's position in a distributed trace:
+// the shared trace ID and the caller's own span ID.
+type TraceContext struct {
+	// TraceID is 32 lowercase hex characters, never all zero.
+	TraceID string
+	// SpanID is the remote parent span's process-local ID, never 0.
+	SpanID uint64
+}
+
+// NewTraceID mints a random 128-bit trace ID as 32 lowercase hex
+// characters. math/rand/v2's global generator is seeded from the OS
+// entropy pool, so IDs are unguessable enough to act as capability
+// tokens for the segment-fetch endpoint.
+func NewTraceID() string {
+	var b [16]byte
+	binary.BigEndian.PutUint64(b[:8], rand.Uint64())
+	binary.BigEndian.PutUint64(b[8:], rand.Uint64())
+	if isZero(b[:]) { // astronomically unlikely; the format forbids it
+		b[15] = 1
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// FormatSpanID renders a span ID the way Inject does (16 lowercase hex
+// characters).
+func FormatSpanID(id uint64) string {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], id)
+	return hex.EncodeToString(b[:])
+}
+
+// Inject writes the current span's trace context as a traceparent
+// header. When tracing is off (no span in ctx) it leaves h untouched,
+// so untraced traffic never advertises trace state.
+func Inject(ctx context.Context, h http.Header) {
+	s := SpanFrom(ctx)
+	if s == nil || s.traceID == "" {
+		return
+	}
+	var b strings.Builder
+	b.Grow(traceparentLen)
+	b.WriteString("00-")
+	b.WriteString(s.traceID)
+	b.WriteByte('-')
+	b.WriteString(FormatSpanID(s.id))
+	b.WriteString("-01")
+	h.Set(TraceparentHeader, b.String())
+}
+
+// Extract parses and sanitizes an incoming traceparent header. It
+// accepts exactly the canonical form Inject emits — version 00,
+// lowercase hex, non-zero IDs, exact length — and reports ok=false for
+// anything else, including an absent header. Malformed values are
+// rejected without error so the enclosing request can proceed untraced.
+func Extract(h http.Header) (TraceContext, bool) {
+	return ParseTraceparent(h.Get(TraceparentHeader))
+}
+
+// ParseTraceparent validates one raw traceparent value; see Extract.
+func ParseTraceparent(v string) (TraceContext, bool) {
+	// Bound first: a hostile header must not cost more than a length
+	// check. The exact format leaves no room for padding or extensions.
+	if len(v) != traceparentLen {
+		return TraceContext{}, false
+	}
+	if v[0] != '0' || v[1] != '0' || v[2] != '-' || v[35] != '-' || v[52] != '-' {
+		return TraceContext{}, false
+	}
+	traceID := v[3:35]
+	spanHex := v[36:52]
+	flags := v[53:]
+	if !isLowerHex(traceID) || !isLowerHex(spanHex) || !isLowerHex(flags) {
+		return TraceContext{}, false
+	}
+	if traceID == "00000000000000000000000000000000" {
+		return TraceContext{}, false
+	}
+	var raw [8]byte
+	if _, err := hex.Decode(raw[:], []byte(spanHex)); err != nil {
+		return TraceContext{}, false
+	}
+	spanID := binary.BigEndian.Uint64(raw[:])
+	if spanID == 0 {
+		return TraceContext{}, false
+	}
+	return TraceContext{TraceID: traceID, SpanID: spanID}, true
+}
+
+// ValidTraceID reports whether id has the canonical trace-ID shape:
+// exactly 32 lowercase hex characters, not all zero. Used to validate
+// trace IDs arriving via query parameters as strictly as headers.
+func ValidTraceID(id string) bool {
+	return len(id) == 32 && isLowerHex(id) &&
+		id != "00000000000000000000000000000000"
+}
+
+// ContextWithRemote marks ctx as continuing tc's trace: the next root
+// span started under it adopts tc.TraceID and records tc.SpanID as its
+// remote parent.
+func ContextWithRemote(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, remoteKey{}, tc)
+}
+
+// RemoteFrom returns the remote trace context attached to ctx, if any.
+func RemoteFrom(ctx context.Context) (TraceContext, bool) {
+	tc, ok := ctx.Value(remoteKey{}).(TraceContext)
+	return tc, ok
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func isZero(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestNewTraceIDShape(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewTraceID()
+		if !ValidTraceID(id) {
+			t.Fatalf("NewTraceID() = %q, not a valid trace ID", id)
+		}
+		if seen[id] {
+			t.Fatalf("NewTraceID() repeated %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestParseTraceparentRoundTrip(t *testing.T) {
+	rec := NewRecorder()
+	ctx := WithRecorder(context.Background(), rec)
+	ctx, span := Start(ctx, "root")
+	defer span.End()
+
+	h := http.Header{}
+	Inject(ctx, h)
+	v := h.Get(TraceparentHeader)
+	if len(v) != 55 {
+		t.Fatalf("injected traceparent %q has length %d, want 55", v, len(v))
+	}
+	tc, ok := ParseTraceparent(v)
+	if !ok {
+		t.Fatalf("ParseTraceparent rejected our own header %q", v)
+	}
+	if tc.TraceID != span.TraceID() {
+		t.Errorf("extracted trace ID %q, want %q", tc.TraceID, span.TraceID())
+	}
+	if tc.SpanID != span.SpanID() {
+		t.Errorf("extracted span ID %d, want %d", tc.SpanID, span.SpanID())
+	}
+}
+
+func TestInjectNoopWhenTracingOff(t *testing.T) {
+	h := http.Header{}
+	Inject(context.Background(), h)
+	if len(h) != 0 {
+		t.Errorf("Inject without a span wrote headers: %v", h)
+	}
+}
+
+func TestParseTraceparentRejectsMalformed(t *testing.T) {
+	valid := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	if _, ok := ParseTraceparent(valid); !ok {
+		t.Fatalf("canonical example %q rejected", valid)
+	}
+	bad := []string{
+		"",
+		"00",
+		valid + "0",            // too long
+		valid[:54],             // too short
+		"01" + valid[2:],       // wrong version
+		strings.ToUpper(valid), // uppercase hex
+		strings.Replace(valid, "-", "_", 1),
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", // zero span
+		"00-4bf92f3577b34da6a3ce929d0e0e473g-00f067aa0ba902b7-01", // non-hex
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902bg-01", // non-hex span
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-zz", // non-hex flags
+	}
+	for _, v := range bad {
+		if _, ok := ParseTraceparent(v); ok {
+			t.Errorf("ParseTraceparent accepted malformed %q", v)
+		}
+	}
+}
+
+func TestExtractAbsentHeader(t *testing.T) {
+	if _, ok := Extract(http.Header{}); ok {
+		t.Error("Extract reported ok for an absent header")
+	}
+}
+
+func TestRemoteParenting(t *testing.T) {
+	// A root span under a remote trace context adopts the caller's
+	// trace ID and records its span ID as the remote parent.
+	rec := NewRecorder()
+	ctx := WithRecorder(context.Background(), rec)
+	tc := TraceContext{TraceID: NewTraceID(), SpanID: 42}
+	ctx = ContextWithRemote(ctx, tc)
+	ctx, root := Start(ctx, "http.request")
+	_, child := Start(ctx, "serve.compute")
+	child.End()
+	root.End()
+
+	spans := rec.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("recorded %d spans, want 2", len(spans))
+	}
+	for _, s := range spans {
+		if s.TraceID != tc.TraceID {
+			t.Errorf("span %q trace ID %q, want caller's %q", s.Name, s.TraceID, tc.TraceID)
+		}
+	}
+	r := spans[1] // root ends last
+	if r.Name != "http.request" || r.RemoteParent != 42 {
+		t.Errorf("root = %q remoteParent %d, want http.request / 42", r.Name, r.RemoteParent)
+	}
+	c := spans[0]
+	if c.RemoteParent != 0 || c.Parent != r.ID {
+		t.Errorf("child parent = %d remote %d, want parent %d remote 0", c.Parent, c.RemoteParent, r.ID)
+	}
+}
+
+func TestValidTraceID(t *testing.T) {
+	for id, want := range map[string]bool{
+		NewTraceID():                        true,
+		"":                                  false,
+		"abc":                               false,
+		"00000000000000000000000000000000":  false,
+		"4bf92f3577b34da6a3ce929d0e0e4736":  true,
+		"4BF92F3577B34DA6A3CE929D0E0E4736":  false,
+		"4bf92f3577b34da6a3ce929d0e0e47361": false,
+		"4bf92f3577b34da6a3ce929d0e0e473g":  false,
+	} {
+		if got := ValidTraceID(id); got != want {
+			t.Errorf("ValidTraceID(%q) = %v, want %v", id, got, want)
+		}
+	}
+}
+
+// FuzzExtractTraceparent asserts the parser's invariants hold for
+// arbitrary header bytes: no panic, and any accepted value is exactly
+// canonical (re-formatting the parsed parts reproduces the input).
+func FuzzExtractTraceparent(f *testing.F) {
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("")
+	f.Add("00-00000000000000000000000000000000-0000000000000000-00")
+	f.Add(strings.Repeat("0", 55))
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01extra")
+	f.Fuzz(func(t *testing.T, v string) {
+		tc, ok := ParseTraceparent(v)
+		if !ok {
+			return
+		}
+		if !ValidTraceID(tc.TraceID) {
+			t.Fatalf("accepted %q but trace ID %q is invalid", v, tc.TraceID)
+		}
+		if tc.SpanID == 0 {
+			t.Fatalf("accepted %q with zero span ID", v)
+		}
+		rebuilt := "00-" + tc.TraceID + "-" + FormatSpanID(tc.SpanID) + "-" + v[53:]
+		if rebuilt != v {
+			t.Fatalf("accepted non-canonical %q (rebuilds to %q)", v, rebuilt)
+		}
+	})
+}

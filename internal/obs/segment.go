@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SegmentStore buffers completed span segments keyed by trace ID so a
+// remote coordinator can pull its distributed trace's node-local spans
+// after the fact (GET /debug/trace/segments?trace=... on the serve
+// debug surface). The store is bounded three ways: traces are capped
+// (least-recently-updated evicted first), spans per trace are capped,
+// and idle traces expire after a TTL. Every span lost to a cap is
+// counted in Dropped — silent span loss is an observability bug in its
+// own right.
+type SegmentStore struct {
+	ttl       time.Duration
+	maxTraces int
+	maxSpans  int // per trace
+
+	// ids is the shared span-ID source for recorders handed out by
+	// NewRecorder, keeping IDs unique across the process's requests.
+	ids atomic.Uint64
+
+	mu     sync.Mutex
+	traces map[string]*segment
+
+	dropped atomic.Int64 // spans lost to caps (incl. recorder drops)
+	expired atomic.Int64 // traces removed by TTL expiry
+	evicted atomic.Int64 // traces removed by the trace cap
+	spans   atomic.Int64 // spans currently resident
+}
+
+// segment is one trace's buffered spans on this node.
+type segment struct {
+	spans   []SpanRecord
+	dropped int64
+	updated time.Time
+}
+
+// Segment store defaults, used when the caller passes zero values.
+const (
+	DefaultSegmentTraces = 256
+	DefaultSegmentSpans  = 4096
+	DefaultSegmentTTL    = 2 * time.Minute
+)
+
+// NewSegmentStore builds a store holding up to maxTraces traces of up
+// to maxSpansPerTrace spans each, expiring traces idle longer than ttl.
+// Zero arguments take the defaults above.
+func NewSegmentStore(maxTraces, maxSpansPerTrace int, ttl time.Duration) *SegmentStore {
+	if maxTraces <= 0 {
+		maxTraces = DefaultSegmentTraces
+	}
+	if maxSpansPerTrace <= 0 {
+		maxSpansPerTrace = DefaultSegmentSpans
+	}
+	if ttl <= 0 {
+		ttl = DefaultSegmentTTL
+	}
+	return &SegmentStore{
+		ttl:       ttl,
+		maxTraces: maxTraces,
+		maxSpans:  maxSpansPerTrace,
+		traces:    make(map[string]*segment),
+	}
+}
+
+// NewRecorder hands out a request-scoped recorder whose span IDs draw
+// from the store's shared counter, so segments from different requests
+// of the same trace never collide.
+func (st *SegmentStore) NewRecorder(opts ...Option) *Recorder {
+	return NewRecorder(append([]Option{WithIDSource(&st.ids)}, opts...)...)
+}
+
+// Add appends one request's completed spans to the trace's segment.
+// recorderDropped carries the request recorder's own drop count so the
+// store's Dropped total covers the whole path.
+func (st *SegmentStore) Add(traceID string, spans []SpanRecord, recorderDropped int64) {
+	if traceID == "" {
+		return
+	}
+	if recorderDropped > 0 {
+		st.dropped.Add(recorderDropped)
+	}
+	now := time.Now()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sweepLocked(now)
+	seg := st.traces[traceID]
+	if seg == nil {
+		if len(st.traces) >= st.maxTraces {
+			st.evictOldestLocked()
+		}
+		seg = &segment{}
+		st.traces[traceID] = seg
+	}
+	for i, s := range spans {
+		if len(seg.spans) >= st.maxSpans {
+			n := int64(len(spans) - i)
+			seg.dropped += n
+			st.dropped.Add(n)
+			break
+		}
+		seg.spans = append(seg.spans, s)
+		st.spans.Add(1)
+	}
+	seg.updated = now
+}
+
+// Get copies out a trace's buffered spans and its drop count. The
+// lookup refreshes the trace's TTL: a coordinator polling a long sweep
+// keeps its segments alive.
+func (st *SegmentStore) Get(traceID string) ([]SpanRecord, int64, bool) {
+	now := time.Now()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sweepLocked(now)
+	seg := st.traces[traceID]
+	if seg == nil {
+		return nil, 0, false
+	}
+	seg.updated = now
+	return append([]SpanRecord(nil), seg.spans...), seg.dropped, true
+}
+
+// MaxSpans returns the per-trace span cap (useful as a request
+// recorder's limit, so one request can never over-buffer).
+func (st *SegmentStore) MaxSpans() int { return st.maxSpans }
+
+// Traces returns the number of resident traces.
+func (st *SegmentStore) Traces() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.traces)
+}
+
+// SpanCount returns the number of resident spans across all traces.
+func (st *SegmentStore) SpanCount() int64 { return st.spans.Load() }
+
+// Dropped returns how many spans were lost to the per-trace cap, the
+// trace cap's evictions, or a request recorder's own limit.
+func (st *SegmentStore) Dropped() int64 { return st.dropped.Load() }
+
+// Expired returns how many traces the TTL has reclaimed.
+func (st *SegmentStore) Expired() int64 { return st.expired.Load() }
+
+// Evicted returns how many traces the trace cap has displaced.
+func (st *SegmentStore) Evicted() int64 { return st.evicted.Load() }
+
+// sweepLocked removes traces idle past the TTL. The store is accessed
+// on every traced request, so lazy sweeping bounds staleness without a
+// janitor goroutine; maxTraces keeps the scan short.
+func (st *SegmentStore) sweepLocked(now time.Time) {
+	for id, seg := range st.traces {
+		if now.Sub(seg.updated) > st.ttl {
+			st.spans.Add(-int64(len(seg.spans)))
+			st.expired.Add(1)
+			delete(st.traces, id)
+		}
+	}
+}
+
+// evictOldestLocked displaces the least-recently-updated trace to make
+// room; its spans count as dropped (they were lost, not delivered).
+func (st *SegmentStore) evictOldestLocked() {
+	var oldest string
+	var oldestAt time.Time
+	for id, seg := range st.traces {
+		if oldest == "" || seg.updated.Before(oldestAt) {
+			oldest, oldestAt = id, seg.updated
+		}
+	}
+	if oldest == "" {
+		return
+	}
+	seg := st.traces[oldest]
+	st.spans.Add(-int64(len(seg.spans)))
+	st.dropped.Add(int64(len(seg.spans)))
+	st.evicted.Add(1)
+	delete(st.traces, oldest)
+}

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func span(id uint64, name string) SpanRecord {
+	now := time.Now()
+	return SpanRecord{ID: id, Track: id, Name: name, Start: now, End: now}
+}
+
+func TestSegmentStoreAddGet(t *testing.T) {
+	st := NewSegmentStore(4, 16, time.Minute)
+	id := NewTraceID()
+	st.Add(id, []SpanRecord{span(1, "a"), span(2, "b")}, 0)
+	st.Add(id, []SpanRecord{span(3, "c")}, 0)
+
+	spans, dropped, ok := st.Get(id)
+	if !ok {
+		t.Fatal("trace not found after Add")
+	}
+	if len(spans) != 3 || dropped != 0 {
+		t.Fatalf("got %d spans, %d dropped; want 3, 0", len(spans), dropped)
+	}
+	if st.Traces() != 1 || st.SpanCount() != 3 {
+		t.Errorf("store: %d traces, %d spans; want 1, 3", st.Traces(), st.SpanCount())
+	}
+	if _, _, ok := st.Get(NewTraceID()); ok {
+		t.Error("unknown trace reported found")
+	}
+	// Empty trace IDs are ignored entirely.
+	st.Add("", []SpanRecord{span(9, "x")}, 0)
+	if st.Traces() != 1 {
+		t.Error("empty trace ID created a segment")
+	}
+}
+
+func TestSegmentStorePerTraceSpanCap(t *testing.T) {
+	st := NewSegmentStore(4, 2, time.Minute)
+	id := NewTraceID()
+	st.Add(id, []SpanRecord{span(1, "a"), span(2, "b"), span(3, "c"), span(4, "d")}, 0)
+	spans, dropped, _ := st.Get(id)
+	if len(spans) != 2 || dropped != 2 {
+		t.Errorf("got %d spans, %d dropped; want 2 kept, 2 dropped", len(spans), dropped)
+	}
+	if st.Dropped() != 2 {
+		t.Errorf("store Dropped() = %d, want 2", st.Dropped())
+	}
+	// The recorder's own drop count folds into the store total.
+	st.Add(id, nil, 5)
+	if st.Dropped() != 7 {
+		t.Errorf("store Dropped() = %d after recorder drops, want 7", st.Dropped())
+	}
+}
+
+func TestSegmentStoreTraceCapEvictsOldest(t *testing.T) {
+	st := NewSegmentStore(2, 16, time.Minute)
+	a, b, c := NewTraceID(), NewTraceID(), NewTraceID()
+	st.Add(a, []SpanRecord{span(1, "a")}, 0)
+	st.Add(b, []SpanRecord{span(2, "b")}, 0)
+	st.Add(b, []SpanRecord{span(3, "b2")}, 0) // refresh b: a is now oldest
+	st.Add(c, []SpanRecord{span(4, "c")}, 0)
+
+	if _, _, ok := st.Get(a); ok {
+		t.Error("oldest trace survived the cap")
+	}
+	if _, _, ok := st.Get(b); !ok {
+		t.Error("recently-updated trace was evicted")
+	}
+	if _, _, ok := st.Get(c); !ok {
+		t.Error("newest trace missing")
+	}
+	if st.Evicted() != 1 {
+		t.Errorf("Evicted() = %d, want 1", st.Evicted())
+	}
+	if st.Dropped() != 1 {
+		t.Errorf("Dropped() = %d, want 1 (the evicted trace's span)", st.Dropped())
+	}
+}
+
+func TestSegmentStoreTTLExpiry(t *testing.T) {
+	st := NewSegmentStore(4, 16, 30*time.Millisecond)
+	id := NewTraceID()
+	st.Add(id, []SpanRecord{span(1, "a")}, 0)
+	time.Sleep(60 * time.Millisecond)
+	// The sweep is lazy: the next access reclaims the idle trace.
+	if _, _, ok := st.Get(id); ok {
+		t.Error("idle trace survived its TTL")
+	}
+	if st.Expired() != 1 {
+		t.Errorf("Expired() = %d, want 1", st.Expired())
+	}
+	if st.SpanCount() != 0 {
+		t.Errorf("SpanCount() = %d after expiry, want 0", st.SpanCount())
+	}
+}
+
+func TestSegmentStoreSharedIDSource(t *testing.T) {
+	st := NewSegmentStore(0, 0, 0)
+	r1, r2 := st.NewRecorder(), st.NewRecorder()
+	ids := map[uint64]bool{}
+	for _, r := range []*Recorder{r1, r2} {
+		ctx := WithRecorder(t.Context(), r)
+		_, s := Start(ctx, "x")
+		if ids[s.SpanID()] {
+			t.Fatalf("span ID %d repeated across recorders", s.SpanID())
+		}
+		ids[s.SpanID()] = true
+		s.End()
+	}
+}
+
+// TestSegmentStoreTTLRaceHammer drives concurrent Add/Get traffic over
+// a tiny store with an aggressive TTL so lazy sweeps, cap evictions,
+// and reads interleave constantly; run under -race it is the store's
+// concurrency regression test.
+func TestSegmentStoreTTLRaceHammer(t *testing.T) {
+	st := NewSegmentStore(8, 4, time.Millisecond)
+	traces := make([]string, 16)
+	for i := range traces {
+		traces[i] = NewTraceID()
+	}
+	var wg sync.WaitGroup
+	stop := time.Now().Add(100 * time.Millisecond)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(stop); i++ {
+				id := traces[(g*31+i)%len(traces)]
+				if i%3 == 0 {
+					st.Get(id)
+				} else {
+					rec := st.NewRecorder(WithLimit(st.MaxSpans()))
+					ctx := WithRecorder(t.Context(), rec)
+					_, s := Start(ctx, fmt.Sprintf("g%d", g))
+					s.End()
+					st.Add(id, rec.Snapshot(), rec.Dropped())
+				}
+				if i%17 == 0 {
+					time.Sleep(time.Millisecond) // let TTLs lapse mid-traffic
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Invariant: resident span count matches a fresh tally.
+	var tally int64
+	st.mu.Lock()
+	for _, seg := range st.traces {
+		tally += int64(len(seg.spans))
+	}
+	st.mu.Unlock()
+	if got := st.SpanCount(); got != tally {
+		t.Errorf("SpanCount() = %d, but store holds %d spans", got, tally)
+	}
+}

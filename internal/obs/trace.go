@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"sort"
+	"time"
 )
 
 // traceEvent is one entry of the Chrome trace_event format. Spans are
@@ -71,4 +72,12 @@ func (r *Recorder) WriteTrace(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(traceFile{TraceEvents: r.TraceEvents(), DisplayTimeUnit: "ms"})
+}
+
+// WriteChromeLanes writes a stitched multi-process trace (one Lane per
+// process, times relative to epoch) as Chrome trace_event JSON.
+func WriteChromeLanes(w io.Writer, epoch time.Time, lanes []Lane) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(traceFile{TraceEvents: LaneEvents(epoch, lanes), DisplayTimeUnit: "ms"})
 }

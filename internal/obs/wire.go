@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"sort"
+	"time"
+)
+
+// This file is the JSON wire shape for span segments crossing node
+// boundaries: the serve debug endpoint marshals SpanRecords with it,
+// and the fleet coordinator unmarshals them back for trace assembly.
+// Times travel as absolute unix nanoseconds so the coordinator can
+// skew-correct each node onto its own clock.
+
+// SpanJSON is one span on the wire.
+type SpanJSON struct {
+	ID           uint64         `json:"id"`
+	Parent       uint64         `json:"parent,omitempty"`
+	Track        uint64         `json:"track"`
+	TraceID      string         `json:"trace_id,omitempty"`
+	RemoteParent string         `json:"remote_parent,omitempty"` // 16-hex span ID
+	Name         string         `json:"name"`
+	StartUnixNs  int64          `json:"start_unix_ns"`
+	EndUnixNs    int64          `json:"end_unix_ns"`
+	Attrs        map[string]any `json:"attrs,omitempty"`
+	Events       []EventJSON    `json:"events,omitempty"`
+}
+
+// EventJSON is one span event on the wire.
+type EventJSON struct {
+	Name       string         `json:"name"`
+	TimeUnixNs int64          `json:"time_unix_ns"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+}
+
+// SpanToJSON converts one record to the wire shape.
+func SpanToJSON(s SpanRecord) SpanJSON {
+	j := SpanJSON{
+		ID: s.ID, Parent: s.Parent, Track: s.Track,
+		TraceID:     s.TraceID,
+		Name:        s.Name,
+		StartUnixNs: s.Start.UnixNano(),
+		EndUnixNs:   s.End.UnixNano(),
+		Attrs:       attrArgs(s.Attrs),
+	}
+	if s.RemoteParent != 0 {
+		j.RemoteParent = FormatSpanID(s.RemoteParent)
+	}
+	for _, e := range s.Events {
+		j.Events = append(j.Events, EventJSON{
+			Name: e.Name, TimeUnixNs: e.Time.UnixNano(), Attrs: attrArgs(e.Attrs),
+		})
+	}
+	return j
+}
+
+// SpansToJSON converts a segment snapshot to the wire shape.
+func SpansToJSON(spans []SpanRecord) []SpanJSON {
+	out := make([]SpanJSON, len(spans))
+	for i, s := range spans {
+		out[i] = SpanToJSON(s)
+	}
+	return out
+}
+
+// Record converts a wire span back to a SpanRecord. JSON numbers come
+// back as float64; integral attr values are restored as ints so round-
+// tripped attrs render the way they were recorded.
+func (j SpanJSON) Record() SpanRecord {
+	s := SpanRecord{
+		ID: j.ID, Parent: j.Parent, Track: j.Track,
+		TraceID: j.TraceID,
+		Name:    j.Name,
+		Start:   time.Unix(0, j.StartUnixNs),
+		End:     time.Unix(0, j.EndUnixNs),
+		Attrs:   attrsFromMap(j.Attrs),
+	}
+	if tc, ok := ParseTraceparent("00-" + pad32(j.TraceID) + "-" + pad16(j.RemoteParent) + "-01"); ok {
+		s.RemoteParent = tc.SpanID
+	}
+	for _, e := range j.Events {
+		s.Events = append(s.Events, Event{
+			Name: e.Name, Time: time.Unix(0, e.TimeUnixNs), Attrs: attrsFromMap(e.Attrs),
+		})
+	}
+	return s
+}
+
+// RecordsFromJSON converts a wire segment back to records.
+func RecordsFromJSON(spans []SpanJSON) []SpanRecord {
+	out := make([]SpanRecord, len(spans))
+	for i, j := range spans {
+		out[i] = j.Record()
+	}
+	return out
+}
+
+// pad32/pad16 shape possibly-absent hex fields so the strict
+// traceparent parser can validate a wire span's remote parent without a
+// second code path; an invalid field simply yields RemoteParent 0.
+func pad32(s string) string {
+	if len(s) != 32 {
+		return "00000000000000000000000000000000"
+	}
+	return s
+}
+
+func pad16(s string) string {
+	if len(s) != 16 {
+		return "0000000000000000"
+	}
+	return s
+}
+
+func attrsFromMap(m map[string]any) []Attr {
+	if len(m) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	attrs := make([]Attr, 0, len(m))
+	for _, k := range keys {
+		switch v := m[k].(type) {
+		case string:
+			attrs = append(attrs, String(k, v))
+		case bool:
+			attrs = append(attrs, Bool(k, v))
+		case float64:
+			if v == float64(int64(v)) {
+				attrs = append(attrs, Int64(k, int64(v)))
+			} else {
+				attrs = append(attrs, Float(k, v))
+			}
+		case int64:
+			attrs = append(attrs, Int64(k, v))
+		}
+	}
+	return attrs
+}
+
+// Lane is one process row of a stitched multi-node Chrome trace:
+// typically the fleet coordinator at PID 0 and one PID per serve node,
+// each node's spans shifted by its estimated clock offset.
+type Lane struct {
+	// PID is the Chrome process ID the lane renders under.
+	PID int
+	// Process is the lane's display name (e.g. the node's base URL).
+	Process string
+	// Spans are the lane's spans; Track becomes the Chrome thread ID,
+	// so each request/worker renders as its own row within the process.
+	Spans []SpanRecord
+	// OffsetNS is added to every span time: the lane clock's estimated
+	// skew against the epoch's clock.
+	OffsetNS int64
+}
+
+// LaneEvents converts multi-process lanes into Chrome trace_event
+// entries relative to epoch, including process_name metadata so the
+// trace viewer labels each node.
+func LaneEvents(epoch time.Time, lanes []Lane) []traceEvent {
+	var evs []traceEvent
+	for _, lane := range lanes {
+		evs = append(evs, traceEvent{
+			Name: "process_name", Phase: "M", PID: lane.PID,
+			Args: map[string]any{"name": lane.Process},
+		})
+		off := time.Duration(lane.OffsetNS)
+		spans := append([]SpanRecord(nil), lane.Spans...)
+		sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+		for _, s := range spans {
+			ts := float64(s.Start.Add(off).Sub(epoch).Nanoseconds()) / 1e3
+			dur := float64(s.End.Sub(s.Start).Nanoseconds()) / 1e3
+			if dur <= 0 {
+				dur = 0.001
+			}
+			args := attrArgs(s.Attrs)
+			if s.TraceID != "" {
+				if args == nil {
+					args = map[string]any{}
+				}
+				args["trace_id"] = s.TraceID
+			}
+			evs = append(evs, traceEvent{
+				Name: s.Name, Phase: "X", TS: ts, Dur: dur,
+				PID: lane.PID, TID: s.Track, Args: args,
+			})
+			for _, e := range s.Events {
+				evs = append(evs, traceEvent{
+					Name: e.Name, Phase: "i", Scope: "t",
+					TS:  float64(e.Time.Add(off).Sub(epoch).Nanoseconds()) / 1e3,
+					PID: lane.PID, TID: s.Track, Args: attrArgs(e.Attrs),
+				})
+			}
+		}
+	}
+	return evs
+}

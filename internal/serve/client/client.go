@@ -25,8 +25,26 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
+
+// requestIDKey carries a caller-chosen X-Request-ID through ctx.
+type requestIDKey struct{}
+
+// WithRequestID returns a ctx whose calls send id as the X-Request-ID
+// header, so a coordinator can stamp one sweep ID across every request
+// it fans out and grep all nodes' access logs by it. The server
+// sanitizes and echoes the ID; an empty id leaves generation to the
+// server as before.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
 
 // ErrExhausted reports that every retry attempt failed; the final
 // attempt's error is wrapped alongside it.
@@ -254,6 +272,28 @@ func (c *Client) Models(ctx context.Context) (*serve.ModelsResponse, error) {
 	return &out, nil
 }
 
+// TraceSegments fetches one distributed trace's span segments buffered
+// on the server (GET /debug/trace/segments?trace=...). The trace ID is
+// the capability: only the coordinator that minted it can name it.
+func (c *Client) TraceSegments(ctx context.Context, traceID string) (*serve.SegmentsResponse, error) {
+	var out serve.SegmentsResponse
+	err := c.call(ctx, http.MethodGet, "/debug/trace/segments?trace="+url.QueryEscape(traceID), nil, &out, true)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// MetricsText scrapes the server's /metrics endpoint and returns the
+// raw Prometheus text exposition, for federation by a coordinator.
+func (c *Client) MetricsText(ctx context.Context) (string, error) {
+	var raw []byte
+	if err := c.call(ctx, http.MethodGet, "/metrics", nil, &raw, true); err != nil {
+		return "", err
+	}
+	return string(raw), nil
+}
+
 // propagateDeadline fills *ms with the context's remaining budget when
 // the caller did not set one, so the server's queue-deadline shedding
 // and per-request timeout see the true deadline. Re-evaluated on every
@@ -317,11 +357,16 @@ func (c *Client) call(ctx context.Context, method, path string, mkBody func() ([
 		if attempt > 0 {
 			c.retries.Add(1)
 		}
-		res, err := c.attemptOnce(ctx, br, method, path, mkBody, idempotent)
+		res, err := c.attemptOnce(ctx, br, method, path, mkBody, idempotent, attempt)
 		var hint time.Duration
 		switch {
 		case err == nil && res.status == http.StatusOK:
-			if out != nil {
+			switch dst := out.(type) {
+			case nil:
+			case *[]byte:
+				// Raw (non-JSON) endpoints, e.g. the /metrics text format.
+				*dst = res.body
+			default:
 				if derr := json.Unmarshal(res.body, out); derr != nil {
 					return fmt.Errorf("client: decoding %s response: %w", path, derr)
 				}
@@ -366,7 +411,7 @@ func (c *Client) terminal(ctxErr, lastErr error) error {
 
 // attemptOnce runs one breaker-gated exchange (hedged when enabled and
 // idempotent) and records the outcome with the breaker.
-func (c *Client) attemptOnce(ctx context.Context, br *breaker, method, path string, mkBody func() ([]byte, error), idempotent bool) (*attemptResult, error) {
+func (c *Client) attemptOnce(ctx context.Context, br *breaker, method, path string, mkBody func() ([]byte, error), idempotent bool, attempt int) (*attemptResult, error) {
 	if !br.Allow() {
 		c.breakerRejected.Add(1)
 		return nil, fmt.Errorf("%w: host %s", ErrCircuitOpen, br.host)
@@ -383,9 +428,9 @@ func (c *Client) attemptOnce(ctx context.Context, br *breaker, method, path stri
 	var res *attemptResult
 	var err error
 	if idempotent && c.opts.Hedge > 0 {
-		res, err = c.roundTripHedged(ctx, method, path, payload)
+		res, err = c.roundTripHedged(ctx, method, path, payload, attempt)
 	} else {
-		res, err = c.roundTrip(ctx, method, path, payload)
+		res, err = c.roundTrip(ctx, method, path, payload, attempt, false)
 	}
 	switch {
 	case err != nil:
@@ -406,11 +451,24 @@ func (c *Client) attemptOnce(ctx context.Context, br *breaker, method, path stri
 
 // roundTrip runs one exchange and fully consumes the body, so hedged
 // siblings can be cancelled without tearing a body read out from under
-// the winner's caller.
-func (c *Client) roundTrip(ctx context.Context, method, path string, payload []byte) (*attemptResult, error) {
+// the winner's caller. Each exchange gets its own client.attempt span —
+// retries and hedges are separate spans tagged with their attempt
+// number and target host — whose ID is what the remote side parents
+// under, and whose start/end bracket the exchange for clock-skew
+// correction during trace assembly.
+func (c *Client) roundTrip(ctx context.Context, method, path string, payload []byte, attempt int, hedged bool) (*attemptResult, error) {
 	c.attempts.Add(1)
 	u := *c.base
-	u.Path = strings.TrimRight(u.Path, "/") + path
+	p := path
+	if i := strings.IndexByte(p, '?'); i >= 0 {
+		u.RawQuery = p[i+1:]
+		p = p[:i]
+	}
+	u.Path = strings.TrimRight(u.Path, "/") + p
+	sctx, span := obs.Start(ctx, "client.attempt",
+		obs.String("host", u.Host), obs.String("path", p),
+		obs.Int("attempt", attempt), obs.Bool("hedged", hedged))
+	defer span.End()
 	var body io.Reader
 	if payload != nil {
 		body = bytes.NewReader(payload)
@@ -423,11 +481,19 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, payload []b
 		req.Header.Set("Content-Type", "application/json")
 	}
 	req.Header.Set("User-Agent", c.opts.UserAgent)
+	if id := requestIDFrom(ctx); id != "" {
+		req.Header.Set("X-Request-ID", id)
+	}
+	// Propagate the trace context so the server's spans parent under
+	// this attempt's span. No-op when tracing is off.
+	obs.Inject(sctx, req.Header)
 	resp, err := c.http.Do(req)
 	if err != nil {
+		span.SetAttr(obs.String("error", err.Error()))
 		return nil, err
 	}
 	defer resp.Body.Close()
+	span.SetAttr(obs.Int("status", resp.StatusCode))
 	limit := int64(maxErrBody)
 	if resp.StatusCode == http.StatusOK {
 		limit = maxRespBody
@@ -447,7 +513,7 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, payload []b
 // roundTripHedged races the primary exchange against a second one
 // launched after the hedge delay. The first completed exchange wins;
 // the straggler's context is cancelled on return.
-func (c *Client) roundTripHedged(ctx context.Context, method, path string, payload []byte) (*attemptResult, error) {
+func (c *Client) roundTripHedged(ctx context.Context, method, path string, payload []byte, attempt int) (*attemptResult, error) {
 	hctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	type res struct {
@@ -455,11 +521,11 @@ func (c *Client) roundTripHedged(ctx context.Context, method, path string, paylo
 		err error
 	}
 	ch := make(chan res, 2)
-	launch := func() {
-		r, err := c.roundTrip(hctx, method, path, payload)
+	launch := func(hedge bool) {
+		r, err := c.roundTrip(hctx, method, path, payload, attempt, hedge)
 		ch <- res{r, err}
 	}
-	go launch()
+	go launch(false)
 	inflight := 1
 	hedged := false
 	timer := time.NewTimer(c.opts.Hedge)
@@ -483,7 +549,7 @@ func (c *Client) roundTripHedged(ctx context.Context, method, path string, paylo
 				hedged = true
 				inflight++
 				c.hedges.Add(1)
-				go launch()
+				go launch(true)
 			}
 		}
 	}

@@ -1,0 +1,208 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// headerLog captures each request's propagation headers server-side.
+type headerLog struct {
+	mu   sync.Mutex
+	seen []http.Header
+}
+
+func (h *headerLog) add(r *http.Request) {
+	h.mu.Lock()
+	h.seen = append(h.seen, r.Header.Clone())
+	h.mu.Unlock()
+}
+
+func (h *headerLog) all() []http.Header {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]http.Header(nil), h.seen...)
+}
+
+// TestAttemptSpansAndHeaderInjection is the client half of trace
+// propagation: under a recorder, every HTTP exchange gets its own
+// client.attempt span, each tagged with the attempt number and host,
+// and carries a traceparent naming that span — so the server's spans
+// parent under the exact attempt that reached it, retries included.
+func TestAttemptSpansAndHeaderInjection(t *testing.T) {
+	var hl headerLog
+	var calls int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hl.add(r)
+		calls++
+		if calls == 1 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Write(okBody(t)) //nolint:errcheck
+	}))
+	defer ts.Close()
+	c := mustClient(t, fastOpts(ts.URL))
+
+	rec := obs.NewRecorder()
+	ctx := obs.WithRecorder(context.Background(), rec)
+	ctx, root := obs.Start(ctx, "test.root")
+	if _, err := c.Analyze(ctx, analyzeReq()); err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	root.End()
+
+	var attempts []obs.SpanRecord
+	for _, s := range rec.Snapshot() {
+		if s.Name == "client.attempt" {
+			attempts = append(attempts, s)
+		}
+	}
+	if len(attempts) != 2 {
+		t.Fatalf("recorded %d client.attempt spans, want 2 (one per exchange)", len(attempts))
+	}
+	for i, s := range attempts {
+		if n, _ := s.Attr("attempt"); n != map[int]string{0: "0", 1: "1"}[i] {
+			t.Errorf("attempt %d span attr attempt=%q", i, n)
+		}
+		if h, _ := s.Attr("host"); h == "" {
+			t.Errorf("attempt %d span missing host attr", i)
+		}
+		if s.TraceID != root.TraceID() {
+			t.Errorf("attempt %d trace %q, want root's %q", i, s.TraceID, root.TraceID())
+		}
+	}
+	if st, _ := attempts[0].Attr("status"); st != "503" {
+		t.Errorf("first attempt status attr = %q, want 503", st)
+	}
+	if st, _ := attempts[1].Attr("status"); st != "200" {
+		t.Errorf("second attempt status attr = %q, want 200", st)
+	}
+
+	// Each wire exchange carried a traceparent naming its own attempt
+	// span, in order.
+	headers := hl.all()
+	if len(headers) != 2 {
+		t.Fatalf("server saw %d requests, want 2", len(headers))
+	}
+	for i, h := range headers {
+		tc, ok := obs.ParseTraceparent(h.Get("traceparent"))
+		if !ok {
+			t.Fatalf("exchange %d traceparent %q unparsable", i, h.Get("traceparent"))
+		}
+		if tc.TraceID != root.TraceID() {
+			t.Errorf("exchange %d trace %q, want %q", i, tc.TraceID, root.TraceID())
+		}
+		if tc.SpanID != attempts[i].ID {
+			t.Errorf("exchange %d parented under span %d, want attempt span %d", i, tc.SpanID, attempts[i].ID)
+		}
+	}
+}
+
+func TestNoHeadersWhenTracingOff(t *testing.T) {
+	var hl headerLog
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hl.add(r)
+		w.Write(okBody(t)) //nolint:errcheck
+	}))
+	defer ts.Close()
+	c := mustClient(t, fastOpts(ts.URL))
+	if _, err := c.Analyze(context.Background(), analyzeReq()); err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	h := hl.all()[0]
+	if v := h.Get("traceparent"); v != "" {
+		t.Errorf("untraced call sent traceparent %q", v)
+	}
+	if v := h.Get("X-Request-ID"); v != "" {
+		t.Errorf("call without WithRequestID sent X-Request-ID %q", v)
+	}
+}
+
+func TestWithRequestIDHeader(t *testing.T) {
+	var hl headerLog
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hl.add(r)
+		w.Write(okBody(t)) //nolint:errcheck
+	}))
+	defer ts.Close()
+	c := mustClient(t, fastOpts(ts.URL))
+	ctx := WithRequestID(context.Background(), "sweep-abc123")
+	if _, err := c.Analyze(ctx, analyzeReq()); err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if got := hl.all()[0].Get("X-Request-ID"); got != "sweep-abc123" {
+		t.Errorf("X-Request-ID = %q, want sweep-abc123", got)
+	}
+}
+
+func TestTraceSegmentsAndQueryString(t *testing.T) {
+	traceID := obs.NewTraceID()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/debug/trace/segments" {
+			t.Errorf("path = %q", r.URL.Path)
+		}
+		if got := r.URL.Query().Get("trace"); got != traceID {
+			t.Errorf("trace query = %q, want %q", got, traceID)
+		}
+		w.Write([]byte(`{"trace_id":"` + traceID + `","node":"n0","dropped":1,"spans":[{"id":7,"track":7,"name":"http.request","start_unix_ns":1,"end_unix_ns":2}]}`)) //nolint:errcheck
+	}))
+	defer ts.Close()
+	c := mustClient(t, fastOpts(ts.URL))
+	seg, err := c.TraceSegments(context.Background(), traceID)
+	if err != nil {
+		t.Fatalf("TraceSegments: %v", err)
+	}
+	if seg.Node != "n0" || seg.Dropped != 1 || len(seg.Spans) != 1 || seg.Spans[0].Name != "http.request" {
+		t.Errorf("unexpected segments response: %+v", seg)
+	}
+}
+
+func TestMetricsText(t *testing.T) {
+	const exposition = "# TYPE maestro_requests_total counter\nmaestro_requests_total 5\n"
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" {
+			t.Errorf("path = %q", r.URL.Path)
+		}
+		w.Write([]byte(exposition)) //nolint:errcheck
+	}))
+	defer ts.Close()
+	c := mustClient(t, fastOpts(ts.URL))
+	text, err := c.MetricsText(context.Background())
+	if err != nil {
+		t.Fatalf("MetricsText: %v", err)
+	}
+	if text != exposition {
+		t.Errorf("MetricsText = %q, want raw exposition", text)
+	}
+}
+
+func TestTraceSegmentsAgainstRealServer(t *testing.T) {
+	// End-to-end against a real serve.Server: trace a request, then
+	// pull its segments through the typed client method.
+	s := serve.New(serve.Options{Workers: 1, NodeName: "real"})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	c := mustClient(t, fastOpts(ts.URL))
+
+	rec := obs.NewRecorder()
+	ctx := obs.WithRecorder(context.Background(), rec)
+	ctx, root := obs.Start(ctx, "test.root")
+	if _, err := c.Analyze(ctx, analyzeReq()); err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	root.End()
+
+	seg, err := c.TraceSegments(context.Background(), root.TraceID())
+	if err != nil {
+		t.Fatalf("TraceSegments: %v", err)
+	}
+	if seg.Node != "real" || len(seg.Spans) == 0 {
+		t.Fatalf("segments = node %q, %d spans; want node real with spans", seg.Node, len(seg.Spans))
+	}
+}

@@ -131,13 +131,14 @@ type family struct {
 	name, help string
 	kind       metricKind
 
-	counter   *Counter
-	counterFn func() int64
-	gauge     *Gauge
-	gaugeFn   func() int64
-	histogram *Histogram
-	vec       *CounterVec
-	histVec   *HistogramVec
+	counter    *Counter
+	counterFn  func() int64
+	gauge      *Gauge
+	gaugeFn    func() int64
+	histogram  *Histogram
+	vec        *CounterVec
+	histVec    *HistogramVec
+	infoLabels string // preformatted k="v",... for a constant info gauge
 }
 
 // Registry holds metric families and renders them in registration
@@ -181,6 +182,18 @@ func (r *Registry) NewGaugeFunc(name, help string, fn func() int64) {
 	r.add(&family{name: name, help: help, kind: kindGauge, gaugeFn: fn})
 }
 
+// NewInfoGauge registers a constant gauge of value 1 whose labels carry
+// build/identity metadata (the maestro_build_info idiom). Labels render
+// in the given order.
+func (r *Registry) NewInfoGauge(name, help string, labels ...[2]string) {
+	parts := make([]string, 0, len(labels))
+	for _, kv := range labels {
+		parts = append(parts, fmt.Sprintf("%s=%q", kv[0], kv[1]))
+	}
+	r.add(&family{name: name, help: help, kind: kindGauge,
+		infoLabels: strings.Join(parts, ",")})
+}
+
 // NewHistogram registers and returns a histogram with the given bounds.
 func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
 	h := &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
@@ -219,6 +232,8 @@ func (r *Registry) Render() string {
 		}
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, typ)
 		switch {
+		case f.infoLabels != "":
+			fmt.Fprintf(&b, "%s{%s} 1\n", f.name, f.infoLabels)
 		case f.counter != nil:
 			fmt.Fprintf(&b, "%s %d\n", f.name, f.counter.Value())
 		case f.counterFn != nil:

@@ -54,12 +54,16 @@ func endpointOf(path string) string {
 		return "dse"
 	case "/v1/models":
 		return "models"
+	case "/v1/status":
+		return "status"
 	case "/healthz":
 		return "healthz"
 	case "/metrics":
 		return "metrics"
 	case "/debug/trace":
 		return "debug_trace"
+	case "/debug/trace/segments":
+		return "trace_segments"
 	}
 	return "other"
 }
@@ -82,16 +86,33 @@ func (w *statusWriter) Flush() {
 }
 
 // instrument wraps the route mux with the request-scoped observability:
-// it assigns the request ID, attaches the live capture recorder (if a
-// /debug/trace window is open), roots the span tree, and emits one
-// structured access-log line per request.
+// it assigns the request ID, extracts the distributed trace context (a
+// sanitized traceparent header, buffered into the segment store),
+// attaches the live capture recorder (if a /debug/trace window is
+// open), roots the span tree, and emits one structured access-log line
+// per request.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		id := requestID(r)
 		ctx := context.WithValue(r.Context(), requestIDKey{}, id)
-		if rec := s.capture.Load(); rec != nil {
-			ctx = obs.WithRecorder(ctx, rec)
+		capRec := s.capture.Load()
+		// Trace-context propagation: a valid traceparent header parents
+		// this request's spans under the remote caller's span and — when
+		// the segment store is on — buffers them for the coordinator to
+		// pull. Extract is strict; a malformed header is ignored (the
+		// request proceeds untraced), mirroring X-Request-ID sanitizing.
+		var segRec *obs.Recorder
+		tc, traced := obs.Extract(r.Header)
+		if traced {
+			ctx = obs.ContextWithRemote(ctx, tc)
+			if s.segments != nil {
+				segRec = s.segments.NewRecorder(obs.WithLimit(s.segments.MaxSpans()))
+				ctx = obs.WithRecorder(ctx, segRec)
+			}
+		}
+		if segRec == nil && capRec != nil {
+			ctx = obs.WithRecorder(ctx, capRec)
 		}
 		// Baggage: every span under this request — including ones
 		// recorded inside DSE workers — carries the request ID.
@@ -104,6 +125,15 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		elapsed := time.Since(start)
 		span.SetAttr(obs.Int("status", sw.status))
 		span.End()
+		if segRec != nil {
+			spans := segRec.Snapshot()
+			s.segments.Add(tc.TraceID, spans, segRec.Dropped())
+			if capRec != nil {
+				// A capture window stays complete even while segment
+				// recording diverts the traced request's spans.
+				capRec.Merge(spans)
+			}
+		}
 		s.endpointSeconds.With(endpointOf(r.URL.Path)).Observe(elapsed.Seconds())
 		lvl := slog.LevelInfo
 		if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
@@ -168,4 +198,57 @@ func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Disposition", `attachment; filename="maestro-trace.json"`)
 	rec.WriteTrace(w) //nolint:errcheck // client went away
+}
+
+// SegmentsResponse is the body of GET /debug/trace/segments: one node's
+// buffered span segments for a single distributed trace.
+type SegmentsResponse struct {
+	TraceID string         `json:"trace_id"`
+	Node    string         `json:"node"`
+	Dropped int64          `json:"dropped"`
+	Spans   []obs.SpanJSON `json:"spans"`
+}
+
+// SegmentsHandler returns the segment-pull endpoint as a standalone
+// handler for a private debug listener. The endpoint is also mounted on
+// the API handler: unlike /debug/trace (which captures arbitrary
+// traffic and so lives behind -pprof), fetching segments requires the
+// exact 128-bit trace ID, which only the coordinator that minted it
+// knows — the URL is its own capability.
+func (s *Server) SegmentsHandler() http.Handler {
+	return http.HandlerFunc(s.handleTraceSegments)
+}
+
+// handleTraceSegments serves one trace's buffered spans by ID. The
+// trace parameter is validated as strictly as an incoming traceparent:
+// exactly 32 lowercase hex characters.
+func (s *Server) handleTraceSegments(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.requests.With("trace_segments").Inc()
+	if s.segments == nil {
+		s.writeError(w, r, &httpError{status: http.StatusNotFound,
+			msg: "trace segment store is disabled"})
+		return
+	}
+	id := r.URL.Query().Get("trace")
+	if !obs.ValidTraceID(id) {
+		s.writeError(w, r, badRequestf("trace must be 32 lowercase hex characters, got %q", id))
+		return
+	}
+	spans, dropped, ok := s.segments.Get(id)
+	if !ok {
+		s.writeError(w, r, &httpError{status: http.StatusNotFound,
+			msg: "no segments buffered for trace " + id})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, SegmentsResponse{
+		TraceID: id,
+		Node:    s.opts.NodeName,
+		Dropped: dropped,
+		Spans:   obs.SpansToJSON(spans),
+	})
 }

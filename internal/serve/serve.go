@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"os"
 	"runtime"
 	"strconv"
 	"sync/atomic"
@@ -49,6 +50,22 @@ type Options struct {
 	// manual soak runs. The zero value disables injection; it can be
 	// reconfigured at runtime with SetChaos.
 	Chaos Chaos
+	// NodeName identifies this node in distributed-trace segments, the
+	// /v1/status payload, and fleet-federated metrics (default: the
+	// process hostname, or "node" if that fails).
+	NodeName string
+	// SegmentTraces bounds the distributed-trace segment store: how many
+	// traces' span segments this node buffers for coordinators to pull
+	// (default 256; negative disables the store and its endpoint). The
+	// store only records requests that arrive with a valid traceparent
+	// header, so untraced traffic pays nothing.
+	SegmentTraces int
+	// SegmentSpans bounds buffered spans per trace (default 4096;
+	// overflow counts into maestro_trace_spans_dropped_total).
+	SegmentSpans int
+	// SegmentTTL evicts trace segments idle longer than this
+	// (default 2m). Coordinator pulls refresh the clock.
+	SegmentTTL time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -66,6 +83,13 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxBatch == 0 {
 		o.MaxBatch = 256
+	}
+	if o.NodeName == "" {
+		if hn, err := os.Hostname(); err == nil && hn != "" {
+			o.NodeName = hn
+		} else {
+			o.NodeName = "node"
+		}
 	}
 	return o
 }
@@ -87,6 +111,11 @@ type Server struct {
 	// svcTime tracks observed compute durations; the shedding path and
 	// the Retry-After hint derive their estimates from its median.
 	svcTime svcTimeTracker
+	// segments buffers distributed-trace span segments for coordinators
+	// to pull; nil when Options.SegmentTraces is negative.
+	segments *obs.SegmentStore
+	// started anchors the /v1/status uptime.
+	started time.Time
 
 	requests        *CounterVec // by endpoint
 	responses       *CounterVec // by status code
@@ -105,14 +134,18 @@ type Server struct {
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
-		opts:  opts,
-		pool:  NewPool(opts.Workers, opts.QueueDepth),
-		cache: NewCache(opts.CacheEntries),
-		reg:   NewRegistry(),
-		log:   opts.Logger,
+		opts:    opts,
+		pool:    NewPool(opts.Workers, opts.QueueDepth),
+		cache:   NewCache(opts.CacheEntries),
+		reg:     NewRegistry(),
+		log:     opts.Logger,
+		started: time.Now(),
 	}
 	if s.log == nil {
 		s.log = obs.DiscardLogger()
+	}
+	if opts.SegmentTraces >= 0 {
+		s.segments = obs.NewSegmentStore(opts.SegmentTraces, opts.SegmentSpans, opts.SegmentTTL)
 	}
 	s.requests = s.reg.NewCounterVec("maestro_requests_total",
 		"Requests received, by endpoint.", "endpoint")
@@ -163,6 +196,35 @@ func New(opts Options) *Server {
 		"Jobs waiting in the worker queue.", s.pool.QueueDepth)
 	s.reg.NewGaugeFunc("maestro_inflight",
 		"Jobs currently executing.", s.pool.Running)
+	version, goVersion, commit := buildInfo()
+	s.reg.NewInfoGauge("maestro_build_info",
+		"Build metadata of this maestro-serve binary.",
+		[2]string{"version", version},
+		[2]string{"go_version", goVersion},
+		[2]string{"commit", commit},
+		[2]string{"node", opts.NodeName})
+	// Silent span loss is invisible in the trace itself; the drop total
+	// covers the per-request recorders, the segment store's caps, and an
+	// open /debug/trace capture window.
+	s.reg.NewCounterFunc("maestro_trace_spans_dropped_total",
+		"Trace spans discarded by recorder limits or segment-store caps.",
+		func() int64 {
+			var n int64
+			if s.segments != nil {
+				n += s.segments.Dropped()
+			}
+			if rec := s.capture.Load(); rec != nil {
+				n += rec.Dropped()
+			}
+			return n
+		})
+	if s.segments != nil {
+		s.reg.NewGaugeFunc("maestro_trace_segment_traces",
+			"Distributed traces with buffered span segments on this node.",
+			func() int64 { return int64(s.segments.Traces()) })
+		s.reg.NewGaugeFunc("maestro_trace_segment_spans",
+			"Span segments buffered for coordinator pulls.", s.segments.SpanCount)
+	}
 	if opts.Chaos.enabled() {
 		s.chaos.Store(newChaosState(opts.Chaos))
 	}
@@ -184,6 +246,16 @@ func (s *Server) Handler() http.Handler {
 	if s.opts.DebugTrace {
 		mux.HandleFunc("/debug/trace", s.handleDebugTrace)
 	}
+	if s.segments != nil {
+		// Unlike /debug/trace (which captures *other* tenants' traffic
+		// and stays private), segment fetches require the exact 128-bit
+		// trace ID — a capability only the trace's own initiator holds —
+		// so the endpoint is safe on the API surface, where fleet
+		// coordinators can reach it without extra configuration. It is
+		// mounted on the private debug listener too.
+		mux.HandleFunc("/debug/trace/segments", s.handleTraceSegments)
+	}
+	mux.HandleFunc("/v1/status", s.handleStatus)
 	mux.HandleFunc("/v1/models", s.handleModels)
 	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("/v1/analyze/batch", s.handleBatch)
