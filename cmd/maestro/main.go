@@ -1,13 +1,17 @@
 // Command maestro runs the analytical cost model on a network described
-// in the MAESTRO-style DSL.
+// in the MAESTRO-style DSL, or on a built-in zoo model.
 //
 // Usage:
 //
 //	maestro [-pes N] [-bw GBps] [-l1 bytes] [-l2 bytes] [-noc bus|mesh|tree|systolic|crossbar] network.m
+//	maestro -model GoogLeNet -fuse -hw edge.hw
 //
 // Each Layer block must carry a Dataflow block (or use -dataflow to apply
 // one of the built-in Table 3 dataflows to every layer). The tool prints
-// the per-layer performance/cost report and a network summary.
+// the per-layer performance/cost report and a network summary. With
+// -fuse it runs the graph-level fusion scheduler instead, reporting
+// fused vs per-layer DRAM traffic and validating the claims against the
+// simulator's band-by-band replay.
 package main
 
 import (
@@ -17,20 +21,25 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/dataflow"
 	"repro/internal/dataflows"
 	"repro/internal/energy"
 	"repro/internal/hw"
+	"repro/internal/models"
+	"repro/internal/netsched"
 	"repro/internal/noc"
 	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/tensor"
 	"repro/internal/tuner"
 )
 
 // errUsage marks bad invocations; main maps it to exit status 2.
-var errUsage = errors.New("usage: maestro [flags] network.m")
+var errUsage = errors.New("usage: maestro [flags] network.m (or -model NAME)")
 
 func main() {
 	err := run(os.Args[1:], os.Stdout)
@@ -44,9 +53,19 @@ func main() {
 	os.Exit(1)
 }
 
+// layerJob is one layer to analyze: the per-layer report path works the
+// same whether the layer came from a parsed network file (count 1, its
+// own Dataflow block) or a zoo model (instance count, no dataflow).
+type layerJob struct {
+	layer tensor.Layer
+	df    dataflow.Dataflow
+	count int
+}
+
 // run is the whole tool behind a testable seam: flags in, report out.
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("maestro", flag.ContinueOnError)
+	fs.SetOutput(stdout)
 	pes := fs.Int("pes", 256, "number of processing elements")
 	bw := fs.Float64("bw", 32, "NoC bandwidth in GB/s at 1 GHz, 1-byte elements")
 	l1 := fs.Int64("l1", 0, "per-PE L1 bytes (0 = size to requirement)")
@@ -57,21 +76,47 @@ func run(args []string, stdout io.Writer) error {
 	csvPath := fs.String("csv", "", "export per-layer results as CSV")
 	energyFile := fs.String("energy", "", "per-event energy table file (pJ)")
 	dfName := fs.String("dataflow", "", "apply a built-in dataflow (C-P, X-P, YX-P, YR-P, KC-P) to all layers, or 'auto' to tune per layer")
+	modelName := fs.String("model", "", "analyze a built-in zoo model instead of a network file (see /v1/models or internal/models)")
+	fuse := fs.Bool("fuse", false, "run the graph-level fusion scheduler (retention budget = hw L2 size) and report fused vs per-layer DRAM traffic")
 	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON of the analysis to this file")
 	if err := fs.Parse(args); err != nil {
 		return fmt.Errorf("%w: %v", errUsage, err)
 	}
-	if fs.NArg() != 1 {
-		return errUsage
+
+	// Resolve the workload: a zoo model by name, or a network file.
+	var m models.Model
+	var net *dataflow.Network
+	switch {
+	case *modelName != "":
+		if fs.NArg() != 0 {
+			return errUsage
+		}
+		var ok bool
+		m, ok = models.ByName(*modelName)
+		if !ok {
+			return fmt.Errorf("unknown model %q (have %s)", *modelName, strings.Join(models.Zoo(), ", "))
+		}
+	default:
+		if fs.NArg() != 1 {
+			return errUsage
+		}
+		src, err := os.ReadFile(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		n, err := dataflow.ParseNetwork(string(src))
+		if err != nil {
+			return err
+		}
+		net = n
+		m = models.Model{Name: n.Name}
+		for _, ls := range n.Layers {
+			m.Layers = append(m.Layers, models.LayerInst{
+				Layer: ls.Layer, Count: 1, Class: models.Classify(ls.Layer),
+			})
+		}
 	}
-	src, err := os.ReadFile(fs.Arg(0))
-	if err != nil {
-		return err
-	}
-	net, err := dataflow.ParseNetwork(string(src))
-	if err != nil {
-		return err
-	}
+
 	var cfg hw.Config
 	if *hwFile != "" {
 		hsrc, err := os.ReadFile(*hwFile)
@@ -82,18 +127,23 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "network %s on accelerator %s (%d PEs)\n\n", net.Name, cfg.Name, cfg.NumPEs)
+		fmt.Fprintf(stdout, "network %s on accelerator %s (%d PEs)\n\n", m.Name, cfg.Name, cfg.NumPEs)
 	} else {
-		m, err := nocModel(*nocKind, *pes, *bw)
+		nm, err := nocModel(*nocKind, *pes, *bw)
 		if err != nil {
 			return err
 		}
 		cfg = hw.Config{
 			Name: "cli", NumPEs: *pes, L1Size: *l1, L2Size: *l2,
-			NoCs: []noc.Model{m},
+			NoCs: []noc.Model{nm},
 		}.Normalize()
-		fmt.Fprintf(stdout, "network %s on %d PEs, %s NoC at %.0f GB/s\n\n", net.Name, *pes, *nocKind, *bw)
+		fmt.Fprintf(stdout, "network %s on %d PEs, %s NoC at %.0f GB/s\n\n", m.Name, *pes, *nocKind, *bw)
 	}
+
+	if *fuse {
+		return runFused(stdout, m, net, cfg, *dfName)
+	}
+
 	var etbl *energy.Table
 	if *energyFile != "" {
 		esrc, err := os.ReadFile(*energyFile)
@@ -112,40 +162,50 @@ func run(args []string, stdout io.Writer) error {
 		rec = obs.NewRecorder()
 		ctx = obs.WithRecorder(ctx, rec)
 	}
+	var jobs []layerJob
+	if net != nil {
+		for _, ls := range net.Layers {
+			jobs = append(jobs, layerJob{layer: ls.Layer, df: ls.Dataflow, count: 1})
+		}
+	} else {
+		for _, li := range m.Layers {
+			jobs = append(jobs, layerJob{layer: li.Layer, count: li.Count})
+		}
+	}
 	var rows []report.Row
 	var totalCycles, totalMACs int64
 	var totalEnergy float64
-	for _, ls := range net.Layers {
+	for _, jb := range jobs {
 		var r *core.Result
 		switch {
 		case *dfName == "auto":
-			ch, err := tuner.TuneLayerCtx(ctx, ls.Layer, cfg, tuner.Options{})
+			ch, err := tuner.TuneLayerCtx(ctx, jb.layer, cfg, tuner.Options{})
 			if err != nil {
-				return fmt.Errorf("layer %s: %w", ls.Layer.Name, err)
+				return fmt.Errorf("layer %s: %w", jb.layer.Name, err)
 			}
 			fmt.Fprintf(stdout, "auto-tuned mapping: %s\n", ch.Dataflow.Name)
 			r = ch.Result
 		default:
-			df := ls.Dataflow
+			df := jb.df
 			if *dfName != "" {
 				df = dataflows.Get(*dfName)
 			}
 			if len(df.Directives) == 0 {
-				return fmt.Errorf("layer %s has no dataflow; use -dataflow or add a Dataflow block", ls.Layer.Name)
+				return fmt.Errorf("layer %s has no dataflow; use -dataflow or add a Dataflow block", jb.layer.Name)
 			}
 			var err error
-			r, err = core.AnalyzeDataflowCtx(ctx, df, ls.Layer, cfg)
+			r, err = core.AnalyzeDataflowCtx(ctx, df, jb.layer, cfg)
 			if err != nil {
-				return fmt.Errorf("layer %s: %w", ls.Layer.Name, err)
+				return fmt.Errorf("layer %s: %w", jb.layer.Name, err)
 			}
 		}
 		fmt.Fprint(stdout, r)
 		if *lint {
-			df := ls.Dataflow
+			df := jb.df
 			if *dfName != "" && *dfName != "auto" {
 				df = dataflows.Get(*dfName)
 			}
-			if warns, err := dataflow.Lint(df, ls.Layer, cfg.NumPEs); err == nil {
+			if warns, err := dataflow.Lint(df, jb.layer, cfg.NumPEs); err == nil {
 				for _, w := range warns {
 					fmt.Fprintln(stdout, "  lint:", w)
 				}
@@ -153,13 +213,14 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintln(stdout)
 		rows = append(rows, report.RowOf(r))
-		totalCycles += r.Runtime
-		totalMACs += r.MACs
+		n := int64(jb.count)
+		totalCycles += r.Runtime * n
+		totalMACs += r.MACs * n
+		e := r.EnergyDefault()
 		if etbl != nil {
-			totalEnergy += r.Energy(*etbl).OnChip()
-		} else {
-			totalEnergy += r.EnergyDefault().OnChip()
+			e = r.Energy(*etbl)
 		}
+		totalEnergy += e.OnChip() * float64(n)
 	}
 	fmt.Fprintf(stdout, "network total: %d cycles, %d MACs, %.3e pJ on-chip (%.2f MACs/cycle)\n",
 		totalCycles, totalMACs, totalEnergy, float64(totalMACs)/float64(totalCycles))
@@ -189,6 +250,77 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "wrote %d spans to %s\n", rec.Len(), *tracePath)
 	}
+	return nil
+}
+
+// runFused schedules the whole network as a partition of its activation
+// DAG, prints the fused-vs-per-layer traffic report, and validates the
+// scheduler's DRAM claims against the simulator's band-by-band replay.
+func runFused(stdout io.Writer, m models.Model, net *dataflow.Network, cfg hw.Config, dfName string) error {
+	opt := netsched.FuseOptions{Options: netsched.Options{L2Bytes: cfg.L2Size}}
+	switch dfName {
+	case "", "auto":
+		if net != nil && dfName == "" {
+			// Network files carry per-layer Dataflow blocks; honor them and
+			// fall back to the tuner for layers without one.
+			byName := make(map[string]dataflow.Dataflow, len(net.Layers))
+			for _, ls := range net.Layers {
+				if len(ls.Dataflow.Directives) > 0 {
+					byName[ls.Layer.Name] = ls.Dataflow
+				}
+			}
+			opt.Dataflow = func(l tensor.Layer) (dataflow.Dataflow, bool) {
+				df, ok := byName[l.Name]
+				return df, ok
+			}
+		}
+	default:
+		if _, ok := dataflows.Sources[dfName]; !ok {
+			return fmt.Errorf("unknown dataflow %q (have %s)", dfName, strings.Join(dataflows.Names, ", "))
+		}
+		df := dataflows.Get(dfName)
+		opt.Dataflow = func(tensor.Layer) (dataflow.Dataflow, bool) { return df, true }
+	}
+
+	s, err := netsched.RunFused(m, cfg, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "graph schedule: %d groups (%d fused), L2 budget %d bytes\n",
+		len(s.Groups), s.FusedGroups(), s.L2Bytes)
+	for _, gp := range s.Groups {
+		if gp.Fused {
+			weights := "weights streamed"
+			if gp.WeightsResident {
+				weights = "weights resident"
+			}
+			fmt.Fprintf(stdout, "  [%3d,%3d] fused %d layers: tile %d rows x %d bands, %s, retained %d B, peak %d B\n",
+				gp.Lo, gp.Hi, len(gp.Members), gp.TileRows, gp.Bands, weights, gp.RetainedBytes, gp.L2PeakBytes)
+		} else {
+			fmt.Fprintf(stdout, "  [%3d,%3d] %s\n", gp.Lo, gp.Hi, m.Layers[gp.Lo].Layer.Name)
+		}
+	}
+	pct := func(saved, base int64) float64 {
+		if base <= 0 {
+			return 0
+		}
+		return 100 * float64(saved) / float64(base)
+	}
+	fmt.Fprintf(stdout, "\nfused DRAM traffic:  %d elems (activations %d)\n", s.DRAMTraffic, s.ActTraffic)
+	fmt.Fprintf(stdout, "per-layer baseline:  %d elems (activations %d)\n", s.BaselineDRAM, s.BaselineAct)
+	fmt.Fprintf(stdout, "saved:               %d elems (%.1f%% of baseline; activations %.1f%%)\n",
+		s.DRAMSaved, pct(s.DRAMSaved, s.BaselineDRAM), pct(s.BaselineAct-s.ActTraffic, s.BaselineAct))
+	fmt.Fprintf(stdout, "graph runtime: %d cycles, %.3e pJ\n", s.TotalCycles, s.EnergyPJ)
+
+	rep, err := sim.ReplayFused(s)
+	if err != nil {
+		return fmt.Errorf("sim replay: %w", err)
+	}
+	if err := rep.Verify(s, 0.02); err != nil {
+		return fmt.Errorf("sim replay diverged from scheduler claims: %w", err)
+	}
+	fmt.Fprintf(stdout, "sim replay: verified (DRAM reads %d, writes %d; claims within 2%%, unfused exact)\n",
+		rep.DRAMReads, rep.DRAMWrites)
 	return nil
 }
 

@@ -45,6 +45,59 @@ func TestRunGolden(t *testing.T) {
 	}
 }
 
+// compareGolden diffs got against the named golden file, rewriting it
+// under -update.
+func compareGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	golden := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/maestro -update` to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("CLI output diverged from %s.\n--- got ---\n%s\n--- want ---\n%s\n(regenerate with -update if the change is intentional)",
+			golden, got, want)
+	}
+}
+
+// TestRunFusedGolden pins the graph-scheduler report for GoogLeNet on
+// the checked-in edge accelerator (256 KiB L2): the group partition,
+// the fused-vs-baseline traffic totals, and the sim-replay verification
+// line. The scheduler and replay are deterministic, so any diff is a
+// fusion behaviour change someone must own.
+func TestRunFusedGolden(t *testing.T) {
+	var buf bytes.Buffer
+	args := []string{
+		"-hw", filepath.Join("..", "..", "testdata", "edge.hw"),
+		"-model", "GoogLeNet", "-fuse", "-dataflow", "KC-P",
+	}
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	compareGolden(t, "googlenet_fuse_edge.golden", buf.Bytes())
+}
+
+// TestRunUsageGolden pins the -h help text: the flag surface is part of
+// the CLI contract, and a new or renamed flag must show up here.
+func TestRunUsageGolden(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-h"}, &buf)
+	if !errors.Is(err, errUsage) {
+		t.Fatalf("run -h = %v, want errUsage", err)
+	}
+	compareGolden(t, "usage.golden", buf.Bytes())
+}
+
 // TestRunUsageErrors pins the error seams main() maps to exit codes.
 func TestRunUsageErrors(t *testing.T) {
 	var buf bytes.Buffer

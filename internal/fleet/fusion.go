@@ -1,0 +1,180 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/dse"
+	"repro/internal/serve"
+	"repro/internal/serve/client"
+)
+
+// FusionResult is a completed distributed fusion sweep: every priced
+// (budget, granularity) point in canonical order plus the least-DRAM
+// point, with at-most-once counters aggregated across shards.
+type FusionResult struct {
+	Model  string
+	MACs   int64
+	Points []dse.FusionPoint
+	Best   *dse.FusionPoint
+
+	Raw    int64
+	Valid  int64
+	Shards int
+	// Redispatched counts failover attempts after a node refused or
+	// failed a shard.
+	Redispatched int64
+	Elapsed      time.Duration
+}
+
+// SweepFusion partitions req's L2 budget grid, dispatches the shards
+// across the fleet's nodes with ring failover, and merges the results
+// into one sweep over the full (budget x granularity) plane. The
+// granularity axis stays whole per shard — partitionings at one budget
+// share a node's scheduler re-tunes, so splitting the budget axis is
+// the cache-friendly cut. SweepFusion blocks until every shard
+// completes, the context is cancelled, or a shard exhausts its rounds.
+func (f *Fleet) SweepFusion(ctx context.Context, req serve.FusionRequest) (*FusionResult, error) {
+	req = req.WithDefaults()
+	start := time.Now()
+	chunks := dse.PartitionFusionGrid(req.L2Grid, len(f.opts.Hosts)*f.opts.ShardsPerNode)
+	if len(chunks) == 0 {
+		return nil, fmt.Errorf("fleet: fusion sweep of %q has an empty budget grid", req.Model)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu           sync.Mutex
+		points       []dse.FusionPoint
+		raw, valid   int64
+		redispatched int64
+		model        string
+		macs         int64
+		firstErr     error
+	)
+	var wg sync.WaitGroup
+	for i, chunk := range chunks {
+		sreq := req
+		sreq.L2Grid = chunk
+		sreq.Shard = &serve.FusionShard{Index: i, Of: len(chunks)}
+		wg.Add(1)
+		go func(i int, sreq serve.FusionRequest) {
+			defer wg.Done()
+			resp, retries, err := f.dispatchFusion(ctx, i, sreq)
+			mu.Lock()
+			defer mu.Unlock()
+			redispatched += retries
+			if err != nil {
+				if firstErr == nil && ctx.Err() == nil {
+					firstErr = fmt.Errorf("fleet: fusion shard %d/%d: %w", i, len(chunks), err)
+					cancel()
+				}
+				return
+			}
+			model, macs = resp.Model, resp.MACs
+			raw += resp.Raw
+			valid += resp.Valid
+			for _, pj := range resp.Points {
+				points = append(points, fusionPointFrom(pj))
+			}
+		}(i, sreq)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	sort.Slice(points, func(a, b int) bool {
+		if points[a].L2Bytes != points[b].L2Bytes {
+			return points[a].L2Bytes < points[b].L2Bytes
+		}
+		return points[a].MaxGroupLayers < points[b].MaxGroupLayers
+	})
+	res := &FusionResult{
+		Model: model, MACs: macs,
+		Points: points,
+		Raw:    raw, Valid: valid,
+		Shards:       len(chunks),
+		Redispatched: redispatched,
+		Elapsed:      time.Since(start),
+	}
+	if best, ok := dse.BestFusion(points); ok {
+		res.Best = &best
+	}
+	f.mu.Lock()
+	f.sweeps++
+	f.shards += int64(len(chunks))
+	f.redispatched += redispatched
+	f.mu.Unlock()
+	return res, nil
+}
+
+// dispatchFusion walks the ring from the shard's home node until a
+// node accepts, retrying up to Rounds full wraps with a backoff
+// between wraps. Returns the accepted response and the number of
+// failed attempts that preceded it.
+func (f *Fleet) dispatchFusion(ctx context.Context, shard int, req serve.FusionRequest) (*serve.FusionResponse, int64, error) {
+	hosts := f.opts.Hosts
+	var retries int64
+	var lastErr error
+	for round := 0; round < f.opts.Rounds; round++ {
+		for k := range hosts {
+			if err := ctx.Err(); err != nil {
+				return nil, retries, err
+			}
+			host := hosts[(shard+k)%len(hosts)]
+			resp, err := f.clients[host].Fusion(ctx, req)
+			f.mu.Lock()
+			ns := f.perNode[host]
+			if err != nil {
+				ns.Errors++
+			} else {
+				ns.Shards++
+			}
+			f.mu.Unlock()
+			if err == nil {
+				return resp, retries, nil
+			}
+			// A hard 4xx is the request's fault, not the node's: every
+			// node would refuse it the same way, so fail the shard now.
+			// 408/429 stay retryable — another node may have capacity.
+			var apiErr *client.APIError
+			if errors.As(err, &apiErr) && apiErr.Status >= 400 && apiErr.Status < 500 &&
+				apiErr.Status != http.StatusRequestTimeout && apiErr.Status != http.StatusTooManyRequests {
+				return nil, retries, err
+			}
+			lastErr = err
+			retries++
+		}
+		if !sleepCtx(ctx, time.Duration(round+1)*50*time.Millisecond) {
+			return nil, retries, ctx.Err()
+		}
+	}
+	return nil, retries, fmt.Errorf("no node accepted after %d rounds: %w", f.opts.Rounds, lastErr)
+}
+
+// fusionPointFrom converts the wire point back to the dse type.
+func fusionPointFrom(j serve.FusionPointJSON) dse.FusionPoint {
+	return dse.FusionPoint{
+		L2Bytes:        j.L2Bytes,
+		MaxGroupLayers: j.MaxGroupLayers,
+		FusedGroups:    j.FusedGroups,
+		DRAMTraffic:    j.DRAMTraffic,
+		BaselineDRAM:   j.BaselineDRAM,
+		DRAMSaved:      j.DRAMSaved,
+		ActTraffic:     j.ActTraffic,
+		BaselineAct:    j.BaselineAct,
+		TotalCycles:    j.TotalCycles,
+		EnergyPJ:       j.EnergyPJ,
+	}
+}

@@ -1,0 +1,120 @@
+package fleet
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/dse"
+	"repro/internal/hw"
+	"repro/internal/models"
+	"repro/internal/serve"
+)
+
+// fusionFleetReq sweeps four budgets so a two-node fleet splits the
+// grid into multiple shards (granularity stays whole per shard).
+func fusionFleetReq() serve.FusionRequest {
+	return serve.FusionRequest{
+		Model:          "AlexNet",
+		HW:             serve.HWSpec{Preset: "Accel256", L2Bytes: 256 << 10},
+		Dataflow:       "KC-P",
+		L2Grid:         []int64{0, 64 << 10, 256 << 10, 1 << 20},
+		MaxGroupLayers: []int{1, 8},
+	}
+}
+
+// fusionTruth prices the same plane on a single in-process explorer.
+func fusionTruth(t testing.TB, req serve.FusionRequest) []dse.FusionPoint {
+	t.Helper()
+	m, ok := models.ByName(req.Model)
+	if !ok {
+		t.Fatalf("unknown model %q", req.Model)
+	}
+	cfg := hw.Accel256()
+	cfg.L2Size = req.HW.L2Bytes
+	points, _, err := dse.ExploreFusion(dse.FusionSpace{
+		Model:          m,
+		Cfg:            cfg.Normalize(),
+		Dataflow:       req.Dataflow,
+		L2Grid:         req.L2Grid,
+		MaxGroupLayers: req.MaxGroupLayers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return points
+}
+
+// TestSweepFusionMatchesLocal distributes the fusion sweep across two
+// nodes and checks the merged plane is exactly the single-process
+// sweep: same points, same order, same best.
+func TestSweepFusionMatchesLocal(t *testing.T) {
+	hosts, _, hc := newNodes(t, 2)
+	f, err := New(fastFleet(hosts, hc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	req := fusionFleetReq()
+	res, err := f.SweepFusion(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fusionTruth(t, req)
+	if !reflect.DeepEqual(res.Points, want) {
+		t.Fatalf("distributed points diverge from local truth:\n got %+v\nwant %+v", res.Points, want)
+	}
+	if res.Shards < 2 {
+		t.Fatalf("sweep used %d shards, want >= 2", res.Shards)
+	}
+	if res.Model != "AlexNet" || res.MACs <= 0 {
+		t.Fatalf("model echo wrong: %+v", res)
+	}
+	wantBest, _ := dse.BestFusion(want)
+	if res.Best == nil || *res.Best != wantBest {
+		t.Fatalf("best = %+v, want %+v", res.Best, wantBest)
+	}
+	if st := f.Stats(); st.Sweeps != 1 || st.Shards != int64(res.Shards) {
+		t.Fatalf("fleet stats %+v after one sweep of %d shards", st, res.Shards)
+	}
+}
+
+// TestSweepFusionFailover routes half the ring to a dead host: every
+// shard must still complete via failover, with redispatches counted.
+func TestSweepFusionFailover(t *testing.T) {
+	hosts, _, hc := newNodes(t, 1)
+	hosts = append(hosts, "http://deadnode")
+	f, err := New(fastFleet(hosts, hc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	req := fusionFleetReq()
+	res, err := f.SweepFusion(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Points, fusionTruth(t, req)) {
+		t.Fatal("failover sweep diverged from local truth")
+	}
+	if res.Redispatched == 0 {
+		t.Fatal("dead node cost no redispatches")
+	}
+}
+
+// TestSweepFusionEmptyGrid pins the coordinator-side validation.
+func TestSweepFusionEmptyGrid(t *testing.T) {
+	hosts, _, hc := newNodes(t, 1)
+	f, err := New(fastFleet(hosts, hc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	req := fusionFleetReq()
+	req.Model = "NoSuchNet"
+	if _, err := f.SweepFusion(context.Background(), req); err == nil {
+		t.Fatal("unknown model swept successfully")
+	}
+}

@@ -3,12 +3,23 @@ package models
 // GoogLeNet returns the Inception-v1 network (Szegedy et al.): the stem
 // convolutions plus nine inception modules, each expanded into its 1x1,
 // 3x3-reduce/3x3, 5x5-reduce/5x5 and pool-projection branches.
+//
+// The model carries its real activation DAG in Edges: inside a module
+// the four branch heads all read the previous module's output (the
+// channel concat of the four branch tails), and the reduce convolutions
+// feed their 3x3/5x5 partners. The graph-level scheduler uses this to
+// keep a module's input resident in L2 across the branches instead of
+// re-fetching it from DRAM per branch.
 func GoogLeNet() Model {
 	m := Model{Name: "GoogLeNet", Layers: []LayerInst{
 		inst(conv("CONV1", 64, 3, 112, 7, 2), 1),
 		inst(pwconv("CONV2r", 64, 64, 56, 1), 1),
 		inst(conv("CONV2", 192, 64, 56, 3, 1), 1),
 	}}
+	m.Edges = []ActEdge{{From: 0, To: 1}, {From: 1, To: 2}}
+	// prev holds the layer indices whose concatenated outputs form the
+	// current module input.
+	prev := []int{2}
 	type incep struct {
 		name                     string
 		in, out                  int
@@ -27,6 +38,7 @@ func GoogLeNet() Model {
 	}
 	for _, b := range blocks {
 		p := "INC" + b.name
+		base := len(m.Layers)
 		m.Layers = append(m.Layers,
 			inst(pwconv(p+"_1x1", b.c1, b.in, b.out, 1), 1),
 			inst(pwconv(p+"_3x3r", b.c3r, b.in, b.out, 1), 1),
@@ -35,7 +47,24 @@ func GoogLeNet() Model {
 			inst(conv(p+"_5x5", b.c5, b.c5r, b.out, 5, 1), 1),
 			inst(pwconv(p+"_pool", b.pp, b.in, b.out, 1), 1),
 		)
+		// The four branch heads read the module input.
+		for _, head := range []int{base, base + 1, base + 3, base + 5} {
+			for _, src := range prev {
+				m.Edges = append(m.Edges, ActEdge{From: src, To: head})
+			}
+		}
+		// Reduce convolutions feed their spatial partners.
+		m.Edges = append(m.Edges,
+			ActEdge{From: base + 1, To: base + 2},
+			ActEdge{From: base + 3, To: base + 4},
+		)
+		// The module output is the concat of the four branch tails.
+		prev = []int{base, base + 2, base + 4, base + 5}
 	}
+	fcIdx := len(m.Layers)
 	m.Layers = append(m.Layers, inst(fc("FC1000", 1000, 1024), 1))
+	for _, src := range prev {
+		m.Edges = append(m.Edges, ActEdge{From: src, To: fcIdx})
+	}
 	return m
 }

@@ -10,6 +10,7 @@ package models
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/tensor"
 )
@@ -49,10 +50,35 @@ type LayerInst struct {
 	Class Class
 }
 
-// Model is a named list of layer instances.
+// ActEdge is one activation edge of a model's layer DAG: the output of
+// layer From (index into Layers) is an input of layer To. A consumer
+// with several producers reads their channel-wise concatenation (the
+// inception concat); From < To always — layer order is topological.
+type ActEdge struct {
+	From, To int
+}
+
+// Model is a named list of layer instances. Edges, when non-empty, is
+// the explicit activation DAG; an empty edge list means the layers form
+// a linear chain (each layer consumes its predecessor's output).
 type Model struct {
 	Name   string
 	Layers []LayerInst
+	Edges  []ActEdge
+}
+
+// ValidateEdges checks the activation DAG: every edge must point
+// forward (From < To) within the layer list. Forward-only edges make
+// the listed layer order a topological order, so a violation is
+// reported as a cycle.
+func (m Model) ValidateEdges() error {
+	for _, e := range m.Edges {
+		if e.From < 0 || e.To >= len(m.Layers) || e.From >= e.To {
+			return fmt.Errorf("models: %s: activation edge %d->%d invalid (need 0 <= From < To < %d)",
+				m.Name, e.From, e.To, len(m.Layers))
+		}
+	}
+	return nil
 }
 
 // MACs returns the model's total algorithmic MAC count.
@@ -375,4 +401,37 @@ func LSTM(name string, input, hidden, seqLen int) Model {
 // EvaluationModels returns the five models of the paper's Figure 10.
 func EvaluationModels() []Model {
 	return []Model{ResNet50(), VGG16(), ResNeXt50(), MobileNetV2(), UNet()}
+}
+
+// registry maps the zoo's canonical names to constructors. BERT-Base
+// uses a 128-token sequence, the zoo's standard benchmark length.
+var registry = map[string]func() Model{
+	"VGG16":       VGG16,
+	"AlexNet":     AlexNet,
+	"GoogLeNet":   GoogLeNet,
+	"ResNet50":    ResNet50,
+	"ResNeXt50":   ResNeXt50,
+	"MobileNetV2": MobileNetV2,
+	"UNet":        UNet,
+	"DCGAN":       DCGAN,
+	"BERT-Base":   func() Model { return BERTBase(128) },
+}
+
+// Zoo lists the built-in model names in sorted order.
+func Zoo() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName builds the named zoo model; ok is false for unknown names.
+func ByName(name string) (Model, bool) {
+	ctor, ok := registry[name]
+	if !ok {
+		return Model{}, false
+	}
+	return ctor(), true
 }

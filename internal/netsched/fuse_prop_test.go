@@ -1,0 +1,216 @@
+package netsched
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/models"
+	"repro/internal/tensor"
+)
+
+// randModel generates a random windowed-spatial DAG: mostly a chain of
+// conv/pointwise/depthwise/pooling layers, with occasional two-branch
+// splits that rejoin through a channel concat — the structures the
+// fusion legality rules have to handle. Everything is derived from r,
+// so a seed reproduces the model exactly.
+func randModel(r *rand.Rand, seed int64) models.Model {
+	m := models.Model{Name: fmt.Sprintf("rand-%d", seed)}
+	spatial := []int{16, 24, 28, 32}[r.Intn(4)]
+	ch := []int{8, 16, 32}[r.Intn(3)]
+	n := 3 + r.Intn(6)
+
+	addLayer := func(name string, op tensor.OpType, k, c, out, rs, stride int) int {
+		in := (out-1)*stride + rs
+		sz := tensor.Sizes{tensor.N: 1, tensor.K: k, tensor.C: c,
+			tensor.Y: in, tensor.X: in, tensor.R: rs, tensor.S: rs}
+		l := tensor.Layer{Name: name, Op: op, Sizes: sz, StrideY: stride, StrideX: stride}.Normalize()
+		m.Layers = append(m.Layers, models.LayerInst{Layer: l, Count: 1, Class: models.Classify(l)})
+		return len(m.Layers) - 1
+	}
+	prev := addLayer("L0", tensor.Conv2D, ch, 8, spatial, 3, 1)
+	prevOut := ch
+	for len(m.Layers) < n {
+		i := len(m.Layers)
+		if r.Intn(4) == 0 && n-len(m.Layers) >= 3 {
+			// Two pointwise branches off prev, rejoined by a concat
+			// consumer — the inception shape.
+			k1, k2 := 8<<r.Intn(2), 8<<r.Intn(2)
+			a := addLayer(fmt.Sprintf("L%d", i), tensor.PointwiseConv, k1, prevOut, spatial, 1, 1)
+			b := addLayer(fmt.Sprintf("L%d", i+1), tensor.PointwiseConv, k2, prevOut, spatial, 1, 1)
+			j := addLayer(fmt.Sprintf("L%d", i+2), tensor.Conv2D, ch, k1+k2, spatial-2, 3, 1)
+			m.Edges = append(m.Edges,
+				models.ActEdge{From: prev, To: a}, models.ActEdge{From: prev, To: b},
+				models.ActEdge{From: a, To: j}, models.ActEdge{From: b, To: j})
+			prev, prevOut, spatial = j, ch, spatial-2
+			continue
+		}
+		var next int
+		switch r.Intn(4) {
+		case 0: // 3x3 conv, spatial shrinks by 2 (deficit 0: fusable)
+			if spatial <= 4 {
+				next = addLayer(fmt.Sprintf("L%d", i), tensor.PointwiseConv, ch, prevOut, spatial, 1, 1)
+			} else {
+				next = addLayer(fmt.Sprintf("L%d", i), tensor.Conv2D, ch, prevOut, spatial-2, 3, 1)
+				spatial -= 2
+			}
+		case 1: // pointwise, same spatial
+			next = addLayer(fmt.Sprintf("L%d", i), tensor.PointwiseConv, ch, prevOut, spatial, 1, 1)
+		case 2: // depthwise 3x3
+			if spatial <= 4 {
+				next = addLayer(fmt.Sprintf("L%d", i), tensor.PointwiseConv, ch, prevOut, spatial, 1, 1)
+			} else {
+				next = addLayer(fmt.Sprintf("L%d", i), tensor.DepthwiseConv, 1, prevOut, spatial-2, 3, 1)
+				spatial -= 2
+			}
+		default: // stride-2 pooling, spatial halves (illegal to fuse across)
+			if spatial < 8 {
+				next = addLayer(fmt.Sprintf("L%d", i), tensor.PointwiseConv, ch, prevOut, spatial, 1, 1)
+			} else {
+				out := (spatial - 2) / 2
+				next = addLayer(fmt.Sprintf("L%d", i), tensor.Pooling, 1, prevOut, out, 2, 2)
+				spatial = out
+			}
+		}
+		if len(m.Edges) > 0 {
+			m.Edges = append(m.Edges, models.ActEdge{From: prev, To: next})
+		}
+		prev, prevOut = next, outChannels(m.Layers[next].Layer)
+	}
+	return m
+}
+
+// sliceModel keeps layers [lo, hi], remapping DAG edges into the new
+// index space and dropping edges that cross the cut — the shrinking
+// step of the property tests.
+func sliceModel(m models.Model, lo, hi int) models.Model {
+	out := models.Model{Name: fmt.Sprintf("%s[%d:%d]", m.Name, lo, hi), Layers: m.Layers[lo : hi+1]}
+	for _, e := range m.Edges {
+		if e.From >= lo && e.To <= hi {
+			out.Edges = append(out.Edges, models.ActEdge{From: e.From - lo, To: e.To - lo})
+		}
+	}
+	if len(m.Edges) > 0 && len(out.Edges) == 0 && len(out.Layers) > 1 {
+		// Keep the DAG explicit so a sliced branchy model does not turn
+		// into an implicit chain with different semantics.
+		for i := 1; i < len(out.Layers); i++ {
+			out.Edges = append(out.Edges, models.ActEdge{From: i - 1, To: i})
+		}
+	}
+	return out
+}
+
+// monotoneViolation runs the schedule at l2a < l2b and reports a
+// positive-size violation message when traffic increased with capacity.
+func monotoneViolation(t *testing.T, m models.Model, cfg hw.Config, l2a, l2b int64) string {
+	t.Helper()
+	a, err := RunFused(m, cfg, FuseOptions{Options: Options{L2Bytes: l2a}})
+	if err != nil {
+		return ""
+	}
+	b, err := RunFused(m, cfg, FuseOptions{Options: Options{L2Bytes: l2b}})
+	if err != nil {
+		return ""
+	}
+	if b.DRAMTraffic > a.DRAMTraffic {
+		return fmt.Sprintf("DRAM traffic rose with L2: %d @ %d -> %d @ %d",
+			a.DRAMTraffic, l2a, b.DRAMTraffic, l2b)
+	}
+	return ""
+}
+
+// TestFusedMonotoneInL2 is the property test: over seeded random DAGs
+// and random positive L2 pairs, claimed DRAM traffic never increases
+// with capacity. On a violation the model shrinks from both ends to the
+// minimal failing subgraph before reporting.
+func TestFusedMonotoneInL2(t *testing.T) {
+	cfg := hw.Accel256()
+	const seeds = 12
+	for seed := int64(0); seed < seeds; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		m := randModel(r, seed)
+		for trial := 0; trial < 3; trial++ {
+			// Positive budgets only: L2Bytes=0 is the no-fusion sentinel,
+			// not a zero-capacity point on the curve.
+			l2a := int64(8<<10) + int64(r.Intn(1<<18))
+			l2b := l2a + int64(r.Intn(1<<19)) + 1
+			msg := monotoneViolation(t, m, cfg, l2a, l2b)
+			if msg == "" {
+				continue
+			}
+			// Shrink: drop layers from either end while it still fails.
+			lo, hi := 0, len(m.Layers)-1
+			for lo < hi {
+				if monotoneViolation(t, sliceModel(m, lo+1, hi), cfg, l2a, l2b) != "" {
+					lo++
+					continue
+				}
+				if monotoneViolation(t, sliceModel(m, lo, hi-1), cfg, l2a, l2b) != "" {
+					hi--
+					continue
+				}
+				break
+			}
+			min := sliceModel(m, lo, hi)
+			t.Fatalf("seed %d: %s\nminimal failing subgraph %s: %d layers, edges %v",
+				seed, msg, min.Name, len(min.Layers), min.Edges)
+		}
+	}
+}
+
+// TestFusedMACsInvariant: however the DP partitions the DAG — across
+// budgets and group-size caps — the scheduled members' total arithmetic
+// equals the model's.
+func TestFusedMACsInvariant(t *testing.T) {
+	cfg := hw.Accel256()
+	for seed := int64(0); seed < 8; seed++ {
+		r := rand.New(rand.NewSource(seed + 100))
+		m := randModel(r, seed+100)
+		want := m.MACs()
+		for _, maxLen := range []int{1, 2, 3, 8} {
+			for _, l2 := range []int64{0, 32 << 10, 256 << 10} {
+				s, err := RunFused(m, cfg, FuseOptions{
+					Options: Options{L2Bytes: l2}, MaxGroupLayers: maxLen,
+				})
+				if err != nil {
+					t.Fatalf("seed %d maxLen %d l2 %d: %v", seed, maxLen, l2, err)
+				}
+				var got int64
+				for _, g := range s.Groups {
+					for _, mb := range g.Members {
+						got += mb.Inst.Layer.MACs() * int64(mb.Inst.Count)
+					}
+					if g.Hi-g.Lo+1 > maxLen {
+						t.Errorf("seed %d: group [%d,%d] exceeds MaxGroupLayers %d", seed, g.Lo, g.Hi, maxLen)
+					}
+				}
+				if got != want {
+					t.Errorf("seed %d maxLen %d l2 %d: MACs %d != model %d", seed, maxLen, l2, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestFusedRetentionWithinBudget: no schedule may claim more retained
+// or peak L2 bytes than the budget it was given.
+func TestFusedRetentionWithinBudget(t *testing.T) {
+	cfg := hw.Accel256()
+	for seed := int64(0); seed < 8; seed++ {
+		r := rand.New(rand.NewSource(seed + 200))
+		m := randModel(r, seed+200)
+		for _, l2 := range []int64{16 << 10, 128 << 10, 1 << 20} {
+			s, err := RunFused(m, cfg, FuseOptions{Options: Options{L2Bytes: l2}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, g := range s.Groups {
+				if g.RetainedBytes > l2 || (g.Fused && g.L2PeakBytes > l2) {
+					t.Errorf("seed %d l2 %d: group [%d,%d] retained %d peak %d",
+						seed, l2, g.Lo, g.Hi, g.RetainedBytes, g.L2PeakBytes)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package netsched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hw"
+	"repro/internal/models"
+	"repro/internal/tensor"
+)
+
+// Graph is the activation DAG of a model: for each layer, the producer
+// layers whose outputs it consumes (channel-wise concatenated) and the
+// consumer layers that read its output. A model with an empty Edges list
+// is materialized as the linear chain.
+type Graph struct {
+	Model models.Model
+	// Ins[i] lists the producer layer indices of layer i, ascending; a
+	// layer with no producers reads the model input. Outs[i] lists the
+	// consumers of layer i's output, ascending.
+	Ins  [][]int
+	Outs [][]int
+}
+
+// BuildGraph validates the model's activation DAG and materializes the
+// adjacency lists. Duplicate edges collapse to one; an empty edge list
+// becomes the linear chain i-1 -> i.
+func BuildGraph(m models.Model) (*Graph, error) {
+	if len(m.Layers) == 0 {
+		return nil, fmt.Errorf("netsched: model %s has no layers", m.Name)
+	}
+	if err := m.ValidateEdges(); err != nil {
+		return nil, err
+	}
+	n := len(m.Layers)
+	g := &Graph{Model: m, Ins: make([][]int, n), Outs: make([][]int, n)}
+	edges := m.Edges
+	if len(edges) == 0 {
+		edges = make([]models.ActEdge, 0, n-1)
+		for i := 1; i < n; i++ {
+			edges = append(edges, models.ActEdge{From: i - 1, To: i})
+		}
+	}
+	seen := make(map[models.ActEdge]bool, len(edges))
+	for _, e := range edges {
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		g.Ins[e.To] = append(g.Ins[e.To], e.From)
+		g.Outs[e.From] = append(g.Outs[e.From], e.To)
+	}
+	for i := range g.Ins {
+		sort.Ints(g.Ins[i])
+		sort.Ints(g.Outs[i])
+	}
+	return g, nil
+}
+
+// Roots returns the layers with no producer: they read the model input.
+func (g *Graph) Roots() []int {
+	var r []int
+	for i, ins := range g.Ins {
+		if len(ins) == 0 {
+			r = append(r, i)
+		}
+	}
+	return r
+}
+
+// outChannels returns the number of output channels layer l produces:
+// K for channel-producing operators, C for the depth-wise family whose
+// output stays coupled to the input channels.
+func outChannels(l tensor.Layer) int {
+	if l.TensorDims(tensor.Output).Has(tensor.K) {
+		return l.Sizes.Get(tensor.K)
+	}
+	return l.Sizes.Get(tensor.C)
+}
+
+// scaledElems returns tensor k's density-scaled element count, mirroring
+// the engine's footprint rounding bit for bit (core.scaleCount): a zero
+// density scales to zero, which is the pooling-weight convention
+// (no weight tensor at all). Normalized layers never carry density zero
+// on activations.
+func scaledElems(l tensor.Layer, k tensor.Kind) int64 {
+	d := l.Density[k]
+	if d >= 1 {
+		return l.TensorSize(k)
+	}
+	return int64(float64(l.TensorSize(k))*d + 0.5)
+}
+
+// outRowElems returns the dense element count of one output row
+// (N × channels × OutX); output tensors stream row-granular through L2
+// in a fused schedule.
+func outRowElems(l tensor.Layer) int64 {
+	oy := l.OutY()
+	if oy == 0 {
+		return 0
+	}
+	return l.TensorSize(tensor.Output) / int64(oy)
+}
+
+// inRowsFor returns how many input rows layer l needs to produce
+// outRows output rows: (outRows-1)*strideY + R.
+func inRowsFor(l tensor.Layer, outRows int) int {
+	if outRows <= 0 {
+		return 0
+	}
+	return (outRows-1)*l.StrideY + l.Sizes.Get(tensor.R)
+}
+
+// extRowInfo resolves an external-tensor key (a producer layer index,
+// or -(member+1) for a member reading the model input) to its dense
+// row element count, density, and row limit.
+func (g *Graph) extRowInfo(key int) (rowEl int64, density float64, limit int) {
+	if key < 0 {
+		l := g.Model.Layers[-key-1].Layer
+		limit = l.Sizes.Get(tensor.Y)
+		if limit == 0 {
+			return 0, l.Density[tensor.Input], 0
+		}
+		return l.TensorSize(tensor.Input) / int64(limit), l.Density[tensor.Input], limit
+	}
+	l := g.Model.Layers[key].Layer
+	limit = l.OutY()
+	return outRowElems(l), l.Density[tensor.Output], limit
+}
+
+// scaleRows prices rows x rowEl dense elements at density d with the
+// engine's rounding (core.scaleCount).
+func scaleRows(rows int, rowEl int64, d float64) int64 {
+	n := int64(rows) * rowEl
+	if d >= 1 {
+		return n
+	}
+	return int64(float64(n)*d + 0.5)
+}
+
+// elemBytes returns the configured element width, defaulting to one.
+func elemBytes(cfg hw.Config) int64 {
+	if cfg.ElemBytes <= 0 {
+		return 1
+	}
+	return int64(cfg.ElemBytes)
+}

@@ -1,0 +1,45 @@
+package netsched
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataflows"
+	"repro/internal/hw"
+	"repro/internal/models"
+)
+
+// TestMirrorMatchesEngine pins priceLayerMirror to the engine: the
+// singleton pricing path re-derives applyL2's retention decision with a
+// per-tensor decomposition, and its totals must equal the engine's at
+// every budget, for every layer of the zoo, under every Table 3
+// template that maps it.
+func TestMirrorMatchesEngine(t *testing.T) {
+	cfg := hw.Accel256().Normalize()
+	zoo := append(models.EvaluationModels(), models.GoogLeNet(), models.AlexNet(), models.DCGAN())
+	budgets := []int64{0, 8 << 10, 64 << 10, 256 << 10, 1 << 20, 16 << 20}
+	checked := 0
+	for _, m := range zoo {
+		for _, df := range dataflows.All() {
+			for _, li := range m.Layers {
+				r, err := core.AnalyzeDataflow(df, li.Layer, cfg)
+				if err != nil {
+					continue
+				}
+				for _, l2 := range budgets {
+					at := r.AtL2(l2)
+					cl := priceLayerMirror(r, l2)
+					if cl.readsTotal() != at.DRAMReads || cl.writes != at.DRAMWrites {
+						t.Fatalf("%s/%s/%s @ %d: mirror %d/%d != engine %d/%d",
+							m.Name, df.Name, li.Layer.Name, l2,
+							cl.readsTotal(), cl.writes, at.DRAMReads, at.DRAMWrites)
+					}
+					checked++
+				}
+			}
+		}
+	}
+	if checked < 1000 {
+		t.Fatalf("only %d (layer, dataflow, budget) triples checked", checked)
+	}
+}

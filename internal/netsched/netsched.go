@@ -89,13 +89,15 @@ func Run(m models.Model, cfg hw.Config, opt Options) (*Schedule, error) {
 	}
 
 	sched := &Schedule{}
-	type held struct {
-		until int
+	type resident struct {
 		bytes int64
+		until int // last layer index that reads the tensor
 	}
-	var pinned []held
-	prevOutResident := false
-	var prevOutBytes int64
+	// live holds every activation resident in L2, keyed by producer. A
+	// tensor that serves both as the next layer's chain input and as a
+	// pinned residual source appears once, so its capacity is charged
+	// once — two skip edges off one source likewise share one entry.
+	live := map[int]resident{}
 
 	for i, li := range m.Layers {
 		layer := li.Layer
@@ -104,23 +106,27 @@ func Run(m models.Model, cfg hw.Config, opt Options) (*Schedule, error) {
 			return nil, fmt.Errorf("layer %s: %w", layer.Name, err)
 		}
 
-		// L2 pressure: pinned residual sources shrink what the layer may
-		// use for staging and retention.
-		var heldBytes int64
-		livePinned := pinned[:0]
-		for _, h := range pinned {
-			if h.until > i {
-				heldBytes += h.bytes
-				livePinned = append(livePinned, h)
+		// L2 pressure: every live tensor — the chain input and pinned
+		// residual sources — shrinks what the layer may use for staging
+		// and retention, each counted once.
+		var residentBytes, heldBytes int64
+		for p, ent := range live {
+			if ent.until < i {
+				delete(live, p)
+				continue
+			}
+			residentBytes += ent.bytes
+			if ent.until > i {
+				// Held beyond this layer's own read: a residual pin.
+				heldBytes += ent.bytes
 			}
 		}
-		pinned = livePinned
-		avail := opt.L2Bytes - heldBytes
+		avail := opt.L2Bytes - residentBytes
 		if opt.L2Bytes > 0 {
 			if avail < r.L2ReqBytes() {
-				// Pinned residuals crowd out the staging tiles: the
-				// residual source spills and is re-fetched (the paper's
-				// "extra DRAM accesses").
+				// Resident activations crowd out the staging tiles: the
+				// sources spill and are re-fetched (the paper's "extra
+				// DRAM accesses").
 				avail = r.L2ReqBytes()
 			}
 			r = r.WithL2(avail)
@@ -136,27 +142,30 @@ func Run(m models.Model, cfg hw.Config, opt Options) (*Schedule, error) {
 		outBytes := scaled(layer, tensor.Output, cfg)
 
 		// Input residency: the previous layer's output feeds this layer
-		// from L2 when it was kept and fits alongside the staging tiles.
-		if prevOutResident && opt.L2Bytes > 0 &&
-			prevOutBytes <= avail-r.L2ReqBytes() {
+		// from L2 when it was kept (its bytes are already reserved in
+		// residentBytes) and the staging tiles still fit beside it.
+		if _, ok := live[i-1]; ok && avail >= r.L2ReqBytes() {
 			plan.InputResident = true
 			saved := min64(plan.DRAMReads, inBytes/int64(cfg.ElemBytes))
 			plan.DRAMReads -= saved
 			sched.DRAMSaved += saved
 		}
 		// Output residency: keep this output for the next layer when it
-		// fits; otherwise it drains to DRAM as usual.
+		// fits beside the staging tiles and everything still live.
 		if opt.L2Bytes > 0 && outBytes <= avail-r.L2ReqBytes() {
 			plan.OutputResident = true
 			saved := min64(plan.DRAMWrites, outBytes/int64(cfg.ElemBytes))
 			plan.DRAMWrites -= saved
 			sched.DRAMSaved += saved
-		}
-		// Pin residual sources for their consumers; a source that cannot
-		// stay resident costs a DRAM write now and a read at the consumer
-		// (both already in the default accounting).
-		if until, ok := liveUntil[i]; ok && plan.OutputResident {
-			pinned = append(pinned, held{until: until, bytes: outBytes})
+			// The kept output serves the next layer, and any residual
+			// consumers beyond it; one entry covers all of them. A
+			// source that cannot stay resident costs a DRAM write now
+			// and a read at each consumer (the default accounting).
+			until := i + 1
+			if lu, ok := liveUntil[i]; ok && lu > until {
+				until = lu
+			}
+			live[i] = resident{bytes: outBytes, until: until}
 		}
 
 		n := int64(li.Count)
@@ -168,8 +177,6 @@ func Run(m models.Model, cfg hw.Config, opt Options) (*Schedule, error) {
 		eb := r.EnergyDefault()
 		perInst := eb.OnChip() + float64(plan.DRAMReads+plan.DRAMWrites)*200
 		sched.EnergyPJ += perInst * float64(n)
-		prevOutResident = plan.OutputResident
-		prevOutBytes = outBytes
 	}
 	// The DRAM link bounds the end-to-end runtime too.
 	dramDelay := int64(float64(sched.DRAMTraffic)/cfg.OffchipBandwidth + 0.999999)

@@ -261,6 +261,20 @@ func (c *Client) DSE(ctx context.Context, req serve.DSERequest) (*serve.DSERespo
 	return &out, nil
 }
 
+// Fusion runs a graph-level fusion sweep for one zoo model.
+func (c *Client) Fusion(ctx context.Context, req serve.FusionRequest) (*serve.FusionResponse, error) {
+	var out serve.FusionResponse
+	err := c.call(ctx, http.MethodPost, "/v1/fusion", func() ([]byte, error) {
+		r := req
+		propagateDeadline(ctx, &r.TimeoutMs)
+		return json.Marshal(&r)
+	}, &out, false)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Models lists the server's model zoo, dataflow names, and hardware
 // presets.
 func (c *Client) Models(ctx context.Context) (*serve.ModelsResponse, error) {

@@ -176,29 +176,9 @@ type BatchResponse struct {
 	Results []BatchItem `json:"results"`
 }
 
-// zoo maps model names to constructors. BERT-Base uses a 128-token
-// sequence; parameterized models beyond that go through inline layers.
-var zoo = map[string]func() models.Model{
-	"VGG16":       models.VGG16,
-	"AlexNet":     models.AlexNet,
-	"GoogLeNet":   models.GoogLeNet,
-	"ResNet50":    models.ResNet50,
-	"ResNeXt50":   models.ResNeXt50,
-	"MobileNetV2": models.MobileNetV2,
-	"UNet":        models.UNet,
-	"DCGAN":       models.DCGAN,
-	"BERT-Base":   func() models.Model { return models.BERTBase(128) },
-}
-
-// zooNames returns the zoo model names sorted.
-func zooNames() []string {
-	names := make([]string, 0, len(zoo))
-	for n := range zoo {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
-}
+// zooNames returns the zoo model names sorted; the registry itself
+// lives in the models package and is shared with the CLI.
+func zooNames() []string { return models.Zoo() }
 
 // dataflowNames returns the Table 3 dataflow names in plotting order.
 func dataflowNames() []string { return append([]string(nil), dataflows.Names...) }
@@ -216,7 +196,7 @@ func presetNames() []string {
 // resolveLayer converts a LayerSpec to a concrete layer.
 func resolveLayer(ls LayerSpec) (tensor.Layer, error) {
 	if ls.Model != "" {
-		ctor, ok := zoo[ls.Model]
+		m, ok := models.ByName(ls.Model)
 		if !ok {
 			return tensor.Layer{}, badRequestf("unknown model %q (have %s)",
 				ls.Model, strings.Join(zooNames(), ", "))
@@ -224,7 +204,7 @@ func resolveLayer(ls LayerSpec) (tensor.Layer, error) {
 		if ls.Name == "" {
 			return tensor.Layer{}, badRequestf("model %q needs a layer name", ls.Model)
 		}
-		li, ok := ctor().Find(ls.Name)
+		li, ok := m.Find(ls.Name)
 		if !ok {
 			return tensor.Layer{}, badRequestf("model %q has no layer %q", ls.Model, ls.Name)
 		}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataflow"
 	"repro/internal/hw"
+	"repro/internal/models"
 	"repro/internal/obs"
 	"repro/internal/tensor"
 )
@@ -260,6 +261,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("/v1/analyze/batch", s.handleBatch)
 	mux.HandleFunc("/v1/dse", s.handleDSE)
+	mux.HandleFunc("/v1/fusion", s.handleFusion)
 	return s.instrument(s.chaosMiddleware(mux))
 }
 
@@ -929,7 +931,7 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	s.requests.With("models").Inc()
 	resp := ModelsResponse{Dataflows: dataflowNames(), Presets: presetNames()}
 	for _, name := range zooNames() {
-		m := zoo[name]()
+		m, _ := models.ByName(name)
 		mj := ModelJSON{Name: m.Name, MACs: m.MACs()}
 		for _, li := range m.Layers {
 			l := li.Layer

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/models"
+	"repro/internal/netsched"
+)
+
+func replayCfg() hw.Config {
+	cfg := hw.Accel256()
+	cfg.L2Size = 256 << 10
+	return cfg
+}
+
+// TestReplayGoogLeNet is the acceptance check: the scheduler's claimed
+// DRAM traffic must agree with the band-by-band replay within 2% on
+// every fused subgraph and exactly on unfused ones.
+func TestReplayGoogLeNet(t *testing.T) {
+	s, err := netsched.RunFused(models.GoogLeNet(), replayCfg(),
+		netsched.FuseOptions{Options: netsched.Options{L2Bytes: 256 << 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.FusedGroups() == 0 {
+		t.Fatal("nothing fused")
+	}
+	rep, err := ReplayFused(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Verify(s, 0.02); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplayExactOnFullCoverage pins the stronger property the row
+// accounting is built for: when every band is walked, first-touch
+// counting reproduces the claimed whole-tensor traffic bit for bit.
+func TestReplayExactOnFullCoverage(t *testing.T) {
+	for _, m := range []models.Model{models.GoogLeNet(), models.ResNet50()} {
+		s, err := netsched.RunFused(m, replayCfg(),
+			netsched.FuseOptions{Options: netsched.Options{L2Bytes: 256 << 10}})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		rep, err := ReplayFused(s)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		for i, gr := range rep.Groups {
+			gp := s.Groups[i]
+			if !gp.Fused {
+				continue
+			}
+			if gr.DRAMReads != gp.DRAMReads || gr.DRAMWrites != gp.DRAMWrites {
+				t.Errorf("%s group [%d,%d]: replay %d/%d != claim %d/%d",
+					m.Name, gp.Lo, gp.Hi, gr.DRAMReads, gr.DRAMWrites, gp.DRAMReads, gp.DRAMWrites)
+			}
+			if gr.RefetchedRows != 0 {
+				t.Errorf("%s group [%d,%d]: %d rows re-fetched", m.Name, gp.Lo, gp.Hi, gr.RefetchedRows)
+			}
+		}
+	}
+}
+
+// TestReplaySentinel checks the L2Bytes=0 sentinel replays exactly: all
+// groups unfused, totals identical to the schedule's claim.
+func TestReplaySentinel(t *testing.T) {
+	m := models.GoogLeNet()
+	s, err := netsched.RunFused(m, hw.Accel256(), netsched.FuseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReplayFused(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Verify(s, 0); err != nil {
+		t.Fatal(err)
+	}
+	if rep.DRAMTraffic != s.DRAMTraffic {
+		t.Errorf("sentinel replay traffic %d != schedule %d", rep.DRAMTraffic, s.DRAMTraffic)
+	}
+}
+
+// TestReplayMACsInvariant: the replayed MAC count equals the model's
+// arithmetic regardless of the partitioning the DP picked.
+func TestReplayMACsInvariant(t *testing.T) {
+	m := models.GoogLeNet()
+	var want int64
+	for _, inst := range m.Layers {
+		want += inst.Layer.MACs() * int64(inst.Count)
+	}
+	for _, l2 := range []int64{0, 64 << 10, 256 << 10, 1 << 20} {
+		s, err := netsched.RunFused(m, replayCfg(),
+			netsched.FuseOptions{Options: netsched.Options{L2Bytes: l2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := ReplayFused(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.MACs != want {
+			t.Errorf("L2=%d: MACs %d != %d", l2, rep.MACs, want)
+		}
+	}
+}

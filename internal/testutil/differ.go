@@ -1,0 +1,181 @@
+// Package testutil holds the differential test harness for the
+// graph-level scheduler: it cross-checks the scheduler's claimed DRAM
+// traffic against the simulator's band-by-band replay across the model
+// zoo and the Table 3 dataflow templates, and pins the fused-vs-unfused
+// equivalence the L2Bytes=0 sentinel promises. Test packages across the
+// repo import it; it is not part of the public API.
+package testutil
+
+import (
+	"fmt"
+
+	"repro/internal/dataflow"
+	"repro/internal/dataflows"
+	"repro/internal/hw"
+	"repro/internal/models"
+	"repro/internal/netsched"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+)
+
+// Divergence identifies the first disagreement the differ found: the
+// model, the fusion subgraph (a span of DAG edges), and the tile height
+// the scheduler chose for it.
+type Divergence struct {
+	Model    string
+	Dataflow string // template name, or "tuned"
+	L2Bytes  int64
+	Group    [2]int // [Lo, Hi] layer interval of the divergent subgraph
+	Tile     int    // band height in output rows (0 for unfused groups)
+	Claimed  [2]int64
+	Replayed [2]int64
+	Detail   string
+}
+
+func (d *Divergence) String() string {
+	return fmt.Sprintf("%s/%s@%d group [%d,%d] tile %d: claimed %d/%d, replayed %d/%d (%s)",
+		d.Model, d.Dataflow, d.L2Bytes, d.Group[0], d.Group[1], d.Tile,
+		d.Claimed[0], d.Claimed[1], d.Replayed[0], d.Replayed[1], d.Detail)
+}
+
+// DiffOptions configures the sweep.
+type DiffOptions struct {
+	// L2Bytes lists the budgets to check; nil uses the sentinel plus a
+	// small/medium/large ladder.
+	L2Bytes []int64
+	// Dataflows lists template names from the dataflows registry; the
+	// empty string means the auto-tuner. Nil checks the tuner and KC-P.
+	Dataflows []string
+	// Tol is the fused-group tolerance (fractional); unfused groups must
+	// match exactly regardless.
+	Tol float64
+}
+
+func (o DiffOptions) budgets() []int64 {
+	if o.L2Bytes != nil {
+		return o.L2Bytes
+	}
+	return []int64{0, 64 << 10, 256 << 10, 1 << 20}
+}
+
+func (o DiffOptions) templates() []string {
+	if o.Dataflows != nil {
+		return o.Dataflows
+	}
+	return []string{"", "KC-P"}
+}
+
+func templateOption(name string) (netsched.Options, string) {
+	if name == "" {
+		return netsched.Options{}, "tuned"
+	}
+	df := dataflows.Get(name)
+	return netsched.Options{Dataflow: func(tensor.Layer) (dataflow.Dataflow, bool) {
+		return df, true
+	}}, name
+}
+
+// DiffSchedules runs every model through the graph scheduler and the
+// sim replay across the budget x template sweep, returning the first
+// divergence or nil. Template/model combinations the engine cannot map
+// are skipped — the differ validates pricing, not mappability.
+func DiffSchedules(ms []models.Model, cfg hw.Config, opt DiffOptions) *Divergence {
+	for _, m := range ms {
+		for _, tmpl := range opt.templates() {
+			base, label := templateOption(tmpl)
+			for _, l2 := range opt.budgets() {
+				o := base
+				o.L2Bytes = l2
+				s, err := netsched.RunFused(m, cfg, netsched.FuseOptions{Options: o})
+				if err != nil {
+					continue
+				}
+				rep, err := sim.ReplayFused(s)
+				if err != nil {
+					return &Divergence{Model: m.Name, Dataflow: label, L2Bytes: l2,
+						Detail: "replay failed: " + err.Error()}
+				}
+				if d := firstDivergence(s, rep, opt.Tol); d != nil {
+					d.Model, d.Dataflow, d.L2Bytes = m.Name, label, l2
+					return d
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func firstDivergence(s *netsched.FusedSchedule, rep *sim.FusedReplay, tol float64) *Divergence {
+	for i, gp := range s.Groups {
+		gr := rep.Groups[i]
+		t := tol
+		if !gp.Fused {
+			t = 0
+		}
+		okR := within(gr.DRAMReads, gp.DRAMReads, t)
+		okW := within(gr.DRAMWrites, gp.DRAMWrites, t)
+		if okR && okW {
+			continue
+		}
+		detail := "reads diverge"
+		if okR {
+			detail = "writes diverge"
+		}
+		return &Divergence{
+			Group:    [2]int{gp.Lo, gp.Hi},
+			Tile:     gp.TileRows,
+			Claimed:  [2]int64{gp.DRAMReads, gp.DRAMWrites},
+			Replayed: [2]int64{gr.DRAMReads, gr.DRAMWrites},
+			Detail:   detail,
+		}
+	}
+	return nil
+}
+
+func within(a, b int64, tol float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	base := b
+	if base < 0 {
+		base = -base
+	}
+	return float64(d) <= tol*float64(base)
+}
+
+// EquivCell is one entry of the fused-vs-unfused equivalence matrix.
+type EquivCell struct {
+	Model    string
+	Dataflow string
+	Fused    int64 // RunFused at the L2Bytes=0 sentinel
+	Plain    int64 // the per-layer schedule at the same sentinel
+	Equal    bool
+}
+
+// EquivalenceMatrix runs every model x template at the L2Bytes=0
+// sentinel through both the graph scheduler and the plain per-layer
+// scheduler. Every cell must come back Equal: with fusion and retention
+// disabled the two paths are the same sum, bit for bit.
+func EquivalenceMatrix(ms []models.Model, cfg hw.Config, tmpls []string) []EquivCell {
+	var out []EquivCell
+	for _, m := range ms {
+		for _, tmpl := range tmpls {
+			o, label := templateOption(tmpl)
+			fused, err1 := netsched.RunFused(m, cfg, netsched.FuseOptions{Options: o})
+			plain, err2 := netsched.Run(m, cfg, o)
+			if err1 != nil || err2 != nil {
+				continue
+			}
+			out = append(out, EquivCell{
+				Model: m.Name, Dataflow: label,
+				Fused: fused.DRAMTraffic, Plain: plain.DRAMTraffic,
+				Equal: fused.DRAMTraffic == plain.DRAMTraffic,
+			})
+		}
+	}
+	return out
+}

@@ -54,6 +54,10 @@ type Options struct {
 	Objective Objective
 	// MaxCandidates bounds the mappings evaluated per layer (0 = all).
 	MaxCandidates int
+	// MaxL2Bytes, when positive, drops candidates whose L2 staging
+	// requirement exceeds it. The graph-level fusion scheduler uses this
+	// to reserve scratchpad for inter-layer band windows.
+	MaxL2Bytes int64
 }
 
 // score evaluates the objective on a result.
@@ -156,6 +160,9 @@ func TuneLayerCtx(ctx context.Context, layer tensor.Layer, cfg hw.Config, opt Op
 		if err != nil {
 			continue
 		}
+		if opt.MaxL2Bytes > 0 && r.L2ReqBytes() > opt.MaxL2Bytes {
+			continue
+		}
 		evaluated++
 		s := score(opt.Objective, r)
 		if !found || s < best.Score {
@@ -222,6 +229,9 @@ func TuneLayerConfigsCtx(ctx context.Context, layer tensor.Layer, cfgs []hw.Conf
 			evaluated++
 			for j, i := range lanes {
 				if rs[j] == nil {
+					continue
+				}
+				if opt.MaxL2Bytes > 0 && rs[j].L2ReqBytes() > opt.MaxL2Bytes {
 					continue
 				}
 				s := score(opt.Objective, rs[j])

@@ -373,6 +373,35 @@ type (
 // ScheduleNetwork plans a model's layers on one accelerator.
 var ScheduleNetwork = netsched.Run
 
+// Graph-level fusion scheduling: the network DAG partitioned into
+// fusion subgraphs that stream tile bands through L2, validated
+// step-accurately by the simulator's band-by-band replay (see
+// docs/NETSCHED.md).
+type (
+	// FusedNetSchedule is a graph-level fused network plan.
+	FusedNetSchedule = netsched.FusedSchedule
+	// FuseNetOptions configures graph-level fusion scheduling.
+	FuseNetOptions = netsched.FuseOptions
+	// FusionGroup is one fusion subgraph of a fused plan.
+	FusionGroup = netsched.GroupPlan
+	// FusedNetReplay is the simulator's replay of a fused plan.
+	FusedNetReplay = sim.FusedReplay
+	// FusionSweepSpace is a DSE sweep over fused schedules.
+	FusionSweepSpace = dse.FusionSpace
+	// FusionSweepPoint is one priced partitioning of such a sweep.
+	FusionSweepPoint = dse.FusionPoint
+)
+
+// Fused-scheduling entry points: schedule a model's activation DAG,
+// replay the schedule in the simulator, and sweep the (L2 budget x
+// fusion granularity) plane.
+var (
+	ScheduleNetworkFused = netsched.RunFused
+	ReplayFusedSchedule  = sim.ReplayFused
+	ExploreFusion        = dse.ExploreFusion
+	BestFusion           = dse.BestFusion
+)
+
 // Heterogeneous chips: several sub-accelerators with different dataflow
 // styles, the design point the paper's Section 5.1 motivates.
 type (
