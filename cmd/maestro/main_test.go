@@ -87,6 +87,43 @@ func TestRunFusedGolden(t *testing.T) {
 	compareGolden(t, "googlenet_fuse_edge.golden", buf.Bytes())
 }
 
+// TestRunFusedPartialNetwork pins -fuse on a partially annotated
+// network file: layers with a Dataflow block keep it, layers without
+// one fall back to the auto-tuner instead of failing the run.
+func TestRunFusedPartialNetwork(t *testing.T) {
+	src := `
+Network partial {
+  Layer CONV1 {
+    Type: CONV2D
+    Dimensions { N: 1, K: 16, C: 3, Y: 34, X: 34, R: 3, S: 3 }
+    Dataflow {
+      SpatialMap(1,1) K;
+      TemporalMap(Sz(R),1) Y;
+      TemporalMap(Sz(S),1) X;
+      TemporalMap(Sz(R),Sz(R)) R;
+      TemporalMap(Sz(S),Sz(S)) S;
+    }
+  }
+  Layer CONV2 {
+    Type: CONV2D
+    Dimensions { N: 1, K: 32, C: 16, Y: 33, X: 33, R: 3, S: 3 }
+  }
+}
+`
+	path := filepath.Join(t.TempDir(), "partial.m")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	args := []string{"-hw", filepath.Join("..", "..", "testdata", "edge.hw"), "-fuse", path}
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run(%v): %v\noutput:\n%s", args, err, buf.Bytes())
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("sim replay: verified")) {
+		t.Errorf("fused run on partial network did not verify:\n%s", buf.Bytes())
+	}
+}
+
 // TestRunUsageGolden pins the -h help text: the flag surface is part of
 // the CLI contract, and a new or renamed flag must show up here.
 func TestRunUsageGolden(t *testing.T) {

@@ -90,8 +90,9 @@ func Run(m models.Model, cfg hw.Config, opt Options) (*Schedule, error) {
 
 	sched := &Schedule{}
 	type resident struct {
-		bytes int64
-		until int // last layer index that reads the tensor
+		bytes  int64
+		until  int   // last layer index that reads the tensor
+		savedW int64 // DRAM write elements the producer's retention discounted
 	}
 	// live holds every activation resident in L2, keyed by producer. A
 	// tensor that serves both as the next layer's chain input and as a
@@ -122,12 +123,33 @@ func Run(m models.Model, cfg hw.Config, opt Options) (*Schedule, error) {
 			}
 		}
 		avail := opt.L2Bytes - residentBytes
+		// fits is decided against the pre-clamp capacity: residency is
+		// only real when the staging tiles fit beside everything live.
+		fits := avail >= r.L2ReqBytes()
 		if opt.L2Bytes > 0 {
-			if avail < r.L2ReqBytes() {
-				// Resident activations crowd out the staging tiles: the
-				// sources spill and are re-fetched (the paper's "extra
-				// DRAM accesses").
-				avail = r.L2ReqBytes()
+			if !fits {
+				// Resident activations crowd out the staging tiles: every
+				// live source spills — paying the DRAM write its producer's
+				// retention discounted — and consumers re-fetch it from
+				// DRAM (the paper's "extra global buffer / DRAM accesses").
+				// Eviction frees the whole budget for staging.
+				for p, ent := range live {
+					pp := &sched.Plans[p]
+					pp.OutputResident = false
+					pp.DRAMWrites += ent.savedW
+					n := int64(m.Layers[p].Count)
+					sched.DRAMTraffic += ent.savedW * n
+					sched.DRAMSaved -= ent.savedW * n
+					sched.EnergyPJ += float64(ent.savedW*n) * 200
+					delete(live, p)
+				}
+				heldBytes = 0
+				avail = opt.L2Bytes
+				if avail < r.L2ReqBytes() {
+					// The budget cannot even hold the staging tiles; the
+					// layer still needs them to run.
+					avail = r.L2ReqBytes()
+				}
 			}
 			r = r.WithL2(avail)
 		}
@@ -143,8 +165,10 @@ func Run(m models.Model, cfg hw.Config, opt Options) (*Schedule, error) {
 
 		// Input residency: the previous layer's output feeds this layer
 		// from L2 when it was kept (its bytes are already reserved in
-		// residentBytes) and the staging tiles still fit beside it.
-		if _, ok := live[i-1]; ok && avail >= r.L2ReqBytes() {
+		// residentBytes) and the staging tiles still fit beside it. A
+		// crowded layer (fits == false) evicted everything above, so its
+		// input always re-fetches.
+		if _, ok := live[i-1]; ok && fits {
 			plan.InputResident = true
 			saved := min64(plan.DRAMReads, inBytes/int64(cfg.ElemBytes))
 			plan.DRAMReads -= saved
@@ -165,7 +189,7 @@ func Run(m models.Model, cfg hw.Config, opt Options) (*Schedule, error) {
 			if lu, ok := liveUntil[i]; ok && lu > until {
 				until = lu
 			}
-			live[i] = resident{bytes: outBytes, until: until}
+			live[i] = resident{bytes: outBytes, until: until, savedW: saved}
 		}
 
 		n := int64(li.Count)
@@ -188,12 +212,12 @@ func Run(m models.Model, cfg hw.Config, opt Options) (*Schedule, error) {
 
 func chooseMapping(layer tensor.Layer, cfg hw.Config, opt Options) (dataflow.Dataflow, *core.Result, error) {
 	if opt.Dataflow != nil {
-		df, ok := opt.Dataflow(layer)
-		if !ok {
-			return dataflow.Dataflow{}, nil, fmt.Errorf("no dataflow provided")
+		if df, ok := opt.Dataflow(layer); ok {
+			r, err := core.AnalyzeDataflow(df, layer, cfg)
+			return df, r, err
 		}
-		r, err := core.AnalyzeDataflow(df, layer, cfg)
-		return df, r, err
+		// No mapping for this layer: fall through to the tuner so a
+		// partially annotated network still schedules.
 	}
 	ch, err := tuner.TuneLayer(layer, cfg, tuner.Options{Objective: opt.Objective})
 	if err != nil {

@@ -104,6 +104,78 @@ func TestResidualPinning(t *testing.T) {
 	}
 }
 
+// TestCrowdedL2DeniesResidency pins the spill path: when a retained
+// activation crowds out the next layer's staging tiles, the consumer
+// must NOT be treated as input-resident, and the producer's discounted
+// DRAM write must be charged back when the tensor is evicted. A
+// regression here silently understates DRAM traffic for residual-heavy
+// models at small L2 budgets.
+func TestCrowdedL2DeniesResidency(t *testing.T) {
+	mk := func(name string, k, c, yx, rs int) models.LayerInst {
+		l := tensor.Layer{
+			Name: name, Op: tensor.Conv2D,
+			Sizes: tensor.Sizes{tensor.N: 1, tensor.K: k, tensor.C: c, tensor.Y: yx, tensor.X: yx, tensor.R: rs, tensor.S: rs},
+		}.Normalize()
+		return models.LayerInst{Layer: l, Count: 1, Class: models.Classify(l)}
+	}
+	m := models.Model{Name: "crowd", Layers: []models.LayerInst{
+		mk("small", 8, 8, 28, 3),
+		mk("big", 32, 64, 56, 5),
+	}}
+	cfg := hw.Accel256()
+	// Probe the staging requirements, then pick an L2 that holds layer
+	// 0's staging plus its whole output but not layer 1's staging beside
+	// that output.
+	probe, err := Run(m, cfg, Options{Dataflow: fixedKCP, L2Bytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqA := probe.Plans[0].Result.L2ReqBytes()
+	reqB := probe.Plans[1].Result.L2ReqBytes()
+	outA := scaled(m.Layers[0].Layer, tensor.Output, cfg)
+	if reqA+outA >= reqB {
+		t.Fatalf("test construction broken: need reqA+outA < reqB, got reqA=%d outA=%d reqB=%d", reqA, outA, reqB)
+	}
+	s, err := Run(m, cfg, Options{Dataflow: fixedKCP, L2Bytes: reqA + outA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := s.Plans[0], s.Plans[1]
+	if b.InputResident {
+		t.Error("crowded layer granted input residency; its input must re-fetch from DRAM")
+	}
+	if b.DRAMReads != b.Result.DRAMReads {
+		t.Errorf("crowded layer's DRAM reads discounted: plan %d vs result %d", b.DRAMReads, b.Result.DRAMReads)
+	}
+	if a.OutputResident {
+		t.Error("evicted output still marked resident")
+	}
+	if s.DRAMSaved != 0 {
+		t.Errorf("schedule claims %d elements saved; the spilled output must be charged back", s.DRAMSaved)
+	}
+}
+
+// TestPartialDataflowFallsBackToTuner pins the promise cmd/maestro makes
+// for partially annotated network files: a layer whose Dataflow callback
+// reports ok=false is auto-tuned rather than failing the schedule.
+func TestPartialDataflowFallsBackToTuner(t *testing.T) {
+	m := chain()
+	cfg := hw.Accel256()
+	partial := func(l tensor.Layer) (dataflow.Dataflow, bool) {
+		if l.Name == "B" {
+			return dataflow.Dataflow{}, false
+		}
+		return dataflows.Get("KC-P"), true
+	}
+	s, err := Run(m, cfg, Options{Dataflow: partial, L2Bytes: 1 << 20})
+	if err != nil {
+		t.Fatalf("partially annotated network failed to schedule: %v", err)
+	}
+	if len(s.Plans[1].Dataflow.Directives) == 0 {
+		t.Error("unannotated layer got no tuned dataflow")
+	}
+}
+
 func TestEdgeValidation(t *testing.T) {
 	m := chain()
 	cfg := hw.Accel256()

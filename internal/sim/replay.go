@@ -231,12 +231,16 @@ func replayFusedGroup(g *netsched.Graph, gp *netsched.GroupPlan, l2 int64) (Grou
 		// reaches below what an earlier band drained.
 		var occ int64
 		for k, iv := range extNeed {
-			rowEl, _, limit := extTensor(g, k)
+			rowEl, d, limit := extTensor(g, k)
 			if iv.hi > limit {
 				iv.hi = limit
 			}
 			if iv.lo < prevLo[k] {
-				gr.RefetchedRows += int64(prevLo[k] - iv.lo)
+				rows := int64(prevLo[k] - iv.lo)
+				gr.RefetchedRows += rows
+				// Re-fetched rows cross DRAM again, priced like any
+				// other row of this tensor.
+				gr.DRAMReads += replayScale(rows*rowEl, d)
 			}
 			if iv.hi > touched[k] {
 				touched[k] = iv.hi
@@ -295,7 +299,6 @@ func replayFusedGroup(g *netsched.Graph, gp *netsched.GroupPlan, l2 int64) (Grou
 		}
 		gr.DRAMReads += replayScale(int64(rows)*rowEl, d)
 	}
-	gr.DRAMReads += gr.RefetchedRows // re-fetched rows cross DRAM again
 	for w, rows := range written {
 		lv := layers[w].Layer
 		rowEl := lv.TensorSize(tensor.Output) / int64(lv.OutY())
