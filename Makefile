@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench bench-fleet serve clean
+.PHONY: all build vet test race fuzz bench bench-fleet soak-fleet serve clean
 
 all: vet build test
 
@@ -31,6 +31,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzPartition -fuzztime=10s -run xxx ./internal/dse/
 	$(GO) test -fuzz=FuzzPriceBatch -fuzztime=10s -run xxx ./internal/core/
 	$(GO) test -fuzz=FuzzPartitionDAG -fuzztime=10s -run xxx ./internal/netsched/
+	$(GO) test -fuzz=FuzzJournalReplay -fuzztime=10s -run xxx ./internal/fleet/
 
 # One pass over the figure/table benchmarks plus the service benchmarks.
 bench:
@@ -47,6 +48,13 @@ bench-dse:
 # time; the measured numbers are recorded in BENCH_fleet.json.
 bench-fleet:
 	$(GO) test -bench BenchmarkFleetSweep -benchtime 3x -run xxx ./internal/fleet
+
+# Crash-recovery soak: kill the coordinator mid-sweep and resume from
+# the journal, SOAK_N times in a row under the race detector. Any
+# nondeterminism in replay or journal truncation shows up here.
+SOAK_N ?= 10
+soak-fleet:
+	$(GO) test -race -run 'TestChaosCoordinatorCrashResume' -count $(SOAK_N) -timeout 10m ./internal/fleet/
 
 serve:
 	$(GO) run ./cmd/maestro-serve

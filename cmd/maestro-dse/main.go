@@ -7,6 +7,7 @@
 //	            [-area 16] [-power 450] [-quick] [-csv out.csv]
 //	            [-progress] [-trace out.json]
 //	            [-workers http://host1:8080,http://host2:8080]
+//	            [-checkpoint dir [-resume]]
 //
 // It sweeps PEs, NoC bandwidth, tile sizes and L2 capacity under the
 // area/power budget, then prints the throughput-, energy- and
@@ -20,6 +21,10 @@
 // are merged as shards complete (the merged front is identical to a
 // local run). In that mode -csv dumps the merged front rather than
 // every valid design, since only frontier points cross the wire.
+// -checkpoint journals every settled shard to a write-ahead log so a
+// killed sweep can be picked back up with -resume, replaying journaled
+// shards instead of re-dispatching them (see docs/FLEET.md,
+// "Durability & crash recovery").
 package main
 
 import (
@@ -73,6 +78,8 @@ func run(args []string, stdout io.Writer) error {
 	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON of the sweep to this file (fleet mode: one stitched multi-node trace)")
 	workers := fs.String("workers", "", "comma-separated maestro-serve base URLs; distribute the sweep across them instead of exploring in-process")
 	fleetMetrics := fs.String("fleet-metrics", "", "after a fleet sweep, write a federated Prometheus snapshot of every node's /metrics to this file")
+	checkpoint := fs.String("checkpoint", "", "journal completed fleet shards to this directory so an interrupted sweep can be resumed")
+	resume := fs.Bool("resume", false, "replay completed shards from the -checkpoint journal instead of re-dispatching them")
 	if err := fs.Parse(args); err != nil {
 		return fmt.Errorf("%w: %v", errUsage, err)
 	}
@@ -108,6 +115,9 @@ func run(args []string, stdout io.Writer) error {
 	l1Grid := dse.DefaultGrid(64, 1<<20, 1.45)
 	l2Grid := dse.DefaultGrid(1<<12, 1<<24, 1.4)
 
+	if *resume && *checkpoint == "" {
+		return fmt.Errorf("%w: -resume requires -checkpoint", errUsage)
+	}
 	if *workers != "" {
 		return runFleet(fleetArgs{
 			hosts: splitHosts(*workers),
@@ -115,11 +125,15 @@ func run(args []string, stdout io.Writer) error {
 			tmpl: tmpl, pes: pes, bws: bws, l1Grid: l1Grid, l2Grid: l2Grid,
 			area: *area, power: *power,
 			csvPath: *csvPath, tracePath: *tracePath, progress: *progress,
-			metricsPath: *fleetMetrics,
+			metricsPath:   *fleetMetrics,
+			checkpointDir: *checkpoint, resume: *resume,
 		}, stdout)
 	}
 	if *fleetMetrics != "" {
 		return fmt.Errorf("%w: -fleet-metrics requires -workers", errUsage)
+	}
+	if *checkpoint != "" {
+		return fmt.Errorf("%w: -checkpoint requires -workers", errUsage)
 	}
 
 	space := dse.Space{
@@ -192,7 +206,8 @@ type fleetArgs struct {
 	area, power            float64
 	csvPath, tracePath     string
 	metricsPath            string
-	progress               bool
+	checkpointDir          string
+	progress, resume       bool
 }
 
 // runFleet distributes the sweep across maestro-serve nodes and prints
@@ -201,11 +216,15 @@ func runFleet(a fleetArgs, stdout io.Writer) error {
 	if len(a.hosts) == 0 {
 		return fmt.Errorf("%w: -workers needs at least one host", errUsage)
 	}
-	opts := fleet.Options{Hosts: a.hosts}
+	opts := fleet.Options{Hosts: a.hosts, CheckpointDir: a.checkpointDir, Resume: a.resume}
 	if a.progress {
 		opts.OnShard = func(sr fleet.ShardResult) {
-			fmt.Fprintf(os.Stderr, "\rshard %d/%d done on %s (%d designs) ",
-				sr.Shard.Index+1, sr.Shard.Of, sr.Host, sr.Resp.Explored)
+			verb := "done on"
+			if sr.Replayed {
+				verb = "replayed from journal, last run on"
+			}
+			fmt.Fprintf(os.Stderr, "\rshard %d/%d %s %s (%d designs) ",
+				sr.Shard.Index+1, sr.Shard.Of, verb, sr.Host, sr.Resp.Explored)
 		}
 	}
 	f, err := fleet.New(opts)
@@ -252,6 +271,13 @@ func runFleet(a fleetArgs, stdout io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stdout, "wrote federated metrics for %d nodes to %s\n", len(fed.Up), a.metricsPath)
+	}
+	if a.checkpointDir != "" {
+		fmt.Fprintf(stdout, "checkpoint: replayed %d shards, dispatched %d of %d\n",
+			res.Replayed, res.Shards-res.Replayed, res.Shards)
+		if res.JournalErrors > 0 {
+			fmt.Fprintf(stdout, "warning: %d journal write failures — unjournaled shards re-run on resume\n", res.JournalErrors)
+		}
 	}
 	fmt.Fprintf(stdout, "%s on %s/%s across %d nodes: %d shards, %d mappings profiled, %d hardware points priced, %d valid (raw space %d)\n",
 		a.template, a.model, a.layer, len(a.hosts), res.Shards, res.Invoked, res.Pricings, res.Valid, res.Raw)

@@ -63,6 +63,12 @@ func TestRunUsageErrors(t *testing.T) {
 	if err := run([]string{"-dataflow", "WARP-9"}, &buf); err == nil || errors.Is(err, errUsage) {
 		t.Fatalf("unknown template = %v, want a non-usage error", err)
 	}
+	if err := run([]string{"-checkpoint", t.TempDir()}, &buf); !errors.Is(err, errUsage) {
+		t.Fatalf("-checkpoint without -workers = %v, want errUsage", err)
+	}
+	if err := run([]string{"-resume"}, &buf); !errors.Is(err, errUsage) {
+		t.Fatalf("-resume without -checkpoint = %v, want errUsage", err)
+	}
 }
 
 // TestRunFleetQuick drives the -workers path end to end against two
@@ -86,5 +92,40 @@ func TestRunFleetQuick(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("fleet output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestRunFleetCheckpoint drives -checkpoint/-resume end to end: a clean
+// run journals and reports its dispatch split, deletes the journal on
+// success, and a -resume rerun finds nothing to replay.
+func TestRunFleetCheckpoint(t *testing.T) {
+	s := serve.New(serve.Options{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+
+	dir := t.TempDir()
+	args := []string{"-quick", "-model", "VGG16", "-layer", "CONV11",
+		"-dataflow", "KC-P", "-workers", ts.URL, "-checkpoint", dir}
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run(%v): %v\n%s", args, err, buf.String())
+	}
+	if out := buf.String(); !strings.Contains(out, "checkpoint: replayed 0 shards, dispatched") {
+		t.Fatalf("checkpoint summary missing:\n%s", out)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("journal left behind after a clean run: %v", ents)
+	}
+
+	buf.Reset()
+	if err := run(append(args, "-resume"), &buf); err != nil {
+		t.Fatalf("resume run: %v\n%s", err, buf.String())
+	}
+	if out := buf.String(); !strings.Contains(out, "checkpoint: replayed 0 shards, dispatched") {
+		t.Fatalf("resume with no journal should dispatch everything:\n%s", out)
 	}
 }

@@ -142,6 +142,10 @@ func main() {
 	}
 
 	logger.Info("shutting down: draining connections and queued work", "max", *drain)
+	// Flip readiness first: /healthz answers 503 from here on, so load
+	// balancers and fleet probers stop routing new work while the
+	// listener finishes in-flight requests below.
+	s.BeginDrain()
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

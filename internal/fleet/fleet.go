@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/url"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -51,6 +53,23 @@ type Options struct {
 	// merges (duplicates from stolen attempts are not streamed). Called
 	// from request goroutines; must be safe for concurrent use.
 	OnShard func(ShardResult)
+	// OnFusionShard is OnShard's fusion twin: it streams each merged
+	// fusion chunk (replayed ones included). Called from request
+	// goroutines; must be safe for concurrent use.
+	OnFusionShard func(FusionShardResult)
+	// CheckpointDir, when set, makes sweeps durable: every accepted
+	// shard result is appended to a checksummed write-ahead journal in
+	// this directory and fsync'd before the shard counts as done. See
+	// journal.go for the record format.
+	CheckpointDir string
+	// Resume replays an existing journal in CheckpointDir before
+	// dispatching: shards whose results were durably accepted by an
+	// interrupted run are restored from disk and only the remainder is
+	// dispatched. Without Resume a pre-existing journal is discarded.
+	Resume bool
+	// Probe configures the active health prober; the zero value
+	// disables it and dispatch relies on circuit breakers alone.
+	Probe ProbeOptions
 }
 
 func (o Options) withDefaults() Options {
@@ -77,10 +96,11 @@ func (o Options) withDefaults() Options {
 
 // ShardResult is one accepted shard response, streamed via OnShard.
 type ShardResult struct {
-	Shard  dse.Shard
-	Host   string // node that produced the accepted result
-	Stolen bool   // true when a watchdog-stolen attempt won
-	Resp   *serve.DSEResponse
+	Shard    dse.Shard
+	Host     string // node that produced the accepted result
+	Stolen   bool   // true when a watchdog-stolen attempt won
+	Replayed bool   // true when restored from the checkpoint journal
+	Resp     *serve.DSEResponse
 }
 
 // Result is a completed distributed sweep: the merged Pareto front in
@@ -104,6 +124,11 @@ type Result struct {
 	Redispatched int64 // failover attempts after a node refused or failed a shard
 	Stolen       int64 // duplicate attempts launched by the straggler watchdog
 	Discarded    int64 // duplicate results dropped by at-most-once accounting
+	Replayed     int   // shards restored from the checkpoint journal, not dispatched
+	// JournalErrors counts shard results that merged but could not be
+	// made durable (append or fsync failed). The sweep still completes;
+	// a later resume re-dispatches those shards.
+	JournalErrors int64
 
 	// TraceID is the distributed trace the sweep ran under (empty when
 	// tracing was off). It is the key for pulling node-local span
@@ -145,6 +170,7 @@ type Fleet struct {
 	opts    Options
 	ring    *ring
 	clients map[string]*client.Client
+	prober  *prober // nil when probing is disabled
 
 	mu           sync.Mutex
 	sweeps       int64
@@ -161,8 +187,8 @@ type Fleet struct {
 // New builds a Fleet over opts.Hosts.
 func New(opts Options) (*Fleet, error) {
 	opts = opts.withDefaults()
-	if len(opts.Hosts) == 0 {
-		return nil, errors.New("fleet: no hosts")
+	if err := validateHosts(opts.Hosts); err != nil {
+		return nil, err
 	}
 	f := &Fleet{
 		opts:    opts,
@@ -170,9 +196,6 @@ func New(opts Options) (*Fleet, error) {
 		perNode: make(map[string]*NodeStats, len(opts.Hosts)),
 	}
 	for _, h := range opts.Hosts {
-		if _, dup := f.clients[h]; dup {
-			return nil, fmt.Errorf("fleet: duplicate host %q", h)
-		}
 		copts := opts.Client
 		copts.BaseURL = h
 		c, err := client.New(copts)
@@ -183,11 +206,55 @@ func New(opts Options) (*Fleet, error) {
 		f.perNode[h] = &NodeStats{}
 	}
 	f.ring = newRing(opts.Hosts)
+	if opts.Probe.Interval > 0 {
+		f.prober = startProber(f, opts.Probe)
+	}
 	return f, nil
 }
 
-// Close releases the per-node clients' idle connections.
+// validateHosts rejects configurations that would silently misbehave:
+// an empty list, empty entries, URLs the client cannot dial, and
+// duplicates — a host listed twice is double-weighted on the ring and
+// double-counted by InflightPerNode, which is never what the operator
+// meant.
+func validateHosts(hosts []string) error {
+	if len(hosts) == 0 {
+		return errors.New("fleet: no hosts")
+	}
+	seen := make(map[string]string, len(hosts))
+	for _, h := range hosts {
+		if strings.TrimSpace(h) == "" {
+			return errors.New("fleet: empty host entry")
+		}
+		u, err := url.Parse(h)
+		if err != nil {
+			return fmt.Errorf("fleet: host %q: %w", h, err)
+		}
+		if u.Scheme != "http" && u.Scheme != "https" {
+			return fmt.Errorf("fleet: host %q: scheme must be http or https", h)
+		}
+		if u.Host == "" {
+			return fmt.Errorf("fleet: host %q: missing host:port authority", h)
+		}
+		if u.RawQuery != "" || u.Fragment != "" {
+			return fmt.Errorf("fleet: host %q: base URL must not carry a query or fragment", h)
+		}
+		// Normalize so "http://a:8080" and "http://a:8080/" collide.
+		key := u.Scheme + "://" + u.Host + strings.TrimRight(u.Path, "/")
+		if prev, dup := seen[key]; dup {
+			return fmt.Errorf("fleet: duplicate host %q (same node as %q)", h, prev)
+		}
+		seen[key] = h
+	}
+	return nil
+}
+
+// Close stops the health prober and releases the per-node clients' idle
+// connections.
 func (f *Fleet) Close() {
+	if f.prober != nil {
+		f.prober.Close()
+	}
 	for _, c := range f.clients {
 		c.CloseIdleConnections()
 	}
@@ -223,6 +290,10 @@ type shardRun struct {
 	shard dse.Shard
 	req   serve.DSERequest
 	route []string // failover order, preferred node first
+	// hash is the canonical hash of the shard's scoped request; it keys
+	// the shard's journal record, so a resumed sweep only replays a
+	// record into the exact same slice of the space.
+	hash string
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -249,6 +320,7 @@ type sweep struct {
 	cancel context.CancelFunc
 	sem    map[string]chan struct{}
 	shards []*shardRun
+	jnl    *journal // nil when checkpointing is off
 	wg     sync.WaitGroup
 
 	mu        sync.Mutex
@@ -276,6 +348,24 @@ func (f *Fleet) Sweep(ctx context.Context, req serve.DSERequest) (*Result, error
 		return nil, err
 	}
 
+	// Open the write-ahead journal before anything is dispatched: a
+	// checkpointed sweep that cannot journal must fail loudly rather
+	// than silently run undurable.
+	var jnl *journal
+	if f.opts.CheckpointDir != "" {
+		creq := req.WithDefaults()
+		creq.PEs = sortedDedup(creq.PEs)
+		creq.P1 = sortedDedup(creq.P1)
+		hash, err := sweepHashDSE(creq)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: hashing sweep request: %w", err)
+		}
+		jnl, err = openJournal(f.opts.CheckpointDir, journalKindDSE, hash, f.opts.Resume)
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	ctx, span := obs.Start(ctx, "fleet.sweep",
 		obs.String("layer", layer.Name), obs.String("template", req.Template),
 		obs.Int("shards", len(runs)), obs.Int("hosts", len(f.opts.Hosts)))
@@ -292,6 +382,7 @@ func (f *Fleet) Sweep(ctx context.Context, req serve.DSERequest) (*Result, error
 		opts:   f.opts,
 		sem:    make(map[string]chan struct{}, len(f.opts.Hosts)),
 		shards: runs,
+		jnl:    jnl,
 		doneCh: make(chan struct{}),
 		failCh: make(chan struct{}),
 	}
@@ -309,7 +400,26 @@ func (f *Fleet) Sweep(ctx context.Context, req serve.DSERequest) (*Result, error
 	f.shards += int64(len(runs))
 	f.mu.Unlock()
 
+	// Replay journaled shards before dispatching anything: a record only
+	// restores into the shard whose scoped-request hash and partition
+	// shape it was written for, so a changed host count or grid simply
+	// re-dispatches instead of merging the wrong slice.
+	if jnl != nil {
+		for _, sr := range runs {
+			if rec, ok := jnl.lookup(sr.hash); ok &&
+				rec.Of == len(runs) && rec.Shard == sr.shard.Index {
+				sw.restore(sr, rec)
+			}
+		}
+	}
+
 	for _, sr := range sw.shards {
+		sw.mu.Lock()
+		done := sr.done
+		sw.mu.Unlock()
+		if done {
+			continue // restored from the journal
+		}
 		sw.wg.Add(1)
 		go sw.runShard(sr)
 	}
@@ -328,10 +438,18 @@ func (f *Fleet) Sweep(ctx context.Context, req serve.DSERequest) (*Result, error
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
 	if sw.completed < len(runs) {
+		// The sweep did not finish: keep the journal on disk so a later
+		// Resume replays the shards that were durably accepted.
+		if jnl != nil {
+			jnl.close()
+		}
 		if sw.err != nil {
 			return nil, sw.err
 		}
 		return nil, fmt.Errorf("fleet: sweep cancelled: %w", ctx.Err())
+	}
+	if jnl != nil {
+		jnl.finish() // complete: nothing left to resume
 	}
 	res := sw.res
 	res.Pareto = sw.front
@@ -343,7 +461,8 @@ func (f *Fleet) Sweep(ctx context.Context, req serve.DSERequest) (*Result, error
 	f.lastLatencies = append([]time.Duration(nil), sw.latencies...)
 	f.mu.Unlock()
 	span.SetAttr(obs.Int64("explored", res.Explored),
-		obs.Int64("redispatched", res.Redispatched), obs.Int64("stolen", res.Stolen))
+		obs.Int64("redispatched", res.Redispatched), obs.Int64("stolen", res.Stolen),
+		obs.Int("replayed", res.Replayed))
 	return &res, nil
 }
 
@@ -393,10 +512,21 @@ func (f *Fleet) plan(req serve.DSERequest) ([]*shardRun, tensor.Layer, error) {
 			PEMin: sh.PEs[0], PEMax: sh.PEs[len(sh.PEs)-1],
 			Mappings: []string{req.Template},
 		}
+		// The shard's journal key: its scoped request with the
+		// delivery-only knobs zeroed, so a retried sweep with a different
+		// timeout still resumes cleanly.
+		hreq := sreq
+		hreq.TimeoutMs = 0
+		hreq.NoCache = false
+		hash, err := canonicalHash(journalKindDSE, hreq)
+		if err != nil {
+			return nil, layer, fmt.Errorf("fleet: hashing shard request: %w", err)
+		}
 		runs = append(runs, &shardRun{
 			shard: sh,
 			req:   sreq,
 			route: f.ring.order(serve.DSERouteKey(layer, req.Template, sh.PEs)),
+			hash:  hash,
 			live:  make(map[int]liveAttempt, 2),
 		})
 	}
@@ -438,17 +568,19 @@ func (sw *sweep) runShard(sr *shardRun) {
 }
 
 // nextHost advances the shard's route cursor, preferring hosts whose
-// breaker is not open; when every host is open it returns the cursor
-// host anyway (the fast-fail keeps the attempt budget moving and probes
-// half-open breakers). wrapped reports that the cursor passed the route
-// start, i.e. a full failover cycle elapsed.
+// breaker is not open and that the health prober considers routable;
+// when every host is open or unhealthy it returns the cursor host
+// anyway (the fast-fail keeps the attempt budget moving, probes
+// half-open breakers, and lets a just-recovered node prove itself
+// before the prober notices). wrapped reports that the cursor passed
+// the route start, i.e. a full failover cycle elapsed.
 func (sr *shardRun) nextHost(f *Fleet) (host string, wrapped bool) {
 	sr.mu.Lock()
 	defer sr.mu.Unlock()
 	n := len(sr.route)
 	for i := 0; i < n; i++ {
 		h := sr.route[(sr.cursor+i)%n]
-		if f.clients[h].BreakerState() != client.BreakerOpen {
+		if f.clients[h].BreakerState() != client.BreakerOpen && f.routable(h) {
 			wrapped = (sr.cursor+i)%n == 0
 			sr.cursor = (sr.cursor + i + 1) % n
 			return h, wrapped
@@ -506,7 +638,10 @@ func (sw *sweep) attempt(sr *shardRun, host string, stolen bool) error {
 }
 
 // accept merges a shard response exactly once; late duplicates from
-// stolen or raced attempts are counted and dropped.
+// stolen or raced attempts are counted and dropped. With checkpointing
+// on, the record is appended and fsync'd *before* the shard is marked
+// done — a coordinator killed at any instant either has the shard
+// durable or will re-dispatch it, never neither.
 func (sw *sweep) accept(sr *shardRun, host string, resp *serve.DSEResponse, d time.Duration, stolen bool) {
 	sw.mu.Lock()
 	if sr.done {
@@ -517,20 +652,23 @@ func (sw *sweep) accept(sr *shardRun, host string, resp *serve.DSEResponse, d ti
 		sw.mu.Unlock()
 		return
 	}
-	sr.done = true
-	pts := make([]dse.Point, len(resp.Pareto))
-	for i, j := range resp.Pareto {
-		pts[i] = pointFrom(j)
+	if sw.jnl != nil {
+		rec := journalRecord{
+			Shard: sr.shard.Index, Of: len(sw.shards), Hash: sr.hash,
+			Host: host, Stolen: stolen, DSE: resp,
+		}
+		if err := sw.jnl.append(rec); err != nil {
+			// Degrade, don't fail the sweep: the result still merges, a
+			// later resume just re-dispatches this shard.
+			sw.res.JournalErrors++
+			if sp := obs.SpanFrom(sw.ctx); sp != nil {
+				sp.Event("fleet.journal_error",
+					obs.Int("shard", sr.shard.Index), obs.String("error", err.Error()))
+			}
+		}
 	}
-	sw.front = dse.MergePareto(sw.front, pts)
-	sw.res.Raw += resp.Raw
-	sw.res.Explored += resp.Explored
-	sw.res.Invoked += resp.Invoked
-	sw.res.Pricings += resp.Pricings
-	sw.res.Valid += resp.Valid
-	sw.res.ThroughputOpt = mergeOpt(sw.res.ThroughputOpt, resp.ThroughputOpt, betterThroughput)
-	sw.res.EnergyOpt = mergeOpt(sw.res.EnergyOpt, resp.EnergyOpt, betterEnergy)
-	sw.res.EDPOpt = mergeOpt(sw.res.EDPOpt, resp.EDPOpt, betterEDP)
+	sr.done = true
+	sw.merge(resp)
 	sw.latencies = append(sw.latencies, d)
 	sw.completed++
 	last := sw.completed == len(sw.shards)
@@ -546,6 +684,51 @@ func (sw *sweep) accept(sr *shardRun, host string, resp *serve.DSEResponse, d ti
 	if last {
 		close(sw.doneCh)
 	}
+}
+
+// restore merges a journaled shard record as if the shard had just
+// completed, without dispatching anything. No latency sample is
+// recorded, so the straggler watchdog's median only reflects shards
+// that actually ran in this process. Called sequentially from Sweep
+// before dispatch starts.
+func (sw *sweep) restore(sr *shardRun, rec journalRecord) {
+	sw.mu.Lock()
+	if sr.done {
+		sw.mu.Unlock()
+		return
+	}
+	sr.done = true
+	sw.merge(rec.DSE)
+	sw.res.Replayed++
+	sw.completed++
+	last := sw.completed == len(sw.shards)
+	sw.mu.Unlock()
+
+	sr.cancel()
+	if cb := sw.opts.OnShard; cb != nil {
+		cb(ShardResult{Shard: sr.shard, Host: rec.Host, Stolen: rec.Stolen, Replayed: true, Resp: rec.DSE})
+	}
+	if last {
+		close(sw.doneCh)
+	}
+}
+
+// merge folds one shard response into the sweep's running result.
+// Caller holds sw.mu.
+func (sw *sweep) merge(resp *serve.DSEResponse) {
+	pts := make([]dse.Point, len(resp.Pareto))
+	for i, j := range resp.Pareto {
+		pts[i] = pointFrom(j)
+	}
+	sw.front = dse.MergePareto(sw.front, pts)
+	sw.res.Raw += resp.Raw
+	sw.res.Explored += resp.Explored
+	sw.res.Invoked += resp.Invoked
+	sw.res.Pricings += resp.Pricings
+	sw.res.Valid += resp.Valid
+	sw.res.ThroughputOpt = mergeOpt(sw.res.ThroughputOpt, resp.ThroughputOpt, betterThroughput)
+	sw.res.EnergyOpt = mergeOpt(sw.res.EnergyOpt, resp.EnergyOpt, betterEnergy)
+	sw.res.EDPOpt = mergeOpt(sw.res.EDPOpt, resp.EDPOpt, betterEDP)
 }
 
 func (sw *sweep) noteRedispatch(sr *shardRun, host string, err error) {
@@ -635,6 +818,9 @@ func (sw *sweep) stragglerTarget(sr *shardRun, now time.Time, cut time.Duration)
 			continue
 		}
 		if sw.f.clients[h].BreakerState() == client.BreakerOpen {
+			continue
+		}
+		if !sw.f.routable(h) {
 			continue
 		}
 		if len(sw.sem[h]) >= cap(sw.sem[h]) {

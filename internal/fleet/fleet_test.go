@@ -421,12 +421,35 @@ func TestRingProperties(t *testing.T) {
 	}
 }
 
-// TestNewRejectsBadConfig pins the constructor seams.
+// TestNewRejectsBadConfig pins the constructor seams: the host list is
+// validated up front so a typo fails at New, not as a mysterious ring
+// imbalance or dial error mid-sweep.
 func TestNewRejectsBadConfig(t *testing.T) {
-	if _, err := New(Options{}); err == nil {
-		t.Fatal("no hosts accepted")
+	cases := []struct {
+		name  string
+		hosts []string
+	}{
+		{"no hosts", nil},
+		{"exact duplicate", []string{"http://a", "http://a"}},
+		{"duplicate modulo trailing slash", []string{"http://a:8080", "http://a:8080/"}},
+		{"empty entry", []string{"http://a", ""}},
+		{"blank entry", []string{"http://a", "   "}},
+		{"missing scheme", []string{"node0:8080"}},
+		{"unsupported scheme", []string{"ftp://a:21"}},
+		{"missing authority", []string{"http://"}},
+		{"query string", []string{"http://a:8080?x=1"}},
+		{"fragment", []string{"http://a:8080#frag"}},
+		{"unparseable", []string{"http://a:8080:9090:bad\x7f"}},
 	}
-	if _, err := New(Options{Hosts: []string{"http://a", "http://a"}}); err == nil {
-		t.Fatal("duplicate host accepted")
+	for _, tc := range cases {
+		if _, err := New(Options{Hosts: tc.hosts}); err == nil {
+			t.Errorf("%s: New accepted hosts %q", tc.name, tc.hosts)
+		}
 	}
+	// The happy path still holds, trailing slash and all.
+	f, err := New(Options{Hosts: []string{"http://a:8080", "https://b:8443/base/"}})
+	if err != nil {
+		t.Fatalf("valid hosts rejected: %v", err)
+	}
+	f.Close()
 }

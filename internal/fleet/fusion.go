@@ -14,6 +14,16 @@ import (
 	"repro/internal/serve/client"
 )
 
+// FusionShardResult is one merged fusion chunk, streamed via
+// Options.OnFusionShard.
+type FusionShardResult struct {
+	Shard    int
+	Of       int
+	Host     string // node that produced the result ("" when unknown)
+	Replayed bool   // true when restored from the checkpoint journal
+	Resp     *serve.FusionResponse
+}
+
 // FusionResult is a completed distributed fusion sweep: every priced
 // (budget, granularity) point in canonical order plus the least-DRAM
 // point, with at-most-once counters aggregated across shards.
@@ -29,7 +39,13 @@ type FusionResult struct {
 	// Redispatched counts failover attempts after a node refused or
 	// failed a shard.
 	Redispatched int64
-	Elapsed      time.Duration
+	// Replayed counts shards restored from the checkpoint journal
+	// instead of dispatched.
+	Replayed int
+	// JournalErrors counts shard results that merged but could not be
+	// made durable (append or fsync failed).
+	JournalErrors int64
+	Elapsed       time.Duration
 }
 
 // SweepFusion partitions req's L2 budget grid, dispatches the shards
@@ -47,27 +63,79 @@ func (f *Fleet) SweepFusion(ctx context.Context, req serve.FusionRequest) (*Fusi
 		return nil, fmt.Errorf("fleet: fusion sweep of %q has an empty budget grid", req.Model)
 	}
 
+	// Open the write-ahead journal before anything is dispatched; see
+	// journal.go for the record format and Sweep for the DSE twin of
+	// this logic.
+	var jnl *journal
+	if f.opts.CheckpointDir != "" {
+		hash, err := sweepHashFusion(req)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: hashing fusion request: %w", err)
+		}
+		jnl, err = openJournal(f.opts.CheckpointDir, journalKindFusion, hash, f.opts.Resume)
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	var (
-		mu           sync.Mutex
-		points       []dse.FusionPoint
-		raw, valid   int64
-		redispatched int64
-		model        string
-		macs         int64
-		firstErr     error
+		mu            sync.Mutex
+		points        []dse.FusionPoint
+		raw, valid    int64
+		redispatched  int64
+		replayed      int
+		journalErrors int64
+		model         string
+		macs          int64
+		firstErr      error
 	)
+	mergeResp := func(resp *serve.FusionResponse) {
+		model, macs = resp.Model, resp.MACs
+		raw += resp.Raw
+		valid += resp.Valid
+		for _, pj := range resp.Points {
+			points = append(points, fusionPointFrom(pj))
+		}
+	}
 	var wg sync.WaitGroup
 	for i, chunk := range chunks {
 		sreq := req
 		sreq.L2Grid = chunk
 		sreq.Shard = &serve.FusionShard{Index: i, Of: len(chunks)}
+		var hash string
+		if jnl != nil {
+			hreq := sreq
+			hreq.TimeoutMs = 0
+			hreq.NoCache = false
+			var err error
+			hash, err = canonicalHash(journalKindFusion, hreq)
+			if err != nil {
+				jnl.close()
+				return nil, fmt.Errorf("fleet: hashing fusion shard request: %w", err)
+			}
+			// Replay: only a record written for this exact chunk of the
+			// budget grid, under this exact partition, restores. Dispatch
+			// goroutines for earlier chunks may already be merging, so the
+			// replay merge takes the same lock (and keeps the callback
+			// under it — OnFusionShard is serialized on both paths).
+			if rec, ok := jnl.lookup(hash); ok && rec.Of == len(chunks) && rec.Shard == i {
+				mu.Lock()
+				mergeResp(rec.Fusion)
+				replayed++
+				if cb := f.opts.OnFusionShard; cb != nil {
+					cb(FusionShardResult{Shard: i, Of: len(chunks), Host: rec.Host, Replayed: true, Resp: rec.Fusion})
+				}
+				mu.Unlock()
+				continue
+			}
+		}
 		wg.Add(1)
-		go func(i int, sreq serve.FusionRequest) {
+		go func(i int, sreq serve.FusionRequest, hash string) {
 			defer wg.Done()
-			resp, retries, err := f.dispatchFusion(ctx, i, sreq)
+			resp, host, retries, err := f.dispatchFusion(ctx, i, sreq)
 			mu.Lock()
 			defer mu.Unlock()
 			redispatched += retries
@@ -78,20 +146,34 @@ func (f *Fleet) SweepFusion(ctx context.Context, req serve.FusionRequest) (*Fusi
 				}
 				return
 			}
-			model, macs = resp.Model, resp.MACs
-			raw += resp.Raw
-			valid += resp.Valid
-			for _, pj := range resp.Points {
-				points = append(points, fusionPointFrom(pj))
+			if jnl != nil {
+				// fsync-before-merge: the shard only counts once durable.
+				rec := journalRecord{Shard: i, Of: len(chunks), Hash: hash, Host: host, Fusion: resp}
+				if err := jnl.append(rec); err != nil {
+					journalErrors++
+				}
 			}
-		}(i, sreq)
+			mergeResp(resp)
+			if cb := f.opts.OnFusionShard; cb != nil {
+				cb(FusionShardResult{Shard: i, Of: len(chunks), Host: host, Resp: resp})
+			}
+		}(i, sreq, hash)
 	}
 	wg.Wait()
 	if firstErr != nil {
+		if jnl != nil {
+			jnl.close() // keep the journal for a later resume
+		}
 		return nil, firstErr
 	}
 	if err := ctx.Err(); err != nil {
+		if jnl != nil {
+			jnl.close()
+		}
 		return nil, err
+	}
+	if jnl != nil {
+		jnl.finish() // complete: nothing left to resume
 	}
 
 	sort.Slice(points, func(a, b int) bool {
@@ -104,9 +186,11 @@ func (f *Fleet) SweepFusion(ctx context.Context, req serve.FusionRequest) (*Fusi
 		Model: model, MACs: macs,
 		Points: points,
 		Raw:    raw, Valid: valid,
-		Shards:       len(chunks),
-		Redispatched: redispatched,
-		Elapsed:      time.Since(start),
+		Shards:        len(chunks),
+		Redispatched:  redispatched,
+		Replayed:      replayed,
+		JournalErrors: journalErrors,
+		Elapsed:       time.Since(start),
 	}
 	if best, ok := dse.BestFusion(points); ok {
 		res.Best = &best
@@ -121,18 +205,31 @@ func (f *Fleet) SweepFusion(ctx context.Context, req serve.FusionRequest) (*Fusi
 
 // dispatchFusion walks the ring from the shard's home node until a
 // node accepts, retrying up to Rounds full wraps with a backoff
-// between wraps. Returns the accepted response and the number of
-// failed attempts that preceded it.
-func (f *Fleet) dispatchFusion(ctx context.Context, shard int, req serve.FusionRequest) (*serve.FusionResponse, int64, error) {
+// between wraps. Hosts the health prober marks unroutable fall to the
+// back of each wrap's order — still tried as a last resort so a sweep
+// survives a universally-unhealthy reading, but never preferred over a
+// live node. Returns the accepted response, the host that produced it,
+// and the number of failed attempts that preceded it.
+func (f *Fleet) dispatchFusion(ctx context.Context, shard int, req serve.FusionRequest) (*serve.FusionResponse, string, int64, error) {
 	hosts := f.opts.Hosts
 	var retries int64
 	var lastErr error
 	for round := 0; round < f.opts.Rounds; round++ {
+		order := make([]string, 0, len(hosts))
+		var unhealthy []string
 		for k := range hosts {
-			if err := ctx.Err(); err != nil {
-				return nil, retries, err
+			h := hosts[(shard+k)%len(hosts)]
+			if f.routable(h) {
+				order = append(order, h)
+			} else {
+				unhealthy = append(unhealthy, h)
 			}
-			host := hosts[(shard+k)%len(hosts)]
+		}
+		order = append(order, unhealthy...)
+		for _, host := range order {
+			if err := ctx.Err(); err != nil {
+				return nil, "", retries, err
+			}
 			resp, err := f.clients[host].Fusion(ctx, req)
 			f.mu.Lock()
 			ns := f.perNode[host]
@@ -143,7 +240,7 @@ func (f *Fleet) dispatchFusion(ctx context.Context, shard int, req serve.FusionR
 			}
 			f.mu.Unlock()
 			if err == nil {
-				return resp, retries, nil
+				return resp, host, retries, nil
 			}
 			// A hard 4xx is the request's fault, not the node's: every
 			// node would refuse it the same way, so fail the shard now.
@@ -151,16 +248,16 @@ func (f *Fleet) dispatchFusion(ctx context.Context, shard int, req serve.FusionR
 			var apiErr *client.APIError
 			if errors.As(err, &apiErr) && apiErr.Status >= 400 && apiErr.Status < 500 &&
 				apiErr.Status != http.StatusRequestTimeout && apiErr.Status != http.StatusTooManyRequests {
-				return nil, retries, err
+				return nil, "", retries, err
 			}
 			lastErr = err
 			retries++
 		}
 		if !sleepCtx(ctx, time.Duration(round+1)*50*time.Millisecond) {
-			return nil, retries, ctx.Err()
+			return nil, "", retries, ctx.Err()
 		}
 	}
-	return nil, retries, fmt.Errorf("no node accepted after %d rounds: %w", f.opts.Rounds, lastErr)
+	return nil, "", retries, fmt.Errorf("no node accepted after %d rounds: %w", f.opts.Rounds, lastErr)
 }
 
 // fusionPointFrom converts the wire point back to the dse type.

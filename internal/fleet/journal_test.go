@@ -1,0 +1,290 @@
+package fleet
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// testRecord builds a structurally-valid DSE journal record.
+func testRecord(shard, of int, hash string) journalRecord {
+	return journalRecord{
+		Kind: journalKindDSE, Sweep: "sweep0", Shard: shard, Of: of,
+		Hash: hash, Host: "http://node0",
+		DSE: &serve.DSEResponse{Raw: int64(shard + 1), Explored: 2, Valid: 1},
+	}
+}
+
+func encodeAll(recs ...journalRecord) []byte {
+	var buf bytes.Buffer
+	for _, r := range recs {
+		line, err := encodeRecord(r)
+		if err != nil {
+			panic(err)
+		}
+		buf.Write(line)
+	}
+	return buf.Bytes()
+}
+
+// TestJournalParseRoundTrip pins encode→parse as the identity on clean
+// input.
+func TestJournalParseRoundTrip(t *testing.T) {
+	recs := []journalRecord{
+		testRecord(0, 3, "h0"), testRecord(1, 3, "h1"), testRecord(2, 3, "h2"),
+	}
+	data := encodeAll(recs...)
+	got, good := parseJournal(data)
+	if good != len(data) {
+		t.Fatalf("good = %d, want full %d", good, len(data))
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("parsed %d records, want %d", len(got), len(recs))
+	}
+	for i, r := range got {
+		if r.Hash != recs[i].Hash || r.Shard != recs[i].Shard || r.DSE == nil || r.DSE.Raw != recs[i].DSE.Raw {
+			t.Fatalf("record %d = %+v, want %+v", i, r, recs[i])
+		}
+	}
+}
+
+// TestJournalParseTruncatedTail pins the crash-mid-append case: a
+// partial final line is dropped, everything before it survives.
+func TestJournalParseTruncatedTail(t *testing.T) {
+	full := encodeAll(testRecord(0, 2, "h0"), testRecord(1, 2, "h1"))
+	first := encodeAll(testRecord(0, 2, "h0"))
+	for cut := len(first) + 1; cut < len(full); cut++ {
+		recs, good := parseJournal(full[:cut])
+		if good != len(first) || len(recs) != 1 || recs[0].Hash != "h0" {
+			t.Fatalf("cut %d: parsed %d records / %d good bytes, want 1 / %d", cut, len(recs), good, len(first))
+		}
+	}
+}
+
+// TestJournalParseBitFlip pins checksum enforcement: flipping any byte
+// of a record's line ends the valid prefix at or before that record —
+// a corrupt shard is never resurrected.
+func TestJournalParseBitFlip(t *testing.T) {
+	first := encodeAll(testRecord(0, 2, "h0"))
+	full := encodeAll(testRecord(0, 2, "h0"), testRecord(1, 2, "h1"))
+	for i := len(first); i < len(full)-1; i++ { // corrupt the second record
+		data := append([]byte(nil), full...)
+		data[i] ^= 0x40
+		recs, good := parseJournal(data)
+		if good > len(first) || len(recs) > 1 {
+			t.Fatalf("flip at %d: %d records / %d good bytes accepted past the corruption", i, len(recs), good)
+		}
+	}
+}
+
+// TestJournalParseRejectsInvalidRecords pins structural validation:
+// checksummed-but-nonsensical payloads end the prefix.
+func TestJournalParseRejectsInvalidRecords(t *testing.T) {
+	bad := []journalRecord{
+		{Kind: journalKindDSE, Sweep: "s", Shard: 0, Of: 1, Hash: "h"},                                                             // no payload
+		{Kind: journalKindDSE, Sweep: "s", Shard: 0, Of: 1, Hash: "h", Fusion: &serve.FusionResponse{}},                            // wrong payload
+		{Kind: "mystery", Sweep: "s", Shard: 0, Of: 1, Hash: "h", DSE: &serve.DSEResponse{}},                                       // unknown kind
+		{Kind: journalKindDSE, Sweep: "s", Shard: 2, Of: 2, Hash: "h", DSE: &serve.DSEResponse{}},                                  // shard out of range
+		{Kind: journalKindDSE, Sweep: "s", Shard: 0, Of: 1, Hash: "", DSE: &serve.DSEResponse{}},                                   // no hash
+		{Kind: journalKindFusion, Sweep: "", Shard: 0, Of: 1, Hash: "h", Fusion: &serve.FusionResponse{}},                          // no sweep
+		{Kind: journalKindFusion, Sweep: "s", Shard: -1, Of: 1, Hash: "h", Fusion: &serve.FusionResponse{}},                        // negative shard
+		{Kind: journalKindDSE, Sweep: "s", Shard: 0, Of: 0, Hash: "h", DSE: &serve.DSEResponse{}},                                  // zero Of
+		{Kind: journalKindDSE, Sweep: "s", Shard: 0, Of: 1, Hash: "h", DSE: &serve.DSEResponse{}, Fusion: &serve.FusionResponse{}}, // both payloads
+	}
+	for i, r := range bad {
+		line, err := encodeRecord(r)
+		if err != nil {
+			t.Fatalf("bad record %d failed to encode: %v", i, err)
+		}
+		if recs, good := parseJournal(line); len(recs) != 0 || good != 0 {
+			t.Fatalf("bad record %d accepted: %+v", i, r)
+		}
+	}
+}
+
+// TestOpenJournalResume pins the open/append/replay cycle, including
+// corrupt-tail truncation on disk.
+func TestOpenJournalResume(t *testing.T) {
+	dir := t.TempDir()
+
+	j, err := openJournal(dir, journalKindDSE, "sweep0", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.append(testRecord(0, 3, "h0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.append(testRecord(1, 3, "h1")); err != nil {
+		t.Fatal(err)
+	}
+	j.close()
+
+	// Simulate a crash mid-append: garbage after the last good record.
+	path := filepath.Join(dir, journalKindDSE+"-sweep0.jnl")
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(append([]byte(nil), clean...), []byte("0000dead {half a reco")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := openJournal(dir, journalKindDSE, "sweep0", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.replayed() != 2 {
+		t.Fatalf("replayed = %d, want 2", j2.replayed())
+	}
+	if _, ok := j2.lookup("h0"); !ok {
+		t.Fatal("h0 not replayed")
+	}
+	if _, ok := j2.lookup("h2"); ok {
+		t.Fatal("phantom record replayed")
+	}
+	// The corrupt tail was truncated away on open…
+	if data, _ := os.ReadFile(path); !bytes.Equal(data, clean) {
+		t.Fatalf("corrupt tail not truncated: %d bytes, want %d", len(data), len(clean))
+	}
+	// …so the next append lands on a record boundary and the file stays
+	// fully replayable.
+	if err := j2.append(testRecord(2, 3, "h2")); err != nil {
+		t.Fatal(err)
+	}
+	j2.close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, good := parseJournal(data)
+	if len(recs) != 3 || good != len(data) {
+		t.Fatalf("post-resume file parses %d records / %d of %d bytes, want 3 / all", len(recs), good, len(data))
+	}
+
+	// Without resume the pre-existing file is discarded.
+	j3, err := openJournal(dir, journalKindDSE, "sweep0", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j3.replayed() != 0 {
+		t.Fatalf("fresh open replayed %d records, want 0", j3.replayed())
+	}
+	j3.close()
+
+	// finish deletes the file.
+	j4, err := openJournal(dir, journalKindDSE, "sweep0", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j4.finish()
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("finish left the journal behind: %v", err)
+	}
+}
+
+// TestOpenJournalFiltersForeignRecords: records for another sweep or
+// kind never replay even if the file was moved into place by hand.
+func TestOpenJournalFiltersForeignRecords(t *testing.T) {
+	dir := t.TempDir()
+	foreign := testRecord(0, 2, "hX")
+	foreign.Sweep = "other-sweep"
+	mine := testRecord(1, 2, "h1")
+	path := filepath.Join(dir, journalKindDSE+"-sweep0.jnl")
+	if err := os.WriteFile(path, encodeAll(foreign, mine), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := openJournal(dir, journalKindDSE, "sweep0", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.close()
+	if j.replayed() != 1 {
+		t.Fatalf("replayed = %d, want 1 (foreign record must not load)", j.replayed())
+	}
+	if _, ok := j.lookup("hX"); ok {
+		t.Fatal("foreign-sweep record replayed")
+	}
+}
+
+// TestSweepHashesStable pins the canonical-hash contract: delivery-only
+// knobs do not change a sweep's identity; anything that changes the
+// answer does.
+func TestSweepHashesStable(t *testing.T) {
+	base := fleetReq()
+	h1, err := sweepHashDSE(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := base
+	same.TimeoutMs = 5000
+	same.NoCache = true
+	same.TopK = 10
+	h2, err := sweepHashDSE(same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatal("delivery knobs changed the sweep hash")
+	}
+	diff := base
+	diff.PEs = append(append([]int(nil), base.PEs...), 1024)
+	h3, err := sweepHashDSE(diff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3 == h1 {
+		t.Fatal("different design space hashed identically")
+	}
+	if strings.ContainsAny(h1, "/\\ ") || len(h1) != 32 {
+		t.Fatalf("hash %q is not a clean 32-hex filename component", h1)
+	}
+}
+
+// FuzzJournalReplay is the satellite fuzz target: arbitrary bytes —
+// random truncations, bit-flips, interleaved partial records — must
+// never panic, never accept anything past the first corruption, and
+// always leave a prefix that is itself a fixed point (replayable and
+// appendable).
+func FuzzJournalReplay(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encodeAll(testRecord(0, 2, "h0"), testRecord(1, 2, "h1")))
+	trunc := encodeAll(testRecord(0, 1, "h0"))
+	f.Add(trunc[:len(trunc)-3])
+	flip := append([]byte(nil), trunc...)
+	flip[len(flip)/2] ^= 0x01
+	f.Add(append(flip, trunc...))
+	f.Add([]byte("00000000 {}\nnot a record at all\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, good := parseJournal(data)
+		if good < 0 || good > len(data) {
+			t.Fatalf("good = %d out of range [0,%d]", good, len(data))
+		}
+		// The good prefix is a fixed point: re-parsing it yields the same
+		// records and consumes it fully.
+		recs2, good2 := parseJournal(data[:good])
+		if good2 != good || len(recs2) != len(recs) {
+			t.Fatalf("prefix not a fixed point: %d/%d vs %d/%d", len(recs2), good2, len(recs), good)
+		}
+		// Every surviving record is structurally valid.
+		for i := range recs {
+			if !recs[i].valid() {
+				t.Fatalf("record %d invalid after parse: %+v", i, recs[i])
+			}
+		}
+		// Appending a fresh record to the good prefix — what a resumed
+		// sweep does after truncation — parses to exactly one more record.
+		line, err := encodeRecord(testRecord(0, 1, "fuzz"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs3, good3 := parseJournal(append(append([]byte(nil), data[:good]...), line...))
+		if len(recs3) != len(recs)+1 || good3 != good+len(line) {
+			t.Fatalf("append after truncation: %d records / %d bytes, want %d / %d",
+				len(recs3), good3, len(recs)+1, good+len(line))
+		}
+	})
+}

@@ -1,0 +1,268 @@
+package fleet
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// This file is the fleet's membership layer: an active health prober
+// that asks every node "are you routable?" on its own clock instead of
+// trusting the static host list until a shard dispatch fails. Each
+// node is probed with GET /healthz (the readiness endpoint: it answers
+// 503 once graceful drain begins) on a jittered period; when readiness
+// is refused, GET /v1/status decides liveness — a node that still
+// answers status is alive-but-draining, one that answers neither is
+// counted toward dead. Dispatch and straggler-stealing skip nodes that
+// are not up, and a dead node is re-admitted only after consecutive
+// successful probes, so a flapping node cannot oscillate the ring.
+
+// Health is a node's probed availability.
+type Health int
+
+const (
+	// HealthUnknown: the prober is disabled or has not probed yet;
+	// treated as routable (the breaker still guards dispatch).
+	HealthUnknown Health = iota
+	// HealthUp: the last probe confirmed readiness.
+	HealthUp
+	// HealthDraining: the node answers /v1/status but refuses /healthz
+	// — graceful drain has begun; stop routing new shards to it.
+	HealthDraining
+	// HealthDead: FailAfter consecutive probes failed entirely.
+	HealthDead
+)
+
+func (h Health) String() string {
+	switch h {
+	case HealthUp:
+		return "up"
+	case HealthDraining:
+		return "draining"
+	case HealthDead:
+		return "dead"
+	}
+	return "unknown"
+}
+
+// ProbeOptions configures the active health prober. The zero value
+// disables it (Interval 0): dispatch then relies on circuit breakers
+// alone, as before.
+type ProbeOptions struct {
+	// Interval is the base probe period per node; 0 disables probing.
+	Interval time.Duration
+	// Jitter is the extra uniform random delay added to each period
+	// (default Interval/4) so a fleet of coordinators never probes in
+	// lockstep.
+	Jitter time.Duration
+	// Timeout bounds one probe exchange (default min(Interval, 2s)).
+	Timeout time.Duration
+	// FailAfter is how many consecutive failed probes mark a node dead
+	// (default 2).
+	FailAfter int
+	// UpAfter is how many consecutive successful probes re-admit a
+	// dead node (default 2).
+	UpAfter int
+}
+
+func (o ProbeOptions) withDefaults() ProbeOptions {
+	if o.Jitter <= 0 {
+		o.Jitter = o.Interval / 4
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 2 * time.Second
+		if o.Interval < o.Timeout {
+			o.Timeout = o.Interval
+		}
+	}
+	if o.FailAfter <= 0 {
+		o.FailAfter = 2
+	}
+	if o.UpAfter <= 0 {
+		o.UpAfter = 2
+	}
+	return o
+}
+
+// probeVerdict is one probe's classified outcome.
+type probeVerdict int
+
+const (
+	probeOK probeVerdict = iota
+	probeDraining
+	probeFail
+)
+
+// nodeProbe is one node's state-machine position.
+type nodeProbe struct {
+	state Health
+	fails int
+	oks   int
+	// lastErr keeps the most recent failure text for Stats/logs.
+	lastErr string
+}
+
+// observe advances the state machine by one probe outcome. Dead is
+// sticky: it takes UpAfter consecutive successes to leave, so one
+// lucky probe against a flapping node does not re-admit it. A drain
+// answer proves liveness and moves the node to draining immediately,
+// whatever state it was in.
+func (n *nodeProbe) observe(v probeVerdict, o ProbeOptions, errText string) {
+	switch v {
+	case probeOK:
+		n.fails = 0
+		n.oks++
+		n.lastErr = ""
+		if n.state == HealthDead {
+			if n.oks >= o.UpAfter {
+				n.state = HealthUp
+			}
+			return
+		}
+		n.state = HealthUp
+	case probeDraining:
+		n.fails = 0
+		n.oks = 0
+		n.lastErr = ""
+		n.state = HealthDraining
+	case probeFail:
+		n.oks = 0
+		n.fails++
+		n.lastErr = errText
+		if n.fails >= o.FailAfter {
+			n.state = HealthDead
+		}
+	}
+}
+
+// prober runs one probe loop per host until closed.
+type prober struct {
+	f    *Fleet
+	opts ProbeOptions
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	mu    sync.Mutex
+	nodes map[string]*nodeProbe
+}
+
+// startProber launches the per-host probe loops.
+func startProber(f *Fleet, opts ProbeOptions) *prober {
+	p := &prober{
+		f:     f,
+		opts:  opts.withDefaults(),
+		stop:  make(chan struct{}),
+		nodes: make(map[string]*nodeProbe, len(f.opts.Hosts)),
+	}
+	for _, h := range f.opts.Hosts {
+		p.nodes[h] = &nodeProbe{}
+	}
+	for _, h := range f.opts.Hosts {
+		p.wg.Add(1)
+		go p.loop(h)
+	}
+	return p
+}
+
+func (p *prober) Close() {
+	close(p.stop)
+	p.wg.Wait()
+}
+
+// loop probes one host forever: an immediate first probe (so a fresh
+// fleet learns its membership before the first sweep needs it), then a
+// jittered period.
+func (p *prober) loop(host string) {
+	defer p.wg.Done()
+	rng := rand.New(rand.NewSource(int64(hash64(host)) ^ time.Now().UnixNano()))
+	// Random initial phase spreads the very first probes of a large
+	// host list instead of firing them all at once.
+	delay := time.Duration(rng.Int63n(int64(p.opts.Jitter) + 1))
+	for {
+		t := time.NewTimer(delay)
+		select {
+		case <-p.stop:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		p.probe(host)
+		delay = p.opts.Interval + time.Duration(rng.Int63n(int64(p.opts.Jitter)+1))
+	}
+}
+
+// probe runs one readiness exchange (and, when readiness is refused, a
+// liveness one) and applies the verdict.
+func (p *prober) probe(host string) {
+	ctx, cancel := context.WithTimeout(context.Background(), p.opts.Timeout)
+	defer cancel()
+	v, errText := probeOK, ""
+	code, err := p.f.clients[host].Healthz(ctx)
+	switch {
+	case err == nil && code == http.StatusOK:
+		// ready
+	case err == nil && code == http.StatusServiceUnavailable:
+		// Readiness refused: liveness decides whether the node is
+		// draining (still answering status) or on its way out.
+		if _, serr := p.f.clients[host].Status(ctx); serr == nil {
+			v = probeDraining
+		} else {
+			v, errText = probeFail, serr.Error()
+		}
+	case err == nil:
+		v, errText = probeFail, http.StatusText(code)
+	default:
+		v, errText = probeFail, err.Error()
+	}
+	p.mu.Lock()
+	p.nodes[host].observe(v, p.opts, errText)
+	p.mu.Unlock()
+}
+
+// health returns one node's current state.
+func (p *prober) health(host string) Health {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n, ok := p.nodes[host]; ok {
+		return n.state
+	}
+	return HealthUnknown
+}
+
+// snapshot copies every node's state.
+func (p *prober) snapshot() map[string]Health {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]Health, len(p.nodes))
+	for h, n := range p.nodes {
+		out[h] = n.state
+	}
+	return out
+}
+
+// Health reports every node's probed state. Without a prober
+// (ProbeOptions.Interval 0) every node reads HealthUnknown, which the
+// dispatcher treats as routable.
+func (f *Fleet) Health() map[string]Health {
+	if f.prober != nil {
+		return f.prober.snapshot()
+	}
+	out := make(map[string]Health, len(f.opts.Hosts))
+	for _, h := range f.opts.Hosts {
+		out[h] = HealthUnknown
+	}
+	return out
+}
+
+// routable reports whether dispatch may target a host: not probed-dead
+// and not draining. Unknown is routable — the breaker still guards the
+// first exchange.
+func (f *Fleet) routable(host string) bool {
+	if f.prober == nil {
+		return true
+	}
+	st := f.prober.health(host)
+	return st != HealthDead && st != HealthDraining
+}

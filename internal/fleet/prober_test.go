@@ -1,0 +1,142 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// TestNodeProbeStateMachine drives the pure observe() transitions the
+// prober's loop feeds: dead is entered only after FailAfter consecutive
+// failures and left only after UpAfter consecutive successes, while a
+// drain answer flips state immediately.
+func TestNodeProbeStateMachine(t *testing.T) {
+	o := ProbeOptions{Interval: time.Second, FailAfter: 2, UpAfter: 2}.withDefaults()
+	n := &nodeProbe{}
+
+	if n.state != HealthUnknown {
+		t.Fatalf("initial state = %v, want unknown", n.state)
+	}
+	n.observe(probeOK, o, "")
+	if n.state != HealthUp {
+		t.Fatalf("after ok: %v, want up", n.state)
+	}
+
+	// One failure is not death.
+	n.observe(probeFail, o, "boom")
+	if n.state != HealthUp {
+		t.Fatalf("after 1 fail: %v, want still up", n.state)
+	}
+	// A success resets the failure streak entirely.
+	n.observe(probeOK, o, "")
+	n.observe(probeFail, o, "boom")
+	if n.state != HealthUp {
+		t.Fatalf("non-consecutive fails killed the node: %v", n.state)
+	}
+	// The second consecutive failure does it.
+	n.observe(probeFail, o, "boom")
+	if n.state != HealthDead {
+		t.Fatalf("after FailAfter fails: %v, want dead", n.state)
+	}
+	if n.lastErr != "boom" {
+		t.Fatalf("lastErr = %q, want the probe error", n.lastErr)
+	}
+
+	// Dead is sticky: one success does not re-admit.
+	n.observe(probeOK, o, "")
+	if n.state != HealthDead {
+		t.Fatalf("1 ok re-admitted a dead node: %v", n.state)
+	}
+	// A failure resets the recovery streak.
+	n.observe(probeFail, o, "boom")
+	n.observe(probeOK, o, "")
+	if n.state != HealthDead {
+		t.Fatalf("non-consecutive oks re-admitted: %v", n.state)
+	}
+	n.observe(probeOK, o, "")
+	if n.state != HealthUp {
+		t.Fatalf("after UpAfter oks: %v, want up", n.state)
+	}
+
+	// Draining flips immediately from any state, and recovers
+	// immediately on the next ready answer (a rolled-back drain).
+	n.observe(probeDraining, o, "")
+	if n.state != HealthDraining {
+		t.Fatalf("after drain answer: %v, want draining", n.state)
+	}
+	n.observe(probeOK, o, "")
+	if n.state != HealthUp {
+		t.Fatalf("drained node did not recover on ready: %v", n.state)
+	}
+}
+
+func TestHealthString(t *testing.T) {
+	for h, want := range map[Health]string{
+		HealthUnknown: "unknown", HealthUp: "up", HealthDraining: "draining", HealthDead: "dead",
+	} {
+		if h.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", int(h), h.String(), want)
+		}
+	}
+}
+
+// TestProberLifecycle runs the real probe loops against live nodes
+// through the chaos cluster: up on boot, draining once the node flips
+// readiness off, dead when killed, up again after restart — and the
+// dispatcher's routable() view tracks each transition.
+func TestProberLifecycle(t *testing.T) {
+	cluster := newChaosCluster(t, 2, serve.Options{Workers: 1})
+	opts := fastFleet(cluster.hosts, cluster.hc)
+	opts.Probe = ProbeOptions{Interval: 5 * time.Millisecond, Timeout: 250 * time.Millisecond, FailAfter: 2, UpAfter: 2}
+	f, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	node0, node1 := cluster.hosts[0], cluster.hosts[1]
+	waitHealth(t, f, node0, HealthUp)
+	waitHealth(t, f, node1, HealthUp)
+
+	// Graceful drain: /healthz answers 503 but /v1/status still 200, so
+	// the prober distinguishes draining from dead.
+	cluster.server(node1).BeginDrain()
+	waitHealth(t, f, node1, HealthDraining)
+	if f.routable(node1) {
+		t.Fatal("draining node still routable")
+	}
+
+	// Abrupt kill: neither endpoint answers.
+	cluster.kill(node0)
+	waitHealth(t, f, node0, HealthDead)
+	if f.routable(node0) {
+		t.Fatal("dead node still routable")
+	}
+
+	// Restart re-admits after UpAfter consecutive successes.
+	cluster.restart(node0)
+	waitHealth(t, f, node0, HealthUp)
+	if !f.routable(node0) {
+		t.Fatal("re-admitted node not routable")
+	}
+}
+
+// TestHealthWithoutProber pins the disabled-prober default: every node
+// reads unknown and stays routable.
+func TestHealthWithoutProber(t *testing.T) {
+	hosts, _, hc := newNodes(t, 2)
+	f, err := New(fastFleet(hosts, hc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for h, st := range f.Health() {
+		if st != HealthUnknown {
+			t.Fatalf("node %s = %v without a prober, want unknown", h, st)
+		}
+		if !f.routable(h) {
+			t.Fatalf("node %s not routable without a prober", h)
+		}
+	}
+}

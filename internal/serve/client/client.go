@@ -308,6 +308,39 @@ func (c *Client) MetricsText(ctx context.Context) (string, error) {
 	return string(raw), nil
 }
 
+// Healthz performs a single readiness probe (GET /healthz) and returns
+// the raw status code. It deliberately bypasses the retry loop, the
+// hedger, and the circuit breaker: a probe is a question about the
+// node's state, and asking it must neither mask an unhealthy answer
+// behind retries nor pollute the breaker that guards real traffic. A
+// non-2xx code is returned with a nil error; the error is non-nil only
+// when no HTTP exchange completed at all.
+func (c *Client) Healthz(ctx context.Context) (int, error) {
+	res, err := c.roundTrip(ctx, http.MethodGet, "/healthz", nil, 0, false)
+	if err != nil {
+		return 0, err
+	}
+	return res.status, nil
+}
+
+// Status performs a single liveness probe (GET /v1/status) and decodes
+// the node's status document. Like Healthz it bypasses retries and the
+// breaker entirely.
+func (c *Client) Status(ctx context.Context) (*serve.StatusResponse, error) {
+	res, err := c.roundTrip(ctx, http.MethodGet, "/v1/status", nil, 0, false)
+	if err != nil {
+		return nil, err
+	}
+	if res.status != http.StatusOK {
+		return nil, &APIError{Status: res.status, Message: errorMessage(res.body), RequestID: res.requestID}
+	}
+	var out serve.StatusResponse
+	if err := json.Unmarshal(res.body, &out); err != nil {
+		return nil, fmt.Errorf("client: decoding status: %w", err)
+	}
+	return &out, nil
+}
+
 // propagateDeadline fills *ms with the context's remaining budget when
 // the caller did not set one, so the server's queue-deadline shedding
 // and per-request timeout see the true deadline. Re-evaluated on every

@@ -501,3 +501,74 @@ func mustHost(t *testing.T, raw string) string {
 	}
 	return u.Host
 }
+
+// TestProbeBypassesRetryAndBreaker pins the probe contract: Healthz and
+// Status are single exchanges that neither retry an unhealthy answer
+// nor feed the circuit breaker guarding real traffic — a prober asking
+// "are you down?" must not push the breaker toward "down".
+func TestProbeBypassesRetryAndBreaker(t *testing.T) {
+	var calls atomic.Int64
+	draining := atomic.Bool{}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		switch r.URL.Path {
+		case "/healthz":
+			if draining.Load() {
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, "draining", http.StatusServiceUnavailable)
+				return
+			}
+			w.Write([]byte("ok\n"))
+		case "/v1/status":
+			json.NewEncoder(w).Encode(serve.StatusResponse{Node: "n0", Draining: draining.Load()})
+		default:
+			http.Error(w, "not found", http.StatusNotFound)
+		}
+	}))
+	defer ts.Close()
+
+	opts := fastOpts(ts.URL)
+	opts.Breaker = BreakerOptions{FailureThreshold: 1, Cooldown: time.Minute}
+	c := mustClient(t, opts)
+
+	code, err := c.Healthz(context.Background())
+	if err != nil || code != http.StatusOK {
+		t.Fatalf("Healthz = %d, %v; want 200, nil", code, err)
+	}
+	st, err := c.Status(context.Background())
+	if err != nil || st.Node != "n0" || st.Draining {
+		t.Fatalf("Status = %+v, %v", st, err)
+	}
+
+	// An unhealthy answer comes back as data, in exactly one exchange,
+	// and the breaker stays closed.
+	draining.Store(true)
+	before := calls.Load()
+	code, err = c.Healthz(context.Background())
+	if err != nil || code != http.StatusServiceUnavailable {
+		t.Fatalf("draining Healthz = %d, %v; want 503, nil", code, err)
+	}
+	if got := calls.Load() - before; got != 1 {
+		t.Fatalf("Healthz made %d exchanges, want exactly 1 (no retries)", got)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := c.Healthz(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st, err := c.Status(context.Background()); err != nil || !st.Draining {
+		t.Fatalf("draining Status = %+v, %v", st, err)
+	}
+	if bs := c.BreakerState(); bs != BreakerClosed {
+		t.Fatalf("breaker = %v after unhealthy probes, want closed", bs)
+	}
+
+	// A dead listener is a transport error, still breaker-neutral.
+	ts.Close()
+	if _, err := c.Healthz(context.Background()); err == nil {
+		t.Fatal("Healthz against a dead listener returned no error")
+	}
+	if bs := c.BreakerState(); bs != BreakerClosed {
+		t.Fatalf("breaker = %v after failed probe, want closed", bs)
+	}
+}

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+)
+
+// TestHealthzDrainWindow pins the readiness/liveness split: /healthz
+// answers 200 until graceful drain begins, then 503 with a Retry-After
+// hint for the rest of the process's life, while /v1/status keeps
+// answering 200 (the node is alive, just not accepting new work) and
+// reports draining=true.
+func TestHealthzDrainWindow(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func(path string) *http.Response {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Ready: readiness and liveness both answer 200.
+	resp := get("/healthz")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ready /healthz = %d, want 200", resp.StatusCode)
+	}
+	resp = get("/v1/status")
+	var st StatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || st.Draining {
+		t.Fatalf("ready /v1/status = %d draining=%v, want 200/false", resp.StatusCode, st.Draining)
+	}
+
+	// The drain window: readiness flips, liveness holds.
+	s.BeginDrain()
+	if !s.Draining() {
+		t.Fatal("Draining() = false after BeginDrain")
+	}
+	resp = get("/healthz")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining /healthz = %d, want 503", resp.StatusCode)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("draining /healthz Retry-After = %q, want a positive integer", resp.Header.Get("Retry-After"))
+	}
+	resp = get("/v1/status")
+	st = StatusResponse{}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !st.Draining {
+		t.Fatalf("draining /v1/status = %d draining=%v, want 200/true", resp.StatusCode, st.Draining)
+	}
+
+	// BeginDrain is idempotent and one-way.
+	s.BeginDrain()
+	resp = get("/healthz")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("second-drain /healthz = %d, want 503", resp.StatusCode)
+	}
+}

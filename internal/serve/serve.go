@@ -117,6 +117,10 @@ type Server struct {
 	segments *obs.SegmentStore
 	// started anchors the /v1/status uptime.
 	started time.Time
+	// draining flips when graceful shutdown begins: /healthz (readiness)
+	// answers 503 from then on, while /v1/status (liveness) keeps
+	// answering 200 so probers can tell draining from dead.
+	draining atomic.Bool
 
 	requests        *CounterVec // by endpoint
 	responses       *CounterVec // by status code
@@ -233,7 +237,22 @@ func New(opts Options) *Server {
 }
 
 // Close drains the worker pool; queued and running jobs complete.
-func (s *Server) Close() { s.pool.Close() }
+// Close implies BeginDrain so /healthz stops reporting ready.
+func (s *Server) Close() {
+	s.BeginDrain()
+	s.pool.Close()
+}
+
+// BeginDrain marks the server as draining: from this call on, the
+// /healthz readiness probe answers 503 with a Retry-After hint so load
+// balancers and fleet probers stop routing new work here, while
+// /v1/status keeps answering 200 (the process is alive and finishing
+// queued work). Idempotent; there is no way back to ready — a drained
+// server is on its way down.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether graceful drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Metrics exposes the registry (for embedding into a wider process).
 func (s *Server) Metrics() *Registry { return s.reg }
@@ -563,8 +582,19 @@ func (s *Server) analyzeResolved(ctx context.Context, noCache bool, r resolved, 
 
 // ---- handlers ----
 
+// handleHealthz is the readiness probe. Ready answers "ok"; once
+// graceful drain begins it answers 503 with a Retry-After derived from
+// the remaining backlog, so LBs and the fleet prober stop sending new
+// work while queued requests finish. Liveness stays on /v1/status.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.Header().Set("Retry-After",
+			strconv.Itoa(s.retryAfterSeconds(s.pool.QueueDepth())))
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
 	fmt.Fprintln(w, "ok")
 }
 

@@ -59,6 +59,9 @@ type StatusResponse struct {
 	Timeouts    int64 `json:"timeouts"`
 
 	ChaosEnabled bool `json:"chaos_enabled"`
+	// Draining reports that graceful shutdown has begun: the node is
+	// alive (this endpoint answered) but /healthz refuses readiness.
+	Draining bool `json:"draining"`
 }
 
 // CacheStatus summarizes one cache's counters.
@@ -107,6 +110,7 @@ func (s *Server) Status() StatusResponse {
 		Timeouts:    s.timeouts.Value(),
 
 		ChaosEnabled: s.chaos.Load() != nil,
+		Draining:     s.draining.Load(),
 	}
 	if s.segments != nil {
 		st.Segments = SegmentsStatus{

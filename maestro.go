@@ -530,6 +530,14 @@ type (
 	// FleetShardResult is one accepted shard response, streamed via
 	// FleetOptions.OnShard.
 	FleetShardResult = fleet.ShardResult
+	// FleetFusionShardResult is one settled fusion chunk, streamed via
+	// FleetOptions.OnFusionShard.
+	FleetFusionShardResult = fleet.FusionShardResult
+	// FleetProbeOptions configures the active health prober
+	// (FleetOptions.Probe); a zero Interval disables probing.
+	FleetProbeOptions = fleet.ProbeOptions
+	// FleetHealth is a probed node state: unknown, up, draining, dead.
+	FleetHealth = fleet.Health
 	// DSEShardSpec is one shard of a partitioned (PE, tile-knob) grid.
 	DSEShardSpec = dse.Shard
 	// ServeDSEShard is the /v1/dse shard descriptor scoping a sweep to
